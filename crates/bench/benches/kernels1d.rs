@@ -1,0 +1,68 @@
+//! Criterion: one 1D time step per method (the per-method cost behind
+//! Fig. 8) at an L2-resident working set.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use stencil_core::exec::{dlt, folded, multiload, reorg, scalar, xlayout};
+use stencil_core::folding::fold;
+use stencil_core::kernels;
+use stencil_grid::Grid1D;
+use stencil_simd::NativeF64x4;
+
+const N: usize = 64_000;
+
+fn kernels_1d(c: &mut Criterion) {
+    let p = kernels::heat1d();
+    let taps = p.weights().to_vec();
+    let folded2 = fold(&p, 2);
+    let ftaps = folded2.weights().to_vec();
+    let g = Grid1D::from_fn(N, |i| (i % 101) as f64);
+    let mut a = g.clone();
+    let mut b = g.clone();
+
+    let mut grp = c.benchmark_group("step_1d_heat_64k");
+    grp.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30)
+        .throughput(Throughput::Elements(N as u64));
+
+    grp.bench_function("scalar", |bch| {
+        bch.iter(|| {
+            scalar::step_1d(black_box(a.as_slice()), b.as_mut_slice(), &taps);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("multiple_loads", |bch| {
+        bch.iter(|| {
+            multiload::step_1d::<NativeF64x4>(black_box(a.as_slice()), b.as_mut_slice(), &taps);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("data_reorg", |bch| {
+        bch.iter(|| {
+            reorg::step_1d::<NativeF64x4>(black_box(a.as_slice()), b.as_mut_slice(), &taps);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("transpose_layout", |bch| {
+        bch.iter(|| {
+            xlayout::step_x::<NativeF64x4>(black_box(a.as_slice()), b.as_mut_slice(), &taps);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("folded_squares_m2", |bch| {
+        bch.iter(|| {
+            folded::step_1d::<NativeF64x4>(black_box(a.as_slice()), b.as_mut_slice(), &ftaps);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("dlt_steady_state", |bch| {
+        let mut d = dlt::DltSweep1D::<NativeF64x4>::new(&g, &p);
+        bch.iter(|| d.steps(1))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, kernels_1d);
+criterion_main!(benches);

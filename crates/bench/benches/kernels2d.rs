@@ -1,0 +1,73 @@
+//! Criterion: one 2D time step per method and kernel (box, star,
+//! asymmetric) — the per-pass costs behind Fig. 9's 2D rows. The folded
+//! m=2 rows advance two time levels per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use stencil_core::exec::{folded, life, multiload};
+use stencil_core::kernels;
+use stencil_grid::Grid2D;
+use stencil_simd::NativeF64x4;
+
+const N: usize = 256;
+
+fn kernels_2d(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("step_2d_256");
+    grp.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(25)
+        .throughput(Throughput::Elements((N * N) as u64));
+
+    for (name, p) in [
+        ("2d9p", kernels::box2d9p()),
+        ("heat2d", kernels::heat2d()),
+        ("gb", kernels::gb()),
+    ] {
+        let g = Grid2D::from_fn(N, N, |y, x| ((y * 31 + x) % 101) as f64);
+        let mut a = g.clone();
+        let mut b = g.clone();
+        let pc = p.clone();
+        grp.bench_function(format!("{name}/multiload"), |bch| {
+            bch.iter(|| {
+                multiload::step_2d::<NativeF64x4>(black_box(&a), &mut b, &pc);
+                std::mem::swap(&mut a, &mut b);
+            })
+        });
+        let k1 = folded::FoldedKernel::new(&p, 1);
+        grp.bench_function(format!("{name}/folded_m1"), |bch| {
+            bch.iter(|| {
+                folded::step_2d::<NativeF64x4>(&k1, black_box(&a), &mut b);
+                std::mem::swap(&mut a, &mut b);
+            })
+        });
+        let k2 = folded::FoldedKernel::new(&p, 2);
+        grp.bench_function(format!("{name}/folded_m2(two_levels)"), |bch| {
+            bch.iter(|| {
+                folded::step_2d::<NativeF64x4>(&k2, black_box(&a), &mut b);
+                std::mem::swap(&mut a, &mut b);
+            })
+        });
+    }
+
+    // Game of Life: scalar rule vs branchless SIMD vs fused double step
+    let soup = life::random_soup(N, N, 5);
+    let mut a = soup.clone();
+    let mut b = soup.clone();
+    grp.bench_function("life/simd", |bch| {
+        bch.iter(|| {
+            life::step::<NativeF64x4>(black_box(&a), &mut b);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.bench_function("life/fused2(two_levels)", |bch| {
+        bch.iter(|| {
+            life::step2_range::<NativeF64x4>(black_box(&a), &mut b, 2..N - 2, 2..N - 2);
+            std::mem::swap(&mut a, &mut b);
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, kernels_2d);
+criterion_main!(benches);

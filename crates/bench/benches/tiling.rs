@@ -1,0 +1,60 @@
+//! Criterion: tiling schemes at fixed total work — block-free vs spatial
+//! vs tessellate vs split (SDSL), single- and multi-threaded.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use stencil_core::{kernels, Method, Solver, Tiling};
+use stencil_grid::Grid2D;
+
+const N: usize = 512;
+const T: usize = 32;
+
+fn tiling(c: &mut Criterion) {
+    let p = kernels::box2d9p();
+    let g = Grid2D::from_fn(N, N, |y, x| ((y * 7 + x * 3) % 101) as f64);
+    let threads = stencil_runtime::available_parallelism().min(8);
+
+    let mut grp = c.benchmark_group("tiling_2d9p_512x512x32");
+    grp.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+        .throughput(Throughput::Elements((N * N * T) as u64));
+
+    let cases: Vec<(&str, Solver)> = vec![
+        (
+            "blockfree_1t",
+            Solver::new(p.clone()).method(Method::Folded { m: 2 }),
+        ),
+        (
+            "spatial_mt",
+            Solver::new(p.clone())
+                .method(Method::MultipleLoads)
+                .tiling(Tiling::Spatial { block: (64, 128) })
+                .threads(threads),
+        ),
+        (
+            "tessellate_mt",
+            Solver::new(p.clone())
+                .method(Method::Folded { m: 2 })
+                .tiling(Tiling::Tessellate { time_block: 8 })
+                .threads(threads),
+        ),
+        (
+            "sdsl_split_mt",
+            Solver::new(p.clone())
+                .method(Method::Dlt)
+                .tiling(Tiling::Split { time_block: 8 })
+                .threads(threads),
+        ),
+    ];
+    for (name, solver) in &cases {
+        grp.bench_function(*name, |b| {
+            b.iter(|| black_box(solver.run_2d(black_box(&g), T)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, tiling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion: in-register transpose schemes (paper §2.3) and the two
+//! memory-layout transforms (§2.2 local vs DLT global).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use stencil_grid::layout::{DltLayout, TransposeLayout};
+use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
+
+fn register_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("register_transpose");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("4x4_avx2_2stage", |b| {
+        let mut set = [NativeF64x4::splat(1.0); 4];
+        for (i, v) in set.iter_mut().enumerate() {
+            *v = NativeF64x4::splat(i as f64);
+        }
+        b.iter(|| {
+            NativeF64x4::transpose(black_box(&mut set));
+            black_box(set[0]);
+        })
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("8x8_avx512_3stage", |b| {
+        let mut set = [NativeF64x8::splat(1.0); 8];
+        for (i, v) in set.iter_mut().enumerate() {
+            *v = NativeF64x8::splat(i as f64);
+        }
+        b.iter(|| {
+            NativeF64x8::transpose(black_box(&mut set));
+            black_box(set[0]);
+        })
+    });
+    g.finish();
+}
+
+fn layout_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_transforms");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    let n = 1 << 20;
+    g.throughput(Throughput::Elements(n as u64));
+
+    // the paper's local transpose layout: in-place, cache-friendly
+    g.bench_function("local_transpose_1M", |b| {
+        let lay = TransposeLayout::new(4);
+        let buf: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        b.iter_batched_ref(
+            || buf.clone(),
+            |buf| lay.apply::<NativeF64x4>(black_box(buf)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // DLT's global dimension-lifted transpose: strided, out of place
+    g.bench_function("dlt_global_transpose_1M", |b| {
+        let lay = DltLayout::new(n, 4);
+        let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; n];
+        b.iter(|| lay.to_dlt::<NativeF64x4>(black_box(&src), black_box(&mut dst)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, register_transpose, layout_transforms);
+criterion_main!(benches);

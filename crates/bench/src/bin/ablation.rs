@@ -1,0 +1,98 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. folding factor m in {1, 2, 3} (block-free 1D + 2D);
+//! 2. tessellation time-block sweep;
+//! 3. vector width (scalar / 4 / 8 lanes) for the folded 2D kernel;
+//! 4. shifts reuse: planned folded kernel vs per-column recompute
+//!    (approximated by the scalar folded sweep, which recomputes
+//!    every vertical fold).
+
+use stencil_bench::workload;
+use stencil_bench::{measure, Args, Table};
+use stencil_core::api::Width;
+use stencil_core::{kernels, Method, Solver, Tiling};
+
+fn main() {
+    let args = Args::parse();
+    let (n1, t1, n2, t2) = if args.quick {
+        (262_144, 40, 192, 24)
+    } else {
+        (2_097_152, 120, 768, 60)
+    };
+    let mut tables = Vec::new();
+
+    // 1. folding factor
+    let mut tab = Table::new("Ablation: folding factor m (block-free)", "GFLOP/s");
+    let g1 = workload::random_1d(n1, 1);
+    let g2 = workload::random_2d(n2, n2, 1);
+    for m in 1..=3usize {
+        let s = Solver::new(kernels::heat1d()).method(Method::Folded { m });
+        let (_, d) = measure::time_once(|| s.run_1d(&g1, t1));
+        tab.put("1D-Heat", format!("m={m}"), Some(measure::gflops(n1, t1, 6, d)));
+        let s = Solver::new(kernels::box2d9p()).method(Method::Folded { m });
+        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+        tab.put(
+            "2D9P",
+            format!("m={m}"),
+            Some(measure::gflops(n2 * n2, t2, 18, d)),
+        );
+    }
+    tab.print();
+    tables.push(tab);
+
+    // 2. time-block sweep for tessellation (folded m=2 kernel, 2D9P)
+    let mut tab = Table::new("Ablation: tessellation time block (2D9P, m=2)", "GFLOP/s");
+    for tb in [1usize, 2, 4, 8, 16] {
+        let s = Solver::new(kernels::box2d9p())
+            .method(Method::Folded { m: 2 })
+            .tiling(Tiling::Tessellate { time_block: tb })
+            .threads(args.threads());
+        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+        tab.put(
+            format!("tb={tb}"),
+            "GFLOP/s",
+            Some(measure::gflops(n2 * n2, t2, 18, d)),
+        );
+    }
+    tab.print();
+    tables.push(tab);
+
+    // 3. vector width
+    let mut tab = Table::new("Ablation: vector width (2D9P folded m=2)", "GFLOP/s");
+    for (name, w) in [("scalar", Width::W1), ("4 lanes", Width::W4), ("8 lanes", Width::W8)] {
+        let s = Solver::new(kernels::box2d9p())
+            .method(Method::Folded { m: 2 })
+            .width(w);
+        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+        tab.put(name, "GFLOP/s", Some(measure::gflops(n2 * n2, t2, 18, d)));
+    }
+    tab.print();
+    tables.push(tab);
+
+    // 4. planned counterparts (shifts reuse) vs full recompute (scalar)
+    let mut tab = Table::new(
+        "Ablation: planned folding vs per-point recompute (2D9P m=2)",
+        "GFLOP/s",
+    );
+    let s = Solver::new(kernels::box2d9p()).method(Method::Folded { m: 2 });
+    let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+    tab.put(
+        "register pipeline (shifts reuse)",
+        "GFLOP/s",
+        Some(measure::gflops(n2 * n2, t2, 18, d)),
+    );
+    let folded = stencil_core::folding::fold(&kernels::box2d9p(), 2);
+    let s = Solver::new(folded).method(Method::Scalar);
+    let (_, d) = measure::time_once(|| s.run_2d(&g2, t2 / 2));
+    tab.put(
+        "scalar folded (recompute)",
+        "GFLOP/s",
+        Some(measure::gflops(n2 * n2, t2, 18, d)),
+    );
+    tab.print();
+    tables.push(tab);
+
+    if let Some(path) = &args.json {
+        Table::dump_json(&tables.iter().collect::<Vec<_>>(), path).expect("write json");
+    }
+}

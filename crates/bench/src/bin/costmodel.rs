@@ -1,0 +1,75 @@
+//! §3.2 / §2.3 analytical numbers: op-collects, profitability indices,
+//! data-organization operation counts, and transpose-scheme latencies —
+//! the paper's qualitative analysis as a reproducible printout.
+
+use stencil_core::plan::FoldPlan;
+use stencil_core::{cost, kernels};
+use stencil_simd::cost as simd_cost;
+
+fn main() {
+    println!("== Scalar profitability analysis (paper §3.2, 2D9P m=2) ==");
+    let p9 = kernels::box2d9p();
+    println!("|C(E)|  naive 2-step        = {}", cost::collect_naive(&p9, 2));
+    println!("|C(E_L)| folded             = {}", cost::collect_folded(&p9, 2));
+    let plan = FoldPlan::new(&p9, 2);
+    println!("|C(E_L)| counterpart reuse  = {}", cost::collect_planned(&plan));
+    println!(
+        "P(E, E_L) = {:.1} (before reuse {:.1}); shifts reuse: {} -> {} ops, P = {:.2}",
+        cost::profitability(&p9, 2),
+        cost::collect_naive(&p9, 2) as f64 / cost::collect_folded(&p9, 2) as f64,
+        cost::collect_naive(&p9, 1),
+        cost::collect_shift_reuse(&p9),
+        cost::shift_reuse_profitability(&p9),
+    );
+
+    println!("\n== Profitability per benchmark (m = 2) ==");
+    for (name, p) in [
+        ("1D-Heat", kernels::heat1d()),
+        ("1D5P", kernels::d1p5()),
+        ("2D-Heat", kernels::heat2d()),
+        ("2D9P", kernels::box2d9p()),
+        ("GB", kernels::gb()),
+        ("3D-Heat", kernels::heat3d()),
+        ("3D27P", kernels::box3d27p()),
+    ] {
+        let plan = FoldPlan::new(&p, 2);
+        println!(
+            "{name:<9} naive {:>4}  folded {:>3}  planned {:>3}  fresh folds {}  P = {:>5.2}",
+            cost::collect_naive(&p, 2),
+            cost::collect_folded(&p, 2),
+            cost::collect_planned(&plan),
+            plan.fresh_folds(),
+            cost::profitability(&p, 2),
+        );
+    }
+
+    println!("\n== Data-organization ops per vector set (1D, radius r) ==");
+    for (vl, r) in [(4usize, 1usize), (4, 2), (8, 1), (8, 2)] {
+        println!(
+            "vl={vl} r={r}: multiple-loads {:>2}  data-reorg {:>2}  DLT {:>2}  transpose-layout {:>2}",
+            simd_cost::ops_multiple_loads(vl, r).total(),
+            simd_cost::ops_data_reorg(vl, r).total(),
+            simd_cost::ops_dlt(vl, r).total(),
+            simd_cost::ops_transpose_layout(vl, r).total(),
+        );
+    }
+
+    println!("\n== In-register transpose schemes (paper §2.3) ==");
+    for s in [
+        simd_cost::PAPER_AVX2,
+        simd_cost::SPRINGER_AVX2,
+        simd_cost::INLANE_4STAGE,
+        simd_cost::LANE_SPLIT,
+        simd_cost::PAPER_AVX512,
+    ] {
+        println!(
+            "{:<16} vl={} instructions={:>2} stages={} critical-path={} cycles issue={} cycles",
+            s.name,
+            s.vl,
+            s.instructions(),
+            s.stages,
+            s.critical_path(),
+            s.issue_cycles(),
+        );
+    }
+}

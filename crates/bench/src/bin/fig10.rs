@@ -1,0 +1,52 @@
+//! Fig. 10: scalability for stencils of various orders and dimensions in
+//! a multicore environment (GFLOP/s vs core count, per benchmark, per
+//! method).
+
+use stencil_bench::suite::{run_one, BenchId, MethodId, Sizes};
+use stencil_bench::{Args, Table};
+
+fn core_ladder(max: usize) -> Vec<usize> {
+    let mut v = vec![1usize];
+    let mut c = 2;
+    while c < max {
+        v.push(c);
+        c *= 2;
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes = Sizes::from_flags(args.paper, args.quick);
+    let max_threads = args.threads();
+    let ladder = core_ladder(max_threads);
+    println!(
+        "Fig. 10 — scalability, cores {:?} ({})",
+        ladder,
+        stencil_simd::backend_summary()
+    );
+
+    let mut tables = Vec::new();
+    for b in BenchId::ALL {
+        if !args.wants(b.name()) {
+            continue;
+        }
+        let mut tab = Table::new(format!("Fig 10 ({})", b.name()), "GFLOP/s");
+        for &cores in &ladder {
+            for m in MethodId::ALL {
+                let cell = run_one(b, m, cores, &sizes).map(|(gf, _)| gf);
+                tab.put(format!("{cores} cores"), m.name(), cell);
+            }
+            eprint!(".");
+        }
+        eprintln!(" {}", b.name());
+        tab.print();
+        tables.push(tab);
+    }
+    if let Some(path) = &args.json {
+        Table::dump_json(&tables.iter().collect::<Vec<_>>(), path).expect("write json");
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 9: performance comparison and speedups for the methods in
+//! multicore cache-blocking experiments (all nine benchmarks; the
+//! AVX-512 column is the paper's "Gains with AVX-512" series).
+
+use stencil_bench::suite::{run_one, BenchId, MethodId, Sizes};
+use stencil_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let sizes = Sizes::from_flags(args.paper, args.quick);
+    let threads = args.threads();
+    println!(
+        "Fig. 9 — multicore cache-blocking, {} threads ({})",
+        threads,
+        stencil_simd::backend_summary()
+    );
+
+    let mut perf = Table::new("Fig 9 (absolute)", "GFLOP/s");
+    let mut speedup = Table::new("Fig 9 (speedup)", "x over group base");
+    for b in BenchId::ALL {
+        if !args.wants(b.name()) {
+            continue;
+        }
+        let mut base: Option<f64> = None;
+        for m in MethodId::ALL {
+            let cell = run_one(b, m, threads, &sizes).map(|(gf, _)| gf);
+            perf.put(b.name(), m.name(), cell);
+            if let Some(gf) = cell {
+                // speedups are relative to the first supported method in
+                // the group (the paper annotates the base with 1)
+                let base_v = *base.get_or_insert(gf);
+                speedup.put(b.name(), m.name(), Some(gf / base_v));
+            } else {
+                speedup.put(b.name(), m.name(), None);
+            }
+            eprint!(".");
+        }
+        eprintln!(" {}", b.name());
+    }
+    perf.print();
+    speedup.print();
+    if let Some(path) = &args.json {
+        Table::dump_json(&[&perf, &speedup], path).expect("write json");
+    }
+}

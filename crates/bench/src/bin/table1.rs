@@ -1,0 +1,31 @@
+//! Table 1: parameter description for the stencils used in experiments.
+
+use stencil_core::kernels;
+
+fn main() {
+    println!("# Table 1: Parameter description for stencils used in experiments\n");
+    println!(
+        "{:<14} {:>4} {:>24} {:>12} {:>18}",
+        "Type", "Pts", "Problem Size", "Time Steps", "Blocking Size"
+    );
+    println!("{}", "-".repeat(78));
+    for b in kernels::table1() {
+        let size = b
+            .problem_size
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        let blocking = b
+            .blocking
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        println!(
+            "{:<14} {:>4} {:>24} {:>12} {:>18}",
+            b.name, b.points, size, b.time_steps, blocking
+        );
+    }
+    println!("\n(paper fixes T = 1000; harness binaries scale sizes unless --paper is passed)");
+}

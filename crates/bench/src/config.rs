@@ -1,0 +1,88 @@
+//! Command-line handling shared by the harness binaries.
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Use the paper's full Table-1 problem sizes.
+    pub paper: bool,
+    /// CI smoke mode: tiny sizes, one repetition.
+    pub quick: bool,
+    /// Dump results as JSON to this path.
+    pub json: Option<String>,
+    /// Override thread count (default: all hardware threads).
+    pub threads: Option<usize>,
+    /// Restrict to benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        let mut out = Self {
+            paper: false,
+            quick: false,
+            json: None,
+            threads: None,
+            filter: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--paper" => out.paper = true,
+                "--quick" => out.quick = true,
+                "--json" => out.json = it.next(),
+                "--threads" => {
+                    out.threads = it.next().and_then(|v| v.parse().ok());
+                }
+                "--filter" => out.filter = it.next(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--paper] [--quick] [--json PATH] [--threads N] [--filter NAME]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scale factor applied to time-step counts: quick 0.1x, paper 1x of
+    /// the paper's value, default an intermediate value.
+    pub fn wants(&self, name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| name.to_lowercase().contains(&f.to_lowercase()))
+            .unwrap_or(true)
+    }
+
+    /// Worker threads to use.
+    pub fn threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(stencil_runtime::available_parallelism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matching() {
+        let a = Args {
+            paper: false,
+            quick: false,
+            json: None,
+            threads: None,
+            filter: Some("heat".into()),
+        };
+        assert!(a.wants("1D-Heat"));
+        assert!(a.wants("3D-Heat"));
+        assert!(!a.wants("2D9P"));
+        let none = Args { filter: None, ..a };
+        assert!(none.wants("anything"));
+    }
+}

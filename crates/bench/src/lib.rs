@@ -1,0 +1,34 @@
+//! # stencil-bench
+//!
+//! Harness regenerating every table and figure of the paper's evaluation
+//! (§4). Each binary prints the same rows/series the paper reports:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table 1 — benchmark parameters |
+//! | `fig8` | Fig. 8 — single-thread block-free GFLOP/s across storage levels, T and 10T |
+//! | `table2` | Table 2 — relative improvement per storage level |
+//! | `fig9` | Fig. 9 — multicore cache-blocking GFLOP/s + speedups (AVX2 & AVX-512) |
+//! | `fig10` | Fig. 10 — scalability vs cores |
+//! | `table3` | Table 3 — speedup over single core |
+//! | `costmodel` | §3.2 collects & profitability indices (90/25/9, 3.6/10, 2.25) |
+//! | `ablation` | folding factor, time-block, scheduling and transpose-scheme ablations |
+//!
+//! Default problem sizes are scaled to finish on a laptop; pass `--paper`
+//! for the Table-1 sizes and `--quick` for CI smoke runs. All binaries
+//! accept `--json <path>` to dump machine-readable results.
+
+#![allow(clippy::needless_range_loop)] // offset-indexed loops are the
+// domain idiom here (windows, tiles, taps); iterators would hide the math
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod measure;
+pub mod report;
+pub mod suite;
+pub mod workload;
+
+pub use config::Args;
+pub use measure::gflops;
+pub use report::Table;

@@ -1,0 +1,526 @@
+//! The shared benchmark suite behind `fig9`, `fig10` and `table3`:
+//! the nine Table-1 benchmarks x the five methods of Fig. 9/10.
+
+use crate::measure;
+use crate::workload;
+use std::time::Duration;
+use stencil_core::exec::{apop, life};
+use stencil_core::tile::tessellate;
+use stencil_core::{kernels, Method, Pattern, Solver, Tiling};
+use stencil_grid::{Grid2D, PingPong};
+use stencil_runtime::ThreadPool;
+use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
+
+/// The nine benchmarks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchId {
+    /// 1D 3-point heat.
+    Heat1D,
+    /// 1D 5-point.
+    D1P5,
+    /// American put option pricing (1D3P, two arrays, max).
+    Apop,
+    /// 2D 5-point heat.
+    Heat2D,
+    /// 2D 9-point box.
+    Box2D9P,
+    /// Game of Life.
+    Life,
+    /// General (asymmetric) 2D box.
+    Gb,
+    /// 3D 7-point heat.
+    Heat3D,
+    /// 3D 27-point box.
+    Box3D27P,
+}
+
+impl BenchId {
+    /// All nine, in Table-1 order.
+    pub const ALL: [BenchId; 9] = [
+        BenchId::Heat1D,
+        BenchId::D1P5,
+        BenchId::Apop,
+        BenchId::Heat2D,
+        BenchId::Box2D9P,
+        BenchId::Life,
+        BenchId::Gb,
+        BenchId::Heat3D,
+        BenchId::Box3D27P,
+    ];
+
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchId::Heat1D => "1D-Heat",
+            BenchId::D1P5 => "1D5P",
+            BenchId::Apop => "APOP",
+            BenchId::Heat2D => "2D-Heat",
+            BenchId::Box2D9P => "2D9P",
+            BenchId::Life => "Game of Life",
+            BenchId::Gb => "GB",
+            BenchId::Heat3D => "3D-Heat",
+            BenchId::Box3D27P => "3D27P",
+        }
+    }
+
+    /// Spatial dimensionality.
+    pub fn dims(self) -> usize {
+        match self {
+            BenchId::Heat1D | BenchId::D1P5 | BenchId::Apop => 1,
+            BenchId::Heat3D | BenchId::Box3D27P => 3,
+            _ => 2,
+        }
+    }
+
+    /// Linear pattern, when the kernel is linear.
+    pub fn pattern(self) -> Option<Pattern> {
+        match self {
+            BenchId::Heat1D => Some(kernels::heat1d()),
+            BenchId::D1P5 => Some(kernels::d1p5()),
+            BenchId::Heat2D => Some(kernels::heat2d()),
+            BenchId::Box2D9P => Some(kernels::box2d9p()),
+            BenchId::Gb => Some(kernels::gb()),
+            BenchId::Heat3D => Some(kernels::heat3d()),
+            BenchId::Box3D27P => Some(kernels::box3d27p()),
+            BenchId::Apop | BenchId::Life => None,
+        }
+    }
+
+    /// Flops per point per time step (multiply-accumulate counting).
+    pub fn flops_per_point(self) -> usize {
+        match self {
+            BenchId::Apop => 7,       // 3 madds + max
+            BenchId::Life => 16,      // 8 neighbour adds + rule
+            other => 2 * other.pattern().unwrap().points(),
+        }
+    }
+}
+
+/// The methods compared in Fig. 9/10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodId {
+    /// Split tiling over DLT layout (SDSL).
+    Sdsl,
+    /// Tessellate tiling + straightforward vectorization (Yuan).
+    Tess,
+    /// Ours: register transpose pipeline, single step.
+    Our,
+    /// Ours with temporal folding m = 2.
+    Our2,
+    /// Ours m = 2 on 8-lane vectors (AVX-512).
+    Our2W8,
+}
+
+impl MethodId {
+    /// All five, in figure order.
+    pub const ALL: [MethodId; 5] = [
+        MethodId::Sdsl,
+        MethodId::Tess,
+        MethodId::Our,
+        MethodId::Our2,
+        MethodId::Our2W8,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodId::Sdsl => "SDSL",
+            MethodId::Tess => "Tessellation",
+            MethodId::Our => "Our",
+            MethodId::Our2 => "Our (2 steps)",
+            MethodId::Our2W8 => "Our (2, AVX-512)",
+        }
+    }
+}
+
+/// Problem sizes for one suite run.
+#[derive(Debug, Clone)]
+pub struct Sizes {
+    /// 1D grid points.
+    pub n1: usize,
+    /// 2D grid (ny, nx).
+    pub n2: (usize, usize),
+    /// 3D grid (nz, ny, nx).
+    pub n3: (usize, usize, usize),
+    /// Time steps per dimensionality.
+    pub t1: usize,
+    /// 2D time steps.
+    pub t2: usize,
+    /// 3D time steps.
+    pub t3: usize,
+    /// Tessellation/split time blocks per dimensionality.
+    pub tb1: usize,
+    /// 2D time block.
+    pub tb2: usize,
+    /// 3D time block.
+    pub tb3: usize,
+}
+
+impl Sizes {
+    /// Laptop-scale defaults (minutes for the whole suite).
+    pub fn default_scaled() -> Self {
+        Self {
+            n1: 2_097_152,
+            n2: (1024, 1024),
+            n3: (96, 96, 96),
+            t1: 200,
+            t2: 100,
+            t3: 50,
+            tb1: 50,
+            tb2: 12,
+            tb3: 6,
+        }
+    }
+
+    /// CI smoke sizes (seconds).
+    pub fn quick() -> Self {
+        Self {
+            n1: 131_072,
+            n2: (128, 128),
+            n3: (32, 32, 32),
+            t1: 24,
+            t2: 12,
+            t3: 8,
+            tb1: 8,
+            tb2: 4,
+            tb3: 3,
+        }
+    }
+
+    /// The paper's Table-1 sizes (hours on a laptop).
+    pub fn paper() -> Self {
+        Self {
+            n1: 10_240_000,
+            n2: (5000, 5000),
+            n3: (400, 400, 400),
+            t1: 1000,
+            t2: 1000,
+            t3: 1000,
+            tb1: 500,
+            tb2: 50,
+            tb3: 10,
+        }
+    }
+
+    /// Pick by flags.
+    pub fn from_flags(paper: bool, quick: bool) -> Self {
+        if paper {
+            Self::paper()
+        } else if quick {
+            Self::quick()
+        } else {
+            Self::default_scaled()
+        }
+    }
+}
+
+/// Run one (benchmark, method, threads) cell; `None` when the method
+/// does not support the benchmark (mirroring the paper's "-").
+pub fn run_one(
+    bench: BenchId,
+    method: MethodId,
+    threads: usize,
+    sizes: &Sizes,
+) -> Option<(f64, Duration)> {
+    if method == MethodId::Our2W8 && !stencil_simd::HAS_AVX512 {
+        return None;
+    }
+    let flops = bench.flops_per_point();
+    match bench {
+        BenchId::Apop => run_apop(method, threads, sizes).map(|d| {
+            (measure::gflops(sizes.n1, sizes.t1, flops, d), d)
+        }),
+        BenchId::Life => run_life(method, threads, sizes).map(|d| {
+            let (ny, nx) = sizes.n2;
+            (measure::gflops(ny * nx, sizes.t2, flops, d), d)
+        }),
+        linear => {
+            let p = linear.pattern().unwrap();
+            let (sm, st) = method_config(method, sizes, linear.dims())?;
+            let solver = Solver::new(p)
+                .method(sm)
+                .tiling(st)
+                .width(if method == MethodId::Our2W8 {
+                    stencil_core::api::Width::W8
+                } else {
+                    stencil_core::api::Width::W4
+                })
+                .threads(threads);
+            let d = match linear.dims() {
+                1 => {
+                    let g = workload::random_1d(sizes.n1, 42);
+                    measure::time_once(|| solver.run_1d(&g, sizes.t1)).1
+                }
+                2 => {
+                    let (ny, nx) = sizes.n2;
+                    let g = workload::random_2d(ny, nx, 42);
+                    measure::time_once(|| solver.run_2d(&g, sizes.t2)).1
+                }
+                _ => {
+                    let (nz, ny, nx) = sizes.n3;
+                    let g = workload::random_3d(nz, ny, nx, 42);
+                    measure::time_once(|| solver.run_3d(&g, sizes.t3)).1
+                }
+            };
+            let (points, steps) = match linear.dims() {
+                1 => (sizes.n1, sizes.t1),
+                2 => (sizes.n2.0 * sizes.n2.1, sizes.t2),
+                _ => (sizes.n3.0 * sizes.n3.1 * sizes.n3.2, sizes.t3),
+            };
+            Some((measure::gflops(points, steps, flops, d), d))
+        }
+    }
+}
+
+fn method_config(method: MethodId, sizes: &Sizes, dims: usize) -> Option<(Method, Tiling)> {
+    let tb = match dims {
+        1 => sizes.tb1,
+        2 => sizes.tb2,
+        _ => sizes.tb3,
+    };
+    Some(match method {
+        MethodId::Sdsl => (Method::Dlt, Tiling::Split { time_block: tb }),
+        MethodId::Tess => (Method::MultipleLoads, Tiling::Tessellate { time_block: tb }),
+        MethodId::Our => (
+            Method::TransposeLayout,
+            Tiling::Tessellate { time_block: tb },
+        ),
+        MethodId::Our2 | MethodId::Our2W8 => (
+            Method::Folded { m: 2 },
+            Tiling::Tessellate { time_block: tb },
+        ),
+    })
+}
+
+fn run_apop(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration> {
+    let ap = apop::Apop::new(sizes.n1, 50.0, 100.0 / sizes.n1 as f64);
+    let pool = ThreadPool::new(threads);
+    let pay = ap.payoff.as_slice().to_vec();
+    let taps = ap.taps.to_vec();
+    let t = sizes.t1;
+    let tb = sizes.tb1;
+    match method {
+        MethodId::Sdsl => None, // not expressible in SDSL (paper: "-")
+        MethodId::Tess => Some(
+            measure::time_once(|| {
+                let mut pp = PingPong::new(ap.initial_values());
+                tessellate::run_1d(&pool, &mut pp, 1, 1, tb, t, &|s: &[f64],
+                                                                  d: &mut [f64],
+                                                                  lo,
+                                                                  hi| {
+                    apop::step_range_scalar(s, d, &taps, &pay, lo, hi)
+                });
+                pp.into_current()
+            })
+            .1,
+        ),
+        MethodId::Our => Some(apop_tess::<NativeF64x4>(&pool, &ap, 1, tb, t)),
+        MethodId::Our2 => Some(apop_tess_folded::<NativeF64x4>(&pool, &ap, 2, tb, t)),
+        MethodId::Our2W8 => Some(apop_tess_folded::<NativeF64x8>(&pool, &ap, 2, tb, t)),
+    }
+}
+
+fn apop_tess<V: SimdF64>(
+    pool: &ThreadPool,
+    ap: &apop::Apop,
+    _m: usize,
+    tb: usize,
+    t: usize,
+) -> Duration {
+    let pay = ap.payoff.as_slice().to_vec();
+    let taps = ap.taps.to_vec();
+    measure::time_once(|| {
+        let mut pp = PingPong::new(ap.initial_values());
+        tessellate::run_1d(pool, &mut pp, 1, 1, tb, t, &|s: &[f64],
+                                                         d: &mut [f64],
+                                                         lo,
+                                                         hi| {
+            apop::step_range::<V>(s, d, &taps, &pay, lo, hi)
+        });
+        pp.into_current()
+    })
+    .1
+}
+
+fn apop_tess_folded<V: SimdF64>(
+    pool: &ThreadPool,
+    ap: &apop::Apop,
+    m: usize,
+    tb: usize,
+    t: usize,
+) -> Duration {
+    let pay = ap.payoff.as_slice().to_vec();
+    let folded = stencil_core::folding::fold(&ap.linear_pattern(), m);
+    let taps = folded.weights().to_vec();
+    let rr = folded.radius();
+    measure::time_once(|| {
+        let mut pp = PingPong::new(ap.initial_values());
+        tessellate::run_1d(pool, &mut pp, rr, rr, tb, t / m, &|s: &[f64],
+                                                               d: &mut [f64],
+                                                               lo,
+                                                               hi| {
+            apop::step_folded_range::<V>(s, d, &taps, &pay, lo, hi)
+        });
+        pp.into_current()
+    })
+    .1
+}
+
+fn run_life(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration> {
+    let (ny, nx) = sizes.n2;
+    let g = life::random_soup(ny, nx, 42);
+    let pool = ThreadPool::new(threads);
+    let t = sizes.t2;
+    let tb = sizes.tb2;
+    match method {
+        MethodId::Sdsl => None, // nonlinear rule not expressible in SDSL
+        MethodId::Tess => Some(
+            measure::time_once(|| {
+                let mut pp = PingPong::new(g.clone());
+                tessellate::run_2d(&pool, &mut pp, 1, 1, tb, t, &|s: &Grid2D,
+                                                                  d: &mut Grid2D,
+                                                                  ys,
+                                                                  xs| {
+                    life::step_range_scalar(s, d, ys, xs)
+                });
+                pp.into_current()
+            })
+            .1,
+        ),
+        MethodId::Our => Some(life_tess::<NativeF64x4>(&pool, &g, tb, t)),
+        MethodId::Our2 => Some(life_tess2::<NativeF64x4>(&pool, &g, tb, t)),
+        MethodId::Our2W8 => Some(life_tess2::<NativeF64x8>(&pool, &g, tb, t)),
+    }
+}
+
+fn life_tess<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> Duration {
+    measure::time_once(|| {
+        let mut pp = PingPong::new(g.clone());
+        tessellate::run_2d(pool, &mut pp, 1, 1, tb, t, &|s: &Grid2D,
+                                                         d: &mut Grid2D,
+                                                         ys,
+                                                         xs| {
+            life::step_range::<V>(s, d, ys, xs)
+        });
+        pp.into_current()
+    })
+    .1
+}
+
+fn life_tess2<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> Duration {
+    measure::time_once(|| {
+        let mut pp = PingPong::new(g.clone());
+        // fused double generation: reff = 2 per inner step
+        tessellate::run_2d(pool, &mut pp, 2, 2, tb, t / 2, &|s: &Grid2D,
+                                                             d: &mut Grid2D,
+                                                             ys,
+                                                             xs| {
+            life::step2_range::<V>(s, d, ys, xs)
+        });
+        pp.into_current()
+    })
+    .1
+}
+
+/// Block-free single-thread methods of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockFreeMethod {
+    /// One unaligned load per tap.
+    MultipleLoads,
+    /// Aligned loads + shuffles.
+    DataReorg,
+    /// Global dimension-lifted transpose.
+    Dlt,
+    /// Local transpose layout (ours).
+    Our,
+    /// Ours + temporal folding m = 2.
+    Our2,
+}
+
+impl BlockFreeMethod {
+    /// All five, in figure order.
+    pub const ALL: [BlockFreeMethod; 5] = [
+        BlockFreeMethod::MultipleLoads,
+        BlockFreeMethod::DataReorg,
+        BlockFreeMethod::Dlt,
+        BlockFreeMethod::Our,
+        BlockFreeMethod::Our2,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockFreeMethod::MultipleLoads => "Multiple Loads",
+            BlockFreeMethod::DataReorg => "Data Reorganization",
+            BlockFreeMethod::Dlt => "DLT",
+            BlockFreeMethod::Our => "Our",
+            BlockFreeMethod::Our2 => "Our (2 steps)",
+        }
+    }
+
+    /// Solver configuration.
+    pub fn method(self) -> Method {
+        match self {
+            BlockFreeMethod::MultipleLoads => Method::MultipleLoads,
+            BlockFreeMethod::DataReorg => Method::DataReorg,
+            BlockFreeMethod::Dlt => Method::Dlt,
+            BlockFreeMethod::Our => Method::TransposeLayout,
+            BlockFreeMethod::Our2 => Method::Folded { m: 2 },
+        }
+    }
+}
+
+/// One Fig.-8 cell: block-free single-thread 1D-Heat at size `n` for `t`
+/// steps; returns GFLOP/s.
+pub fn run_blockfree_1d(method: BlockFreeMethod, n: usize, t: usize) -> f64 {
+    let p = kernels::heat1d();
+    let flops = 2 * p.points();
+    let g = workload::random_1d(n, 7);
+    let solver = Solver::new(p).method(method.method()).threads(1);
+    let (_, d) = measure::time_once(|| solver.run_1d(&g, t));
+    measure::gflops(n, t, flops, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_flops() {
+        for b in BenchId::ALL {
+            assert!(b.flops_per_point() >= 6, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn quick_suite_smoke() {
+        // every supported (bench, method) cell runs and yields a finite
+        // positive throughput at quick sizes
+        let sizes = Sizes::quick();
+        for b in BenchId::ALL {
+            for m in [MethodId::Tess, MethodId::Our, MethodId::Our2] {
+                let out = run_one(b, m, 2, &sizes);
+                let (gf, _) = out.expect("supported combo");
+                assert!(gf > 0.0 && gf.is_finite(), "{} {}", b.name(), m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sdsl_support_matrix_matches_paper() {
+        let sizes = Sizes::quick();
+        // SDSL: linear kernels only
+        assert!(run_one(BenchId::Apop, MethodId::Sdsl, 1, &sizes).is_none());
+        assert!(run_one(BenchId::Life, MethodId::Sdsl, 1, &sizes).is_none());
+        assert!(run_one(BenchId::Heat1D, MethodId::Sdsl, 1, &sizes).is_some());
+        assert!(run_one(BenchId::Heat3D, MethodId::Sdsl, 1, &sizes).is_some());
+    }
+
+    #[test]
+    fn blockfree_methods_run() {
+        for m in BlockFreeMethod::ALL {
+            let gf = run_blockfree_1d(m, 4096, 10);
+            assert!(gf > 0.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! High-level solver facade.
+//!
+//! [`Solver`] ties together a [`Pattern`], a vectorization [`Method`], a
+//! [`Tiling`] scheme, a vector [`Width`] and a thread pool, and runs
+//! whole sweeps on 1D/2D/3D grids. This is the API the examples and the
+//! benchmark harness use; the underlying executors remain public for
+//! fine-grained use.
+//!
+//! ```
+//! use stencil_core::{kernels, Method, Solver, Tiling};
+//! use stencil_grid::Grid1D;
+//!
+//! let grid = Grid1D::from_fn(1024, |i| if i == 512 { 1.0 } else { 0.0 });
+//! let out = Solver::new(kernels::heat1d())
+//!     .method(Method::Folded { m: 2 })
+//!     .tiling(Tiling::Tessellate { time_block: 8 })
+//!     .threads(2)
+//!     .run_1d(&grid, 100);
+//! let mass: f64 = out.as_slice().iter().sum();
+//! assert!((mass - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::exec::{dlt, folded, multiload, reorg, scalar, xlayout};
+use crate::folding::fold;
+use crate::pattern::Pattern;
+use crate::tile::{spatial, split, tessellate};
+use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
+use stencil_runtime::ThreadPool;
+use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
+
+/// Vectorization scheme (the methods compared in Fig. 8/9/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Scalar reference sweep.
+    Scalar,
+    /// Multiple loads: one unaligned load per tap.
+    MultipleLoads,
+    /// Data reorganization: aligned loads + shuffles (1D only).
+    DataReorg,
+    /// Global dimension-lifted transpose (1D block-free, or SDSL when
+    /// combined with [`Tiling::Split`]).
+    Dlt,
+    /// The paper's transpose layout, single-step (§2).
+    TransposeLayout,
+    /// The paper's temporal computation folding with unrolling factor
+    /// `m` (§3); `m = 1` is the register-transpose pipeline without
+    /// temporal fusion.
+    Folded {
+        /// Unrolling factor (time steps fused per register update).
+        m: usize,
+    },
+}
+
+/// Tiling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tiling {
+    /// Whole-grid Jacobi sweeps (the "block-free" rows of Fig. 8).
+    None,
+    /// Tessellate tiling (Yuan) with `time_block` inner steps per round.
+    Tessellate {
+        /// Inner (possibly folded) steps per round.
+        time_block: usize,
+    },
+    /// Split tiling over DLT layout — the SDSL configuration.
+    Split {
+        /// Inner steps per round.
+        time_block: usize,
+    },
+    /// Spatial blocking only (one step at a time).
+    Spatial {
+        /// Tile extents `(outer, inner)` = (y,x) in 2D / (z,y) in 3D.
+        block: (usize, usize),
+    },
+}
+
+/// SIMD width selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// Scalar lanes (1): useful for calibration.
+    W1,
+    /// 4 x f64 (AVX2-class).
+    W4,
+    /// 8 x f64 (AVX-512-class).
+    W8,
+}
+
+impl Width {
+    /// Widest width with a native backend on this build.
+    pub fn native_max() -> Self {
+        if stencil_simd::HAS_AVX512 {
+            Width::W8
+        } else {
+            Width::W4
+        }
+    }
+
+    /// Lane count.
+    pub fn lanes(self) -> usize {
+        match self {
+            Width::W1 => 1,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+/// Configured stencil solver.
+pub struct Solver {
+    pattern: Pattern,
+    method: Method,
+    tiling: Tiling,
+    width: Width,
+    pool: ThreadPool,
+}
+
+impl Solver {
+    /// New solver for `pattern` (defaults: multiple-loads, no tiling,
+    /// AVX2-class width, single thread).
+    pub fn new(pattern: Pattern) -> Self {
+        Self {
+            pattern,
+            method: Method::MultipleLoads,
+            tiling: Tiling::None,
+            width: Width::W4,
+            pool: ThreadPool::new(1),
+        }
+    }
+
+    /// Select the vectorization method.
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Select the tiling scheme.
+    pub fn tiling(mut self, t: Tiling) -> Self {
+        self.tiling = t;
+        self
+    }
+
+    /// Select the vector width.
+    pub fn width(mut self, w: Width) -> Self {
+        self.width = w;
+        self
+    }
+
+    /// Use `n` worker threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.pool = ThreadPool::new(n);
+        self
+    }
+
+    /// The configured pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Run `t` time steps on a 1D grid.
+    pub fn run_1d(&self, grid: &Grid1D, t: usize) -> Grid1D {
+        match self.width {
+            Width::W1 => self.run_1d_w::<f64>(grid, t),
+            Width::W4 => self.run_1d_w::<NativeF64x4>(grid, t),
+            Width::W8 => self.run_1d_w::<NativeF64x8>(grid, t),
+        }
+    }
+
+    fn run_1d_w<V: SimdF64>(&self, grid: &Grid1D, t: usize) -> Grid1D {
+        assert_eq!(self.pattern.dims(), 1, "pattern is not 1D");
+        let p = &self.pattern;
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Scalar => {
+                    let mut pp = PingPong::new(grid.clone());
+                    scalar::sweep_1d(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::MultipleLoads => {
+                    let mut pp = PingPong::new(grid.clone());
+                    multiload::sweep_1d::<V>(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::DataReorg => {
+                    let mut pp = PingPong::new(grid.clone());
+                    reorg::sweep_1d::<V>(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::Dlt => dlt::sweep_1d::<V>(grid, p, t),
+                Method::TransposeLayout => xlayout::sweep_1d::<V>(grid, p, t),
+                Method::Folded { m } => xlayout::sweep_folded_1d::<V>(grid, p, m, t),
+            },
+            Tiling::Tessellate { time_block } => {
+                let (m, taps) = match self.method {
+                    Method::Folded { m } => (m, fold(p, m)),
+                    _ => (1, p.clone()),
+                };
+                let reff = taps.radius();
+                let tw = taps.weights().to_vec();
+                let mut pp = PingPong::new(grid.clone());
+                let folded_steps = t / m;
+                match self.method {
+                    Method::Scalar => tessellate::run_1d(
+                        &self.pool,
+                        &mut pp,
+                        reff,
+                        reff,
+                        time_block,
+                        folded_steps,
+                        &|s: &[f64], d: &mut [f64], lo, hi| {
+                            scalar::step_range_1d(s, d, &tw, lo, hi)
+                        },
+                    ),
+                    Method::MultipleLoads | Method::DataReorg => tessellate::run_1d(
+                        &self.pool,
+                        &mut pp,
+                        reff,
+                        reff,
+                        time_block,
+                        folded_steps,
+                        &|s: &[f64], d: &mut [f64], lo, hi| {
+                            multiload::step_range_1d::<V>(s, d, &tw, lo, hi)
+                        },
+                    ),
+                    Method::TransposeLayout | Method::Folded { .. } => tessellate::run_1d(
+                        &self.pool,
+                        &mut pp,
+                        reff,
+                        reff,
+                        time_block,
+                        folded_steps,
+                        &|s: &[f64], d: &mut [f64], lo, hi| {
+                            folded::step_squares_range_1d::<V>(s, d, &tw, lo, hi)
+                        },
+                    ),
+                    Method::Dlt => panic!("DLT pairs with Tiling::Split (SDSL), not Tessellate"),
+                }
+                // leftover unfolded steps
+                for _ in 0..t % m {
+                    let (src, dst) = pp.src_dst();
+                    multiload::step_1d::<V>(src.as_slice(), dst.as_mut_slice(), p.weights());
+                    pp.swap();
+                }
+                pp.into_current()
+            }
+            Tiling::Split { time_block } => match self.method {
+                Method::Dlt => split::sweep_1d::<V>(&self.pool, grid, p, time_block, t),
+                _ => panic!("Tiling::Split is the SDSL configuration; use Method::Dlt"),
+            },
+            Tiling::Spatial { .. } => panic!("spatial blocking is 2D/3D-only"),
+        }
+    }
+
+    /// Run `t` time steps on a 2D grid.
+    pub fn run_2d(&self, grid: &Grid2D, t: usize) -> Grid2D {
+        match self.width {
+            Width::W1 => self.run_2d_w::<f64>(grid, t),
+            Width::W4 => self.run_2d_w::<NativeF64x4>(grid, t),
+            Width::W8 => self.run_2d_w::<NativeF64x8>(grid, t),
+        }
+    }
+
+    fn run_2d_w<V: SimdF64>(&self, grid: &Grid2D, t: usize) -> Grid2D {
+        assert_eq!(self.pattern.dims(), 2, "pattern is not 2D");
+        let p = &self.pattern;
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Scalar => {
+                    let mut pp = PingPong::new(grid.clone());
+                    scalar::sweep_2d(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::MultipleLoads | Method::DataReorg => {
+                    let mut pp = PingPong::new(grid.clone());
+                    multiload::sweep_2d::<V>(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::TransposeLayout => folded::sweep_2d::<V>(grid, p, 1, t),
+                Method::Folded { m } => folded::sweep_2d::<V>(grid, p, m, t),
+                Method::Dlt => panic!("2D DLT is provided via Tiling::Split (SDSL hybrid)"),
+            },
+            Tiling::Tessellate { time_block } => {
+                let m = match self.method {
+                    Method::Folded { m } => m,
+                    _ => 1,
+                };
+                let mut pp = PingPong::new(grid.clone());
+                let folded_steps = t / m;
+                match self.method {
+                    Method::Scalar => {
+                        let pc = p.clone();
+                        tessellate::run_2d(
+                            &self.pool,
+                            &mut pp,
+                            pc.radius(),
+                            pc.radius(),
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
+                                scalar::step_range_2d(s, d, &pc, ys, xs)
+                            },
+                        );
+                    }
+                    Method::MultipleLoads | Method::DataReorg => {
+                        let pc = p.clone();
+                        tessellate::run_2d(
+                            &self.pool,
+                            &mut pp,
+                            pc.radius(),
+                            pc.radius(),
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
+                                multiload::step_range_2d::<V>(s, d, &pc, ys, xs)
+                            },
+                        );
+                    }
+                    Method::TransposeLayout | Method::Folded { .. } => {
+                        let k = folded::FoldedKernel::new(p, m);
+                        let reff = k.radius();
+                        tessellate::run_2d(
+                            &self.pool,
+                            &mut pp,
+                            reff,
+                            reff,
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
+                                folded::step_range_2d::<V>(&k, s, d, ys, xs)
+                            },
+                        );
+                    }
+                    Method::Dlt => panic!("DLT pairs with Tiling::Split (SDSL), not Tessellate"),
+                }
+                for _ in 0..t % m {
+                    let (src, dst) = pp.src_dst();
+                    multiload::step_2d::<V>(src, dst, p);
+                    pp.swap();
+                }
+                pp.into_current()
+            }
+            Tiling::Split { time_block } => match self.method {
+                Method::Dlt => split::sweep_2d::<V>(&self.pool, grid, p, time_block, t),
+                _ => panic!("Tiling::Split is the SDSL configuration; use Method::Dlt"),
+            },
+            Tiling::Spatial { block } => {
+                let pc = p.clone();
+                let mut pp = PingPong::new(grid.clone());
+                spatial::run_2d(
+                    &self.pool,
+                    &mut pp,
+                    pc.radius(),
+                    block,
+                    t,
+                    &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
+                        multiload::step_range_2d::<V>(s, d, &pc, ys, xs)
+                    },
+                );
+                pp.into_current()
+            }
+        }
+    }
+
+    /// Run `t` time steps on a 3D grid.
+    pub fn run_3d(&self, grid: &Grid3D, t: usize) -> Grid3D {
+        match self.width {
+            Width::W1 => self.run_3d_w::<f64>(grid, t),
+            Width::W4 => self.run_3d_w::<NativeF64x4>(grid, t),
+            Width::W8 => self.run_3d_w::<NativeF64x8>(grid, t),
+        }
+    }
+
+    fn run_3d_w<V: SimdF64>(&self, grid: &Grid3D, t: usize) -> Grid3D {
+        assert_eq!(self.pattern.dims(), 3, "pattern is not 3D");
+        let p = &self.pattern;
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Scalar => {
+                    let mut pp = PingPong::new(grid.clone());
+                    scalar::sweep_3d(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::MultipleLoads | Method::DataReorg => {
+                    let mut pp = PingPong::new(grid.clone());
+                    multiload::sweep_3d::<V>(&mut pp, p, t);
+                    pp.into_current()
+                }
+                Method::TransposeLayout => folded::sweep_3d::<V>(grid, p, 1, t),
+                Method::Folded { m } => folded::sweep_3d::<V>(grid, p, m, t),
+                Method::Dlt => panic!("3D DLT is provided via Tiling::Split (SDSL hybrid)"),
+            },
+            Tiling::Tessellate { time_block } => {
+                let m = match self.method {
+                    Method::Folded { m } => m,
+                    _ => 1,
+                };
+                let mut pp = PingPong::new(grid.clone());
+                let folded_steps = t / m;
+                match self.method {
+                    Method::Scalar => {
+                        let pc = p.clone();
+                        tessellate::run_3d(
+                            &self.pool,
+                            &mut pp,
+                            pc.radius(),
+                            pc.radius(),
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
+                                scalar::step_range_3d(s, d, &pc, zs, ys, xs)
+                            },
+                        );
+                    }
+                    Method::MultipleLoads | Method::DataReorg => {
+                        let pc = p.clone();
+                        tessellate::run_3d(
+                            &self.pool,
+                            &mut pp,
+                            pc.radius(),
+                            pc.radius(),
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
+                                multiload::step_range_3d::<V>(s, d, &pc, zs, ys, xs)
+                            },
+                        );
+                    }
+                    Method::TransposeLayout | Method::Folded { .. } => {
+                        let k = folded::FoldedKernel::new(p, m);
+                        let reff = k.radius();
+                        tessellate::run_3d(
+                            &self.pool,
+                            &mut pp,
+                            reff,
+                            reff,
+                            time_block,
+                            folded_steps,
+                            &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
+                                folded::step_range_3d::<V>(&k, s, d, zs, ys, xs)
+                            },
+                        );
+                    }
+                    Method::Dlt => panic!("DLT pairs with Tiling::Split (SDSL), not Tessellate"),
+                }
+                for _ in 0..t % m {
+                    let (src, dst) = pp.src_dst();
+                    multiload::step_3d::<V>(src, dst, p);
+                    pp.swap();
+                }
+                pp.into_current()
+            }
+            Tiling::Split { time_block } => match self.method {
+                Method::Dlt => split::sweep_3d::<V>(&self.pool, grid, p, time_block, t),
+                _ => panic!("Tiling::Split is the SDSL configuration; use Method::Dlt"),
+            },
+            Tiling::Spatial { block } => {
+                let pc = p.clone();
+                let mut pp = PingPong::new(grid.clone());
+                spatial::run_3d(
+                    &self.pool,
+                    &mut pp,
+                    pc.radius(),
+                    block,
+                    t,
+                    &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
+                        multiload::step_range_3d::<V>(s, d, &pc, zs, ys, xs)
+                    },
+                );
+                pp.into_current()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use stencil_grid::max_abs_diff;
+
+    fn ref_1d(p: &Pattern, g: &Grid1D, t: usize) -> Grid1D {
+        Solver::new(p.clone()).method(Method::Scalar).run_1d(g, t)
+    }
+
+    #[test]
+    fn all_1d_methods_agree_block_free() {
+        let p = kernels::heat1d();
+        let g = Grid1D::from_fn(256, |i| ((i * 7) % 13) as f64);
+        let t = 6;
+        let want = ref_1d(&p, &g, t);
+        for m in [
+            Method::MultipleLoads,
+            Method::DataReorg,
+            Method::Dlt,
+            Method::TransposeLayout,
+        ] {
+            let got = Solver::new(p.clone()).method(m).run_1d(&g, t);
+            assert!(
+                max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12,
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tessellated_methods_agree_1d() {
+        let p = kernels::heat1d();
+        let g = Grid1D::from_fn(300, |i| (i as f64 * 0.1).sin());
+        let t = 12;
+        let want = ref_1d(&p, &g, t);
+        for (m, threads) in [
+            (Method::MultipleLoads, 1),
+            (Method::TransposeLayout, 4),
+            (Method::Scalar, 3),
+        ] {
+            let got = Solver::new(p.clone())
+                .method(m)
+                .tiling(Tiling::Tessellate { time_block: 4 })
+                .threads(threads)
+                .run_1d(&g, t);
+            assert!(
+                max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12,
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sdsl_configuration_1d() {
+        let p = kernels::heat1d();
+        let g = Grid1D::from_fn(256, |i| (i % 11) as f64);
+        let t = 8;
+        let want = ref_1d(&p, &g, t);
+        let got = Solver::new(p)
+            .method(Method::Dlt)
+            .tiling(Tiling::Split { time_block: 4 })
+            .threads(4)
+            .run_1d(&g, t);
+        assert!(max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12);
+    }
+
+    #[test]
+    fn folded_tessellated_2d_matches_folded_reference() {
+        let p = kernels::box2d9p();
+        let g = Grid2D::from_fn(40, 44, |y, x| ((y * 3 + x) % 17) as f64);
+        // reference: block-free folded (same m) — identical semantics
+        let want = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .run_2d(&g, 8);
+        let got = Solver::new(p)
+            .method(Method::Folded { m: 2 })
+            .tiling(Tiling::Tessellate { time_block: 2 })
+            .threads(4)
+            .run_2d(&g, 8);
+        assert!(max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn widths_agree_2d() {
+        let p = kernels::heat2d();
+        let g = Grid2D::from_fn(30, 34, |y, x| ((y * 13 + x * 5) % 19) as f64);
+        let a = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .width(Width::W4)
+            .run_2d(&g, 4);
+        let b = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .width(Width::W8)
+            .run_2d(&g, 4);
+        let c = Solver::new(p)
+            .method(Method::Folded { m: 2 })
+            .width(Width::W1)
+            .run_2d(&g, 4);
+        assert!(max_abs_diff(&a.to_dense(), &b.to_dense()) < 1e-10);
+        assert!(max_abs_diff(&a.to_dense(), &c.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn three_d_paths_agree() {
+        let p = kernels::heat3d();
+        let g = Grid3D::from_fn(14, 14, 18, |z, y, x| ((z + y + x) % 5) as f64);
+        let t = 4;
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_3d(&g, t);
+        let ml = Solver::new(p.clone())
+            .method(Method::MultipleLoads)
+            .run_3d(&g, t);
+        assert!(max_abs_diff(&want.to_dense(), &ml.to_dense()) < 1e-12);
+        let tess = Solver::new(p)
+            .method(Method::MultipleLoads)
+            .tiling(Tiling::Tessellate { time_block: 2 })
+            .threads(4)
+            .run_3d(&g, t);
+        assert!(max_abs_diff(&want.to_dense(), &tess.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn spatial_blocking_2d() {
+        let p = kernels::box2d9p();
+        let g = Grid2D::from_fn(33, 37, |y, x| ((y + 2 * x) % 9) as f64);
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_2d(&g, 5);
+        let got = Solver::new(p)
+            .tiling(Tiling::Spatial { block: (8, 8) })
+            .threads(3)
+            .run_2d(&g, 5);
+        assert!(max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-12);
+    }
+}

@@ -1,0 +1,304 @@
+//! APOP: American put stock option pricing — a 1D 3-point stencil over
+//! *two* input arrays (paper Table 1: 6 points, two arrays).
+//!
+//! Binomial-lattice backward induction with an early-exercise check:
+//!
+//! ```text
+//! v'[i] = max(payoff[i], wd*v[i-1] + wm*v[i] + wu*v[i+1])
+//! ```
+//!
+//! The `max` makes the kernel nonlinear, so temporal folding cannot be
+//! exact: the folded variant applies the linear two-step composition and
+//! then the exercise check once per folded step — a *Bermudan*
+//! approximation (exercise allowed every m-th step), which is the same
+//! semantic trade any m-step fusion of this kernel must make. Correctness
+//! tests therefore compare each vector executor against the scalar
+//! executor *of the same m*.
+
+use crate::pattern::Pattern;
+use stencil_grid::{Grid1D, PingPong};
+use stencil_simd::SimdF64;
+
+/// APOP kernel parameters: linear taps plus the payoff array.
+#[derive(Debug, Clone)]
+pub struct Apop {
+    /// Linear taps `[wd, wm, wu]` (includes the discount factor).
+    pub taps: [f64; 3],
+    /// Intrinsic (early-exercise) values, same length as the value grid.
+    pub payoff: Grid1D,
+}
+
+impl Apop {
+    /// Standard test instance: strike `k`, spot grid `s_i = i * ds`,
+    /// risk-neutral taps summing to `1/(1+r_step)`.
+    pub fn new(n: usize, strike: f64, ds: f64) -> Self {
+        let discount = 1.0 / 1.0005;
+        let taps = [0.5 * discount, 0.0, 0.5 * discount];
+        let payoff = Grid1D::from_fn(n, |i| (strike - i as f64 * ds).max(0.0));
+        Self { taps, payoff }
+    }
+
+    /// Initial value grid = payoff at expiry.
+    pub fn initial_values(&self) -> Grid1D {
+        self.payoff.clone()
+    }
+
+    /// Linear part as a [`Pattern`] (for folding and cost analysis).
+    pub fn linear_pattern(&self) -> Pattern {
+        Pattern::new_1d(&self.taps)
+    }
+
+    /// The paper counts APOP as 6 points: 3 taps + 3 accesses of the
+    /// second array (payoff compare). Flops per point per step.
+    pub fn flops_per_point(&self) -> usize {
+        2 * 3 + 1 // 3 madds + 1 max
+    }
+}
+
+/// One scalar step with exercise check on `[lo, hi)`.
+pub fn step_range_scalar(
+    src: &[f64],
+    dst: &mut [f64],
+    taps: &[f64],
+    payoff: &[f64],
+    lo: usize,
+    hi: usize,
+) {
+    let r = taps.len() / 2;
+    for i in lo..hi {
+        let mut acc = 0.0;
+        for (k, &w) in taps.iter().enumerate() {
+            acc += w * src[i + k - r];
+        }
+        dst[i] = acc.max(payoff[i]);
+    }
+}
+
+/// One vectorized step with exercise check on `[lo, hi)`.
+pub fn step_range<V: SimdF64>(
+    src: &[f64],
+    dst: &mut [f64],
+    taps: &[f64],
+    payoff: &[f64],
+    lo: usize,
+    hi: usize,
+) {
+    let r = taps.len() / 2;
+    let vl = V::LANES;
+    let mut i = lo;
+    while i + vl <= hi {
+        let mut acc = V::zero();
+        for (k, &w) in taps.iter().enumerate() {
+            // SAFETY: i+k-r+vl <= hi+r <= src.len()
+            let v = unsafe { V::load(src.as_ptr().add(i + k - r)) };
+            acc = v.mul_add(V::splat(w), acc);
+        }
+        // SAFETY: same bounds.
+        let pay = unsafe { V::load(payoff.as_ptr().add(i)) };
+        // SAFETY: i+vl <= hi
+        unsafe { acc.max(pay).store(dst.as_mut_ptr().add(i)) };
+        i += vl;
+    }
+    step_range_scalar(src, dst, taps, payoff, i, hi);
+}
+
+/// Full step with Dirichlet boundary (deep-in/out-of-the-money ends are
+/// pinned to their intrinsic values).
+fn full_step<V: SimdF64>(src: &[f64], dst: &mut [f64], taps: &[f64], payoff: &[f64]) {
+    let n = src.len();
+    let r = taps.len() / 2;
+    dst[..r].copy_from_slice(&src[..r]);
+    dst[n - r..].copy_from_slice(&src[n - r..]);
+    step_range::<V>(src, dst, taps, payoff, r, n - r);
+}
+
+/// Backward induction for `t` steps, exercise check every step (m = 1).
+pub fn sweep<V: SimdF64>(apop: &Apop, t: usize) -> Grid1D {
+    let mut pp = PingPong::new(apop.initial_values());
+    for _ in 0..t {
+        let (src, dst) = pp.src_dst();
+        full_step::<V>(
+            src.as_slice(),
+            dst.as_mut_slice(),
+            &apop.taps,
+            apop.payoff.as_slice(),
+        );
+        pp.swap();
+    }
+    pp.into_current()
+}
+
+/// Folded backward induction: the linear 2-step composition through the
+/// register-transpose square kernel, then one exercise check (Bermudan
+/// approximation). Leftover odd steps run unfolded.
+pub fn sweep_folded<V: SimdF64>(apop: &Apop, m: usize, t: usize) -> Grid1D {
+    let folded = crate::folding::fold(&apop.linear_pattern(), m);
+    let taps = folded.weights();
+    let rr = folded.radius();
+    let mut pp = PingPong::new(apop.initial_values());
+    let pay = apop.payoff.as_slice().to_vec();
+    for _ in 0..t / m {
+        let (src, dst) = pp.src_dst();
+        let (s, d) = (src.as_slice(), dst.as_mut_slice());
+        let n = s.len();
+        d[..rr].copy_from_slice(&s[..rr]);
+        d[n - rr..].copy_from_slice(&s[n - rr..]);
+        // linear m-step through the register-folded square kernel
+        crate::exec::folded::step_squares_range_1d::<V>(s, d, taps, rr, n - rr);
+        // exercise check once per folded step
+        let mut i = rr;
+        let vl = V::LANES;
+        while i + vl <= n - rr {
+            // SAFETY: bounds checked by the loop condition.
+            unsafe {
+                let v = V::load(d.as_ptr().add(i));
+                let pv = V::load(pay.as_ptr().add(i));
+                v.max(pv).store(d.as_mut_ptr().add(i));
+            }
+            i += vl;
+        }
+        for j in i..n - rr {
+            d[j] = d[j].max(pay[j]);
+        }
+        pp.swap_folded(m);
+    }
+    for _ in 0..t % m {
+        let (src, dst) = pp.src_dst();
+        full_step::<V>(
+            src.as_slice(),
+            dst.as_mut_slice(),
+            &apop.taps,
+            apop.payoff.as_slice(),
+        );
+        pp.swap();
+    }
+    pp.into_current()
+}
+
+/// Range-based folded APOP step for tiled execution: the linear m-step
+/// composition through the register-transpose square kernel, then one
+/// vectorized exercise check over the range. Reads stay within the
+/// folded radius of `[lo, hi)`.
+pub fn step_folded_range<V: SimdF64>(
+    src: &[f64],
+    dst: &mut [f64],
+    folded_taps: &[f64],
+    payoff: &[f64],
+    lo: usize,
+    hi: usize,
+) {
+    crate::exec::folded::step_squares_range_1d::<V>(src, dst, folded_taps, lo, hi);
+    let vl = V::LANES;
+    let mut i = lo;
+    while i + vl <= hi {
+        // SAFETY: bounds checked by the loop condition.
+        unsafe {
+            let v = V::load(dst.as_ptr().add(i));
+            let pv = V::load(payoff.as_ptr().add(i));
+            v.max(pv).store(dst.as_mut_ptr().add(i));
+        }
+        i += vl;
+    }
+    for j in i..hi {
+        dst[j] = dst[j].max(payoff[j]);
+    }
+}
+
+/// Scalar reference for the folded (Bermudan) semantics.
+pub fn sweep_folded_scalar(apop: &Apop, m: usize, t: usize) -> Grid1D {
+    let folded = crate::folding::fold(&apop.linear_pattern(), m);
+    let taps = folded.weights();
+    let rr = folded.radius();
+    let pay = apop.payoff.as_slice().to_vec();
+    let mut pp = PingPong::new(apop.initial_values());
+    for _ in 0..t / m {
+        let (src, dst) = pp.src_dst();
+        let (s, d) = (src.as_slice(), dst.as_mut_slice());
+        let n = s.len();
+        d[..rr].copy_from_slice(&s[..rr]);
+        d[n - rr..].copy_from_slice(&s[n - rr..]);
+        for i in rr..n - rr {
+            let mut acc = 0.0;
+            for (k, &w) in taps.iter().enumerate() {
+                acc += w * s[i + k - rr];
+            }
+            d[i] = acc.max(pay[i]);
+        }
+        pp.swap_folded(m);
+    }
+    for _ in 0..t % m {
+        let (src, dst) = pp.src_dst();
+        let (s, d) = (src.as_slice(), dst.as_mut_slice());
+        let n = s.len();
+        d[..1].copy_from_slice(&s[..1]);
+        d[n - 1..].copy_from_slice(&s[n - 1..]);
+        step_range_scalar(s, d, &apop.taps, &pay, 1, n - 1);
+        pp.swap();
+    }
+    pp.into_current()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::max_abs_diff;
+    use stencil_simd::{NativeF64x4, NativeF64x8};
+
+    fn scalar_sweep(apop: &Apop, t: usize) -> Grid1D {
+        let mut pp = PingPong::new(apop.initial_values());
+        for _ in 0..t {
+            let (src, dst) = pp.src_dst();
+            let (s, d) = (src.as_slice(), dst.as_mut_slice());
+            let n = s.len();
+            d[..1].copy_from_slice(&s[..1]);
+            d[n - 1..].copy_from_slice(&s[n - 1..]);
+            step_range_scalar(s, d, &apop.taps, apop.payoff.as_slice(), 1, n - 1);
+            pp.swap();
+        }
+        pp.into_current()
+    }
+
+    #[test]
+    fn vectorized_matches_scalar() {
+        let apop = Apop::new(203, 50.0, 0.5);
+        let want = scalar_sweep(&apop, 10);
+        let got4 = sweep::<NativeF64x4>(&apop, 10);
+        let got8 = sweep::<NativeF64x8>(&apop, 10);
+        assert!(max_abs_diff(want.as_slice(), got4.as_slice()) < 1e-12);
+        assert!(max_abs_diff(want.as_slice(), got8.as_slice()) < 1e-12);
+    }
+
+    #[test]
+    fn folded_matches_folded_scalar() {
+        let apop = Apop::new(160, 40.0, 0.5);
+        for t in [6usize, 7] {
+            let want = sweep_folded_scalar(&apop, 2, t);
+            let got = sweep_folded::<NativeF64x4>(&apop, 2, t);
+            assert!(
+                max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_dominates_payoff() {
+        // American option value can never fall below intrinsic value.
+        let apop = Apop::new(120, 30.0, 0.5);
+        let v = sweep::<NativeF64x4>(&apop, 50);
+        for i in 1..119 {
+            assert!(v[i] >= apop.payoff[i] - 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn bermudan_bounds_american() {
+        // Fewer exercise opportunities -> value no higher than American.
+        let apop = Apop::new(120, 30.0, 0.5);
+        let american = scalar_sweep(&apop, 20);
+        let bermudan = sweep_folded_scalar(&apop, 2, 20);
+        for i in 4..116 {
+            assert!(bermudan[i] <= american[i] + 1e-12, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Conway's Game of Life as a stencil benchmark (paper Table 1: an
+//! 8-point 2D kernel whose update depends on all 8 neighbours).
+//!
+//! States are 0.0/1.0 doubles. The rule is evaluated branchlessly from
+//! the neighbour count `c`:
+//!
+//! ```text
+//! next = [c == 3] + alive * [c == 2]
+//! ```
+//!
+//! Temporal *folding* does not apply (the rule is nonlinear), which is
+//! exactly why the paper's Life gains are modest; the "2-step" variant
+//! here fuses two rule applications in one pass over memory with a
+//! rolling 3-row intermediate buffer — halving the store/reload traffic,
+//! which is the part of the folding benefit that survives nonlinearity.
+//! Boundary cells are frozen (Dirichlet), consistent with the other
+//! executors.
+
+#![allow(clippy::needless_range_loop)] // indexed tap/window loops keep
+// the offset arithmetic explicit and unrolled
+
+use stencil_grid::{Grid2D, PingPong};
+use stencil_simd::SimdF64;
+
+/// Scalar rule application for one cell.
+#[inline(always)]
+fn rule(alive: f64, count: f64) -> f64 {
+    let three = (count == 3.0) as u8 as f64;
+    let two = (count == 2.0) as u8 as f64;
+    three + alive * two - three * alive * two * 0.0
+}
+
+/// One scalar Life step on rectangle `ys x xs` (interior).
+pub fn step_range_scalar(
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    ys: core::ops::Range<usize>,
+    xs: core::ops::Range<usize>,
+) {
+    let stride = src.stride();
+    let s = src.as_slice();
+    for y in ys {
+        let drow = dst.row_mut(y);
+        for x in xs.clone() {
+            let mut c = 0.0;
+            for dy in 0..3usize {
+                for dx in 0..3usize {
+                    if dy == 1 && dx == 1 {
+                        continue;
+                    }
+                    c += s[(y + dy - 1) * stride + x + dx - 1];
+                }
+            }
+            drow[x] = rule(s[y * stride + x], c);
+        }
+    }
+}
+
+/// One vectorized Life step on rectangle `ys x xs`.
+pub fn step_range<V: SimdF64>(
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    ys: core::ops::Range<usize>,
+    xs: core::ops::Range<usize>,
+) {
+    let stride = src.stride();
+    let s = src.as_slice();
+    let vl = V::LANES;
+    let (xlo, xhi) = (xs.start, xs.end);
+    let two = V::splat(2.0);
+    let three = V::splat(3.0);
+    for y in ys {
+        let dbase = y * stride;
+        let d = dst.as_mut_slice();
+        let mut x = xlo;
+        while x + vl <= xhi {
+            let mut c = V::zero();
+            for dy in 0..3usize {
+                for dx in 0..3usize {
+                    if dy == 1 && dx == 1 {
+                        continue;
+                    }
+                    // SAFETY: rectangle is interior (caller contract).
+                    let v = unsafe { V::load(s.as_ptr().add((y + dy - 1) * stride + x + dx - 1)) };
+                    c = c.add(v);
+                }
+            }
+            // SAFETY: in-bounds.
+            let alive = unsafe { V::load(s.as_ptr().add(y * stride + x)) };
+            let next = c.eq01(three).add(alive.mul(c.eq01(two)));
+            // SAFETY: x+vl <= xhi.
+            unsafe { next.store(d.as_mut_ptr().add(dbase + x)) };
+            x += vl;
+        }
+        // scalar tail
+        for xx in x..xhi {
+            let mut c = 0.0;
+            for dy in 0..3usize {
+                for dx in 0..3usize {
+                    if dy == 1 && dx == 1 {
+                        continue;
+                    }
+                    c += s[(y + dy - 1) * stride + xx + dx - 1];
+                }
+            }
+            d[dbase + xx] = rule(s[y * stride + xx], c);
+        }
+    }
+}
+
+/// Fused two-step Life on rectangle `ys x xs`: computes generation `t+2`
+/// from generation `t` without storing generation `t+1` to the grid.
+/// Reads stay within 2 cells of the rectangle (folded-radius contract).
+pub fn step2_range<V: SimdF64>(
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    ys: core::ops::Range<usize>,
+    xs: core::ops::Range<usize>,
+) {
+    let stride = src.stride();
+    let s = src.as_slice();
+    let (xlo, xhi) = (xs.start, xs.end);
+    let (ylo, yhi) = (ys.start, ys.end);
+    if ylo >= yhi || xlo >= xhi {
+        return;
+    }
+    // Intermediate rows cover x in [xlo-1, xhi+1); row i of the ring
+    // holds generation t+1 at y = current y + (i - 1).
+    let width = xhi - xlo + 2;
+    let mut ring: [Vec<f64>; 3] = [vec![0.0; width], vec![0.0; width], vec![0.0; width]];
+    // Fill intermediate rows ylo-1 and ylo.
+    let mid_row = |y: usize, out: &mut Vec<f64>| {
+        for (k, o) in out.iter_mut().enumerate() {
+            let x = xlo - 1 + k;
+            let mut c = 0.0;
+            for dy in 0..3usize {
+                for dx in 0..3usize {
+                    if dy == 1 && dx == 1 {
+                        continue;
+                    }
+                    c += s[(y + dy - 1) * stride + x + dx - 1];
+                }
+            }
+            *o = rule(s[y * stride + x], c);
+        }
+    };
+    mid_row(ylo - 1, &mut ring[0]);
+    mid_row(ylo, &mut ring[1]);
+    for y in ylo..yhi {
+        mid_row(y + 1, &mut ring[2]);
+        // second step from the ring
+        let drow = dst.row_mut(y);
+        for x in xlo..xhi {
+            let k = x - xlo + 1;
+            let c = ring[0][k - 1]
+                + ring[0][k]
+                + ring[0][k + 1]
+                + ring[1][k - 1]
+                + ring[1][k + 1]
+                + ring[2][k - 1]
+                + ring[2][k]
+                + ring[2][k + 1];
+            drow[x] = rule(ring[1][k], c);
+        }
+        ring.rotate_left(1);
+    }
+}
+
+/// Random initial soup with density ~0.35 (deterministic hash-based).
+pub fn random_soup(ny: usize, nx: usize, seed: u64) -> Grid2D {
+    Grid2D::from_fn(ny, nx, |y, x| {
+        let mut h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((y * nx + x) as u64);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        if h % 100 < 35 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Full step with frozen boundary.
+pub fn step<V: SimdF64>(src: &Grid2D, dst: &mut Grid2D) {
+    let (ny, nx) = (src.ny(), src.nx());
+    for y in 0..ny {
+        if y == 0 || y == ny - 1 {
+            dst.row_mut(y).copy_from_slice(src.row(y));
+        } else {
+            let srow = src.row(y);
+            let drow = dst.row_mut(y);
+            drow[0] = srow[0];
+            drow[nx - 1] = srow[nx - 1];
+        }
+    }
+    step_range::<V>(src, dst, 1..ny - 1, 1..nx - 1);
+}
+
+/// Run `t` generations.
+pub fn sweep<V: SimdF64>(grid: &Grid2D, t: usize) -> Grid2D {
+    let mut pp = PingPong::new(grid.clone());
+    for _ in 0..t {
+        let (src, dst) = pp.src_dst();
+        step::<V>(src, dst);
+        pp.swap();
+    }
+    pp.into_current()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::max_abs_diff;
+    use stencil_simd::{NativeF64x4, NativeF64x8};
+
+    fn scalar_sweep(grid: &Grid2D, t: usize) -> Grid2D {
+        let mut pp = PingPong::new(grid.clone());
+        for _ in 0..t {
+            let (src, dst) = pp.src_dst();
+            let (ny, nx) = (src.ny(), src.nx());
+            for y in 0..ny {
+                dst.row_mut(y).copy_from_slice(src.row(y));
+            }
+            step_range_scalar(src, dst, 1..ny - 1, 1..nx - 1);
+            pp.swap();
+        }
+        pp.into_current()
+    }
+
+    #[test]
+    fn blinker_oscillates() {
+        // vertical blinker at the center of a dead field
+        let mut g = Grid2D::zeros(9, 9);
+        g[(3, 4)] = 1.0;
+        g[(4, 4)] = 1.0;
+        g[(5, 4)] = 1.0;
+        let one = sweep::<NativeF64x4>(&g, 1);
+        assert_eq!(one[(4, 3)], 1.0);
+        assert_eq!(one[(4, 4)], 1.0);
+        assert_eq!(one[(4, 5)], 1.0);
+        assert_eq!(one[(3, 4)], 0.0);
+        let two = sweep::<NativeF64x4>(&g, 2);
+        assert!(max_abs_diff(&two.to_dense(), &g.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn block_is_still_life() {
+        let mut g = Grid2D::zeros(8, 8);
+        for (y, x) in [(3, 3), (3, 4), (4, 3), (4, 4)] {
+            g[(y, x)] = 1.0;
+        }
+        let out = sweep::<NativeF64x8>(&g, 5);
+        assert!(max_abs_diff(&out.to_dense(), &g.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn vectorized_matches_scalar_on_soup() {
+        let g = random_soup(40, 52, 7);
+        let want = scalar_sweep(&g, 8);
+        let got = sweep::<NativeF64x4>(&g, 8);
+        assert!(max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn fused_two_step_matches_two_single_steps() {
+        let g = random_soup(30, 41, 13);
+        let want = scalar_sweep(&g, 2);
+        let mut dst = g.clone();
+        step2_range::<NativeF64x4>(&g, &mut dst, 2..28, 2..39);
+        let (wd, dd) = (want.to_dense(), dst.to_dense());
+        for y in 2..28 {
+            for x in 2..39 {
+                assert_eq!(wd[y * 41 + x], dd[y * 41 + x], "({y},{x})");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Temporal computation folding: the folding matrix Λ (paper §3.2–3.3).
+//!
+//! Applying a linear stencil `m` times is itself a linear stencil whose
+//! weight tensor is the `m`-fold self-convolution of the original — the
+//! paper's *folding matrix* of reassigned weights λ. This module computes
+//! it and verifies the paper's worked example (λ1..λ6 of Fig. 4 for the
+//! 2D9P box with m = 2).
+
+use crate::pattern::Pattern;
+
+/// Discrete convolution of two weight tensors of equal dimensionality:
+/// the pattern of "apply `b`, then `a`". Radius adds.
+pub fn convolve(a: &Pattern, b: &Pattern) -> Pattern {
+    assert_eq!(a.dims(), b.dims(), "dimensionality mismatch");
+    let dims = a.dims();
+    let rr = a.radius() + b.radius();
+    let side = 2 * rr + 1;
+    let mut w = vec![0.0; side.pow(dims as u32)];
+    let (ra, rb, r) = (a.radius() as isize, b.radius() as isize, rr as isize);
+    // iterate all offset pairs; unused dims pinned to 0
+    let range = |active: bool, rad: isize| if active { -rad..=rad } else { 0..=0 };
+    for za in range(dims >= 3, ra) {
+        for ya in range(dims >= 2, ra) {
+            for xa in -ra..=ra {
+                let wa = a.at(za, ya, xa);
+                if wa == 0.0 {
+                    continue;
+                }
+                for zb in range(dims >= 3, rb) {
+                    for yb in range(dims >= 2, rb) {
+                        for xb in -rb..=rb {
+                            let wb = b.at(zb, yb, xb);
+                            if wb == 0.0 {
+                                continue;
+                            }
+                            let (dz, dy, dx) = (za + zb, ya + yb, xa + xb);
+                            let mut idx = (dx + r) as usize;
+                            if dims >= 2 {
+                                idx += (dy + r) as usize * side;
+                            }
+                            if dims >= 3 {
+                                idx += (dz + r) as usize * side * side;
+                            }
+                            w[idx] += wa * wb;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Pattern::new(dims, rr, w)
+}
+
+/// The folding matrix Λ for unrolling factor `m`: the stencil that
+/// advances a grid directly by `m` time steps. `fold(p, 1)` is `p`
+/// itself; radius grows to `m * r`.
+pub fn fold(p: &Pattern, m: usize) -> Pattern {
+    assert!(m >= 1, "unrolling factor must be >= 1");
+    let mut acc = p.clone();
+    for _ in 1..m {
+        acc = convolve(&acc, p);
+    }
+    acc
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    /// Paper Fig. 4(b): the folding matrix of the symmetric 9-point box
+    /// stencil (corner w1, edge w2, center w3) with m = 2.
+    #[test]
+    fn folding_matrix_matches_paper_lambdas() {
+        let (w1, w2, w3) = (0.05, 0.1, 0.4);
+        let p = Pattern::new_2d(1, &[w1, w2, w1, w2, w3, w2, w1, w2, w1]);
+        let f = fold(&p, 2);
+        assert_eq!(f.radius(), 2);
+        let l1 = w1 * w1;
+        let l2 = 2.0 * w1 * w2;
+        let l3 = 2.0 * w1 * w1 + w2 * w2;
+        let l4 = 2.0 * (w1 * w3 + w2 * w2);
+        let l5 = 2.0 * (2.0 * w1 * w2 + w2 * w3);
+        let l6 = 2.0 * (2.0 * w1 * w1 + w2 * w2) + 2.0 * w2 * w2 + w3 * w3;
+        assert_close(f.at(0, -2, -2), l1);
+        assert_close(f.at(0, -2, -1), l2);
+        assert_close(f.at(0, -2, 0), l3);
+        assert_close(f.at(0, -1, -1), l4);
+        assert_close(f.at(0, -1, 0), l5);
+        assert_close(f.at(0, 0, 0), l6);
+        // full symmetry of the folded matrix
+        assert!(f.is_symmetric());
+    }
+
+    /// The all-w box stencil's 2-step folding matrix is the rank-1 outer
+    /// product w^2 * [1,2,3,2,1] x [1,2,3,2,1] (Fig. 5's folding matrix).
+    #[test]
+    fn box2d9p_fold_is_separable() {
+        let w = 1.0 / 9.0;
+        let p = Pattern::new_2d(1, &[w; 9]);
+        let f = fold(&p, 2);
+        let v = [1.0, 2.0, 3.0, 2.0, 1.0];
+        for dy in -2isize..=2 {
+            for dx in -2isize..=2 {
+                let expect = w * w * v[(dy + 2) as usize] * v[(dx + 2) as usize];
+                assert_close(f.at(0, dy, dx), expect);
+            }
+        }
+    }
+
+    /// Folding must commute with application: folding then applying once
+    /// equals applying the base stencil m times (1D check on random data).
+    #[test]
+    fn fold_equals_repeated_application_1d() {
+        let p = kernels::heat1d();
+        let f2 = fold(&p, 2);
+        let f3 = fold(&p, 3);
+        let n = 64;
+        let src: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64).sin()).collect();
+        // two manual applications with enough margin
+        let mut t1 = src.clone();
+        for i in 1..n - 1 {
+            t1[i] = p.apply_1d(&src, i);
+        }
+        let mut t2 = t1.clone();
+        for i in 2..n - 2 {
+            t2[i] = p.apply_1d(&t1, i);
+        }
+        let mut t3 = t2.clone();
+        for i in 3..n - 3 {
+            t3[i] = p.apply_1d(&t2, i);
+        }
+        for i in 8..n - 8 {
+            assert_close(f2.apply_1d(&src, i), t2[i]);
+            assert_close(f3.apply_1d(&src, i), t3[i]);
+        }
+    }
+
+    #[test]
+    fn weight_sum_is_preserved_under_folding() {
+        // sum(fold(p, m)) = sum(p)^m — mass conservation of averaging
+        // stencils survives folding.
+        let p = kernels::heat2d();
+        let f = fold(&p, 3);
+        assert_close(f.weight_sum(), p.weight_sum().powi(3));
+    }
+
+    #[test]
+    fn fold_radius_grows_linearly() {
+        let p = kernels::d1p5(); // radius 2
+        assert_eq!(fold(&p, 1).radius(), 2);
+        assert_eq!(fold(&p, 2).radius(), 4);
+        assert_eq!(fold(&p, 3).radius(), 6);
+    }
+
+    #[test]
+    fn star_fold_fills_diamond() {
+        // folding a star yields a diamond (box-ish support but zero
+        // corners at full radius)
+        let p = kernels::heat2d();
+        let f = fold(&p, 2);
+        assert_eq!(f.at(0, 2, 2), 0.0);
+        assert!(f.at(0, 1, 1) != 0.0);
+        assert!(f.at(0, 2, 0) != 0.0);
+    }
+
+    #[test]
+    fn convolve_3d_star() {
+        let p = kernels::heat3d();
+        let f = fold(&p, 2);
+        assert_eq!(f.radius(), 2);
+        assert_close(f.weight_sum(), p.weight_sum().powi(2));
+        assert_eq!(f.at(2, 2, 2), 0.0);
+        assert!(f.at(2, 0, 0) != 0.0);
+    }
+}

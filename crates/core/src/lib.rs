@@ -1,0 +1,44 @@
+//! # stencil-core
+//!
+//! The paper's contribution, as a library: transpose-layout vectorization
+//! (§2) and temporal computation folding (§3) for stencil computations,
+//! together with every baseline the paper compares against.
+//!
+//! Module map:
+//!
+//! * [`pattern`] — stencil weight tensors (1D/2D/3D), star/box algebra.
+//! * [`folding`] — folding matrices Λ (m-step self-convolution).
+//! * [`plan`] — counterpart planner: vertical/horizontal folding schedule
+//!   with proportionality + least-squares reuse (§3.3, §3.5).
+//! * [`regression`] — the least-squares machinery behind §3.5.
+//! * [`cost`] — op-collect model and profitability index (§3.2).
+//! * [`kernels`] — the nine Table-1 benchmarks.
+//! * [`exec`] — sweep executors: scalar reference, multiple-loads,
+//!   data-reorganization, DLT, transpose-layout, and the register-folded
+//!   executor with shifts reuse.
+//! * [`tile`] — tessellate tiling (1D/2D/3D), split tiling (the SDSL
+//!   stand-in), and plain spatial blocking.
+//! * [`api`] — a high-level `Solver` facade tying pattern x method x
+//!   tiling x thread pool together.
+//! * [`tune`] — tiling-parameter autotuner (the paper's declared future
+//!   work).
+
+#![allow(clippy::needless_range_loop)] // offset-indexed loops are the
+// domain idiom here (windows, tiles, taps); iterators would hide the math
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod cost;
+pub mod exec;
+pub mod folding;
+pub mod kernels;
+pub mod pattern;
+pub mod plan;
+pub mod regression;
+pub mod tile;
+pub mod tune;
+
+pub use api::{Method, Solver, Tiling};
+pub use pattern::{Pattern, Shape};
+pub use plan::FoldPlan;

@@ -1,0 +1,251 @@
+//! Stencil pattern algebra: d-dimensional weight tensors.
+//!
+//! A [`Pattern`] is the weight tensor of a linear, constant-coefficient
+//! stencil: `out[p] = sum over off of w[off] * in[p + off]` with offsets
+//! ranging over the `(2r+1)^d` cube. All of the paper's linear
+//! benchmarks (Table 1) are `Pattern`s; the folding matrix of §3 is the
+//! pattern's self-convolution (`folding::fold`).
+
+/// Shape classification of a pattern (paper Table 1 distinguishes star
+/// and box stencils; GB is an asymmetric box).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Nonzero weights only on the axes (heat equations).
+    Star,
+    /// Nonzero weights possible anywhere in the cube.
+    Box,
+}
+
+/// A dense `d`-dimensional stencil weight tensor of radius `r`.
+///
+/// Weights are stored row-major over the `(2r+1)^d` cube, index order
+/// `(z, y, x)` with `x` fastest; offset `(0,..,0)` sits at the center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    dims: usize,
+    radius: usize,
+    w: Vec<f64>,
+}
+
+impl Pattern {
+    /// Build from explicit weights (`w.len() == (2r+1)^dims`).
+    pub fn new(dims: usize, radius: usize, w: Vec<f64>) -> Self {
+        assert!((1..=3).contains(&dims), "dims must be 1..=3");
+        let side = 2 * radius + 1;
+        assert_eq!(w.len(), side.pow(dims as u32), "weight count mismatch");
+        Self { dims, radius, w }
+    }
+
+    /// 1D pattern from taps `[-r .. r]`.
+    pub fn new_1d(taps: &[f64]) -> Self {
+        assert!(taps.len() % 2 == 1, "tap count must be odd");
+        Self::new(1, taps.len() / 2, taps.to_vec())
+    }
+
+    /// 2D pattern from a `(2r+1) x (2r+1)` row-major matrix.
+    pub fn new_2d(radius: usize, m: &[f64]) -> Self {
+        Self::new(2, radius, m.to_vec())
+    }
+
+    /// 3D pattern from a `(2r+1)^3` row-major cube (z-major).
+    pub fn new_3d(radius: usize, m: &[f64]) -> Self {
+        Self::new(3, radius, m.to_vec())
+    }
+
+    /// Dimensionality (1..=3).
+    #[inline(always)]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Radius `r`.
+    #[inline(always)]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Side length of the weight cube, `2r + 1`.
+    #[inline(always)]
+    pub fn side(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Raw weights (row-major, x fastest).
+    #[inline(always)]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Weight at offset `(dz, dy, dx)`; unused leading offsets must be 0
+    /// for lower-dimensional patterns.
+    pub fn at(&self, dz: isize, dy: isize, dx: isize) -> f64 {
+        let r = self.radius as isize;
+        assert!(dx.abs() <= r, "dx out of range");
+        match self.dims {
+            1 => {
+                assert!(dz == 0 && dy == 0);
+                self.w[(dx + r) as usize]
+            }
+            2 => {
+                assert!(dz == 0 && dy.abs() <= r);
+                self.w[((dy + r) * self.side() as isize + (dx + r)) as usize]
+            }
+            _ => {
+                assert!(dz.abs() <= r && dy.abs() <= r);
+                let s = self.side() as isize;
+                self.w[((dz + r) * s * s + (dy + r) * s + (dx + r)) as usize]
+            }
+        }
+    }
+
+    /// Number of nonzero weights ("points" in the paper's Pts column).
+    pub fn points(&self) -> usize {
+        self.w.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Star/box classification.
+    pub fn shape(&self) -> Shape {
+        let r = self.radius as isize;
+        for dz in -r..=r {
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if self.dims < 3 && dz != 0 || self.dims < 2 && dy != 0 {
+                        continue;
+                    }
+                    let on_axis = [dz != 0, dy != 0, dx != 0].iter().filter(|&&b| b).count() <= 1;
+                    if !on_axis && self.at(dz, dy, dx) != 0.0 {
+                        return Shape::Box;
+                    }
+                }
+            }
+        }
+        Shape::Star
+    }
+
+    /// True if the pattern is symmetric under negating every offset.
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.w.len();
+        (0..n).all(|i| self.w[i] == self.w[n - 1 - i])
+    }
+
+    /// Sum of all weights (1.0 for conservative/averaging stencils).
+    pub fn weight_sum(&self) -> f64 {
+        self.w.iter().sum()
+    }
+
+    /// The `x`-columns of the weight tensor: for each `dx` offset, the
+    /// flattened weight slab over the remaining dimensions
+    /// (`(2r+1)^(d-1)` values, `y` fastest then `z`).
+    ///
+    /// These are the *vertical folding* weight vectors of §3.3: column
+    /// `dx` is what a counterpart folds the neighbouring rows with.
+    pub fn x_columns(&self) -> Vec<Vec<f64>> {
+        let side = self.side();
+        let slab = side.pow(self.dims as u32 - 1);
+        let mut cols = vec![vec![0.0; slab]; side];
+        for (i, &wv) in self.w.iter().enumerate() {
+            let dx = i % side;
+            let rest = i / side; // (y + z*side) combined index, y fastest
+            cols[dx][rest] = wv;
+        }
+        cols
+    }
+
+    /// Flops per point per time step for this pattern under
+    /// multiply-accumulate counting: one multiply + one add per nonzero
+    /// tap (the standard GFLOP/s accounting for stencils, also used by
+    /// the reference implementations we compare against).
+    pub fn flops_per_point(&self) -> usize {
+        2 * self.points()
+    }
+
+    /// Apply the stencil once at a single point of a 1D slice (bounds
+    /// must allow the full support). Test/diagnostic helper.
+    pub fn apply_1d(&self, src: &[f64], i: usize) -> f64 {
+        assert_eq!(self.dims, 1);
+        let r = self.radius;
+        let mut acc = 0.0;
+        for (k, &wv) in self.w.iter().enumerate() {
+            acc += wv * src[i + k - r];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_at() {
+        let p = Pattern::new_1d(&[0.25, 0.5, 0.25]);
+        assert_eq!(p.dims(), 1);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.at(0, 0, -1), 0.25);
+        assert_eq!(p.at(0, 0, 0), 0.5);
+        assert_eq!(p.points(), 3);
+        assert!(p.is_symmetric());
+        assert_eq!(p.weight_sum(), 1.0);
+    }
+
+    #[test]
+    fn star_vs_box_2d() {
+        let star = Pattern::new_2d(1, &[0.0, 0.1, 0.0, 0.2, 0.4, 0.2, 0.0, 0.1, 0.0]);
+        assert_eq!(star.shape(), Shape::Star);
+        assert_eq!(star.points(), 5);
+        let boxp = Pattern::new_2d(1, &[1.0; 9]);
+        assert_eq!(boxp.shape(), Shape::Box);
+        assert_eq!(boxp.points(), 9);
+    }
+
+    #[test]
+    fn at_2d_orientation() {
+        // row-major, x fastest: w[(dy+r)*side + (dx+r)]
+        let p = Pattern::new_2d(1, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(p.at(0, -1, -1), 1.0);
+        assert_eq!(p.at(0, -1, 1), 3.0);
+        assert_eq!(p.at(0, 0, 0), 5.0);
+        assert_eq!(p.at(0, 1, -1), 7.0);
+        assert!(!p.is_symmetric());
+    }
+
+    #[test]
+    fn x_columns_2d() {
+        let p = Pattern::new_2d(1, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let cols = p.x_columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0], vec![1.0, 4.0, 7.0]); // dx = -1 column
+        assert_eq!(cols[1], vec![2.0, 5.0, 8.0]); // dx = 0
+        assert_eq!(cols[2], vec![3.0, 6.0, 9.0]); // dx = +1
+    }
+
+    #[test]
+    fn x_columns_1d_are_scalars() {
+        let p = Pattern::new_1d(&[1.0, 2.0, 3.0]);
+        let cols = p.x_columns();
+        assert_eq!(cols, vec![vec![1.0], vec![2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn three_d_at() {
+        let mut w = vec![0.0; 27];
+        w[13] = 1.0; // center
+        w[4] = 0.5; // dz=-1, dy=0, dx=0 -> (0*9 + 1*3 + 1) = 4
+        let p = Pattern::new_3d(1, &w);
+        assert_eq!(p.at(0, 0, 0), 1.0);
+        assert_eq!(p.at(-1, 0, 0), 0.5);
+        assert_eq!(p.shape(), Shape::Star);
+    }
+
+    #[test]
+    fn flops_counting() {
+        let p = Pattern::new_2d(1, &[1.0; 9]);
+        assert_eq!(p.flops_per_point(), 18);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_weight_count_panics() {
+        Pattern::new(2, 1, vec![0.0; 8]);
+    }
+}

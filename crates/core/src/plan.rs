@@ -1,0 +1,262 @@
+//! Counterpart planning for the folded executor (paper §3.3 + §3.5).
+//!
+//! The folded matrix Λ (= `fold(p, m)`) is evaluated in two phases:
+//! *vertical folding* computes, per x-position, one value per distinct
+//! weight column of Λ (a *counterpart*), then *horizontal folding*
+//! combines counterpart values across x-offsets. The plan decides the
+//! minimal set of counterparts that must actually be computed ("fresh")
+//! and expresses every column of Λ as a linear combination of them —
+//! using proportionality detection for the separable case (c2 = 2 c1,
+//! c3 = 3 c1 in Fig. 5) and the least-squares regression of §3.5 for the
+//! general case, with the raw input square available as the zero-cost
+//! bias basis `b_n`.
+
+use crate::folding::fold;
+use crate::pattern::Pattern;
+use crate::regression::{least_squares, proportionality, EXACT_TOL};
+
+/// One horizontal-folding term: `coeff * fresh[id]` evaluated at a given
+/// x-offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HTerm {
+    /// Index into [`FoldPlan::fresh`].
+    pub id: usize,
+    /// Scale coefficient.
+    pub coeff: f64,
+}
+
+/// Execution plan for an `m`-step folded update of a linear stencil.
+#[derive(Debug, Clone)]
+pub struct FoldPlan {
+    /// Grid dimensionality.
+    pub dims: usize,
+    /// Unrolling factor `m`.
+    pub m: usize,
+    /// Base pattern radius `r`.
+    pub base_radius: usize,
+    /// Folded radius `R = m * r`.
+    pub radius: usize,
+    /// The folded pattern Λ.
+    pub folded: Pattern,
+    /// Fresh counterpart λ-slabs, each of length `(2R+1)^(dims-1)`
+    /// (y fastest, then z). `fresh[0]` is always the raw-square basis
+    /// `e_center` (the bias of Eq. 7): it costs nothing to "compute".
+    pub fresh: Vec<Vec<f64>>,
+    /// For each x-offset `dx` in `-R..=R` (index `dx + R`): the
+    /// horizontal combination of fresh counterparts reproducing that
+    /// column of Λ. Empty for all-zero columns.
+    pub h: Vec<Vec<HTerm>>,
+}
+
+impl FoldPlan {
+    /// Build the plan for pattern `p` folded `m` times.
+    pub fn new(p: &Pattern, m: usize) -> Self {
+        let folded = fold(p, m);
+        let radius = folded.radius();
+        let dims = p.dims();
+        let cols = folded.x_columns();
+        let slab = cols[0].len();
+
+        // Basis 0: the raw input square (delta at the slab center). For
+        // 1D the slab is a single element, so e_center == [1.0]: every
+        // 1D column is trivially proportional to it and the plan
+        // degenerates to plain horizontal folding, as it should.
+        let mut center = vec![0.0; slab];
+        center[slab / 2] = 1.0;
+        let mut fresh: Vec<Vec<f64>> = vec![center];
+        let mut h: Vec<Vec<HTerm>> = Vec::with_capacity(cols.len());
+
+        for col in &cols {
+            if col.iter().all(|&v| v.abs() <= EXACT_TOL) {
+                h.push(vec![]);
+                continue;
+            }
+            // 1) proportional to an existing fresh counterpart?
+            let mut terms: Option<Vec<HTerm>> = None;
+            for (id, f) in fresh.iter().enumerate() {
+                if let Some(k) = proportionality(f, col) {
+                    if k.abs() > EXACT_TOL {
+                        terms = Some(vec![HTerm { id, coeff: k }]);
+                        break;
+                    }
+                }
+            }
+            // 2) exact linear combination of the existing basis (the
+            //    §3.5 regression)?
+            if terms.is_none() && fresh.len() > 1 {
+                if let Some(fit) = least_squares(&fresh, col) {
+                    if fit.is_exact() {
+                        let combo: Vec<HTerm> = fit
+                            .omega
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, w)| w.abs() > EXACT_TOL)
+                            .map(|(id, &coeff)| HTerm { id, coeff })
+                            .collect();
+                        // Only worth it if cheaper than a fresh fold.
+                        let fresh_cost = col.iter().filter(|v| v.abs() > EXACT_TOL).count();
+                        if combo.len() < fresh_cost {
+                            terms = Some(combo);
+                        }
+                    }
+                }
+            }
+            // 3) give up and compute it fresh.
+            let terms = terms.unwrap_or_else(|| {
+                fresh.push(col.clone());
+                vec![HTerm {
+                    id: fresh.len() - 1,
+                    coeff: 1.0,
+                }]
+            });
+            h.push(terms);
+        }
+
+        Self {
+            dims,
+            m,
+            base_radius: p.radius(),
+            radius,
+            folded,
+            fresh,
+            h,
+        }
+    }
+
+    /// Number of counterparts that need a real vertical fold (excludes
+    /// the free raw-square basis).
+    pub fn fresh_folds(&self) -> usize {
+        self.fresh.len() - 1
+    }
+
+    /// Whether fresh counterpart `id` is actually referenced by any
+    /// horizontal term.
+    pub fn is_used(&self, id: usize) -> bool {
+        self.h.iter().flatten().any(|t| t.id == id)
+    }
+
+    /// Vertical-fold taps of fresh counterpart `id` as
+    /// `(slab_index, weight)` pairs (skipping zeros). `slab_index` runs
+    /// over the `(2R+1)^(dims-1)` cube, y fastest.
+    pub fn fold_taps(&self, id: usize) -> Vec<(usize, f64)> {
+        self.fresh[id]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.abs() > EXACT_TOL)
+            .map(|(i, &w)| (i, w))
+            .collect()
+    }
+
+    /// Validate the plan by reconstructing Λ from fresh slabs and
+    /// horizontal terms; returns the max reconstruction error.
+    pub fn reconstruction_error(&self) -> f64 {
+        let cols = self.folded.x_columns();
+        let mut err = 0.0f64;
+        for (ci, col) in cols.iter().enumerate() {
+            for (row, &want) in col.iter().enumerate() {
+                let got: f64 = self.h[ci]
+                    .iter()
+                    .map(|t| t.coeff * self.fresh[t.id][row])
+                    .sum();
+                err = err.max((got - want).abs());
+            }
+        }
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn separable_box_needs_one_fresh_counterpart() {
+        // Fig. 5: the 2D9P all-w box folded with m=2 is rank-1; one
+        // vertical fold (λ = [1,2,3,2,1] scaled), others proportional.
+        let plan = FoldPlan::new(&kernels::box2d9p(), 2);
+        assert_eq!(plan.fresh_folds(), 1);
+        assert_eq!(plan.radius, 2);
+        // coefficients across dx must be in ratio 1:2:3:2:1
+        let coeffs: Vec<f64> = plan.h.iter().map(|t| t[0].coeff).collect();
+        let base = coeffs[0];
+        let ratios: Vec<f64> = coeffs.iter().map(|c| c / base).collect();
+        for (got, want) in ratios.iter().zip([1.0, 2.0, 3.0, 2.0, 1.0]) {
+            assert!((got - want).abs() < 1e-9, "{ratios:?}");
+        }
+        assert!(plan.reconstruction_error() < 1e-12);
+    }
+
+    #[test]
+    fn star_m1_uses_raw_square_for_side_columns() {
+        // 2D-Heat m=1: side columns are w2 * e_center -> no fresh fold,
+        // only the center column needs one.
+        let plan = FoldPlan::new(&kernels::heat2d(), 1);
+        assert_eq!(plan.fresh_folds(), 1);
+        // dx = -1 column resolves to the raw-square basis (id 0)
+        assert_eq!(plan.h[0].len(), 1);
+        assert_eq!(plan.h[0][0].id, 0);
+        assert!((plan.h[0][0].coeff - 0.125).abs() < 1e-12);
+        assert!(plan.reconstruction_error() < 1e-12);
+    }
+
+    #[test]
+    fn star_m2_symmetry_halves_fresh_folds() {
+        // folded 2D-Heat (m=2) has 5 columns; dx=+k equals dx=-k, so at
+        // most 3 fresh folds; the dx=+-2 column is w2^2 * e_center.
+        let plan = FoldPlan::new(&kernels::heat2d(), 2);
+        assert!(plan.fresh_folds() <= 2, "plan: {plan:?}");
+        assert!(plan.reconstruction_error() < 1e-12);
+    }
+
+    #[test]
+    fn gb_asymmetric_plan_is_exact() {
+        // GB's folding-matrix columns are not proportional; the plan must
+        // still reconstruct Λ exactly (fresh folds or regression combos).
+        let plan = FoldPlan::new(&kernels::gb(), 2);
+        assert!(plan.reconstruction_error() < 1e-10);
+        assert!(plan.fresh_folds() >= 3, "GB should be the stress case");
+    }
+
+    #[test]
+    fn one_dimensional_plan_degenerates() {
+        // 1D: slab = single element; every column is proportional to the
+        // raw basis -> zero fresh folds, horizontal weights = folded taps.
+        let plan = FoldPlan::new(&kernels::heat1d(), 2);
+        assert_eq!(plan.fresh_folds(), 0);
+        let folded = fold(&kernels::heat1d(), 2);
+        for (dx, terms) in plan.h.iter().enumerate() {
+            let w = folded.weights()[dx];
+            if w == 0.0 {
+                continue;
+            }
+            assert_eq!(terms.len(), 1);
+            assert!((terms[0].coeff - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_d_plan_reconstructs() {
+        for m in 1..=2 {
+            let plan = FoldPlan::new(&kernels::heat3d(), m);
+            assert!(plan.reconstruction_error() < 1e-12, "m={m}");
+            let plan = FoldPlan::new(&kernels::box3d27p(), m);
+            assert!(plan.reconstruction_error() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn box3d_is_separable_too() {
+        // all-w 3D box folds into a rank-1 tensor: one fresh fold.
+        let plan = FoldPlan::new(&kernels::box3d27p(), 2);
+        assert_eq!(plan.fresh_folds(), 1);
+    }
+
+    #[test]
+    fn fold_taps_skip_zeros() {
+        let plan = FoldPlan::new(&kernels::heat2d(), 1);
+        // center column is [w1, w3, w1] = 3 taps
+        let taps = plan.fold_taps(1);
+        assert_eq!(taps.len(), 3);
+    }
+}

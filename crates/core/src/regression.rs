@@ -1,0 +1,234 @@
+//! Linear regression for counterpart reuse (paper §3.5, Eq. 7–9).
+//!
+//! The paper generalizes folding to arbitrary stencils by expressing the
+//! `n`-th counterpart as a linear combination of already-computed
+//! counterparts plus a bias, `c_n = ω·c + b_n`, with the parameters found
+//! by "a machine learning algorithm" minimizing the op-collect. The
+//! objective (Eq. 9) is an ordinary least-squares problem over the
+//! counterparts' λ vectors, so the exact optimum is closed-form: solve
+//! the normal equations. This module is that solver — dense Gaussian
+//! elimination with partial pivoting, no external linear algebra.
+
+/// Tolerance under which a residual counts as an exact representation.
+pub const EXACT_TOL: f64 = 1e-9;
+
+/// Solve the square system `A x = b` in place (Gaussian elimination with
+/// partial pivoting). `a` is row-major `n x n`. Returns `None` when the
+/// matrix is singular to working precision.
+pub fn solve_linear(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    for col in 0..n {
+        // partial pivot
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in col + 1..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col * n + c] * x[c];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Result of a least-squares fit `y ~ X w`.
+#[derive(Debug, Clone)]
+pub struct Fit {
+    /// Fitted coefficients, one per column of `X`.
+    pub omega: Vec<f64>,
+    /// Maximum absolute residual `max |X w - y|`.
+    pub max_residual: f64,
+}
+
+impl Fit {
+    /// True when the fit reproduces `y` exactly (to [`EXACT_TOL`]).
+    pub fn is_exact(&self) -> bool {
+        self.max_residual <= EXACT_TOL
+    }
+
+    /// Coefficients that are numerically nonzero.
+    pub fn nonzero_terms(&self) -> usize {
+        self.omega.iter().filter(|w| w.abs() > EXACT_TOL).count()
+    }
+}
+
+/// Least squares: minimize `||X w - y||_2` where `cols` are the columns
+/// of `X` (each of length `y.len()`). Returns `None` if the normal
+/// equations are singular (e.g. linearly dependent columns).
+pub fn least_squares(cols: &[Vec<f64>], y: &[f64]) -> Option<Fit> {
+    let k = cols.len();
+    if k == 0 {
+        let max_residual = y.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        return Some(Fit {
+            omega: vec![],
+            max_residual,
+        });
+    }
+    let n = y.len();
+    for c in cols {
+        assert_eq!(c.len(), n, "column length mismatch");
+    }
+    // normal equations: (X^T X) w = X^T y
+    let mut xtx = vec![0.0; k * k];
+    let mut xty = vec![0.0; k];
+    for i in 0..k {
+        for j in 0..k {
+            xtx[i * k + j] = dot(&cols[i], &cols[j]);
+        }
+        xty[i] = dot(&cols[i], y);
+    }
+    let omega = solve_linear(xtx, xty)?;
+    // residual
+    let mut max_residual = 0.0f64;
+    for row in 0..n {
+        let mut pred = 0.0;
+        for (j, c) in cols.iter().enumerate() {
+            pred += omega[j] * c[row];
+        }
+        max_residual = max_residual.max((pred - y[row]).abs());
+    }
+    Some(Fit {
+        omega,
+        max_residual,
+    })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Scale relation: if `y = k * x` exactly, return `k` (paper's simple
+/// case, e.g. λ(2) = 2 λ(1) for the 2D9P folding matrix).
+pub fn proportionality(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len());
+    let mut k: Option<f64> = None;
+    for (&xv, &yv) in x.iter().zip(y) {
+        if xv.abs() <= EXACT_TOL {
+            if yv.abs() > EXACT_TOL {
+                return None;
+            }
+            continue;
+        }
+        let ratio = yv / xv;
+        match k {
+            None => k = Some(ratio),
+            Some(prev) if (prev - ratio).abs() > EXACT_TOL => return None,
+            _ => {}
+        }
+    }
+    k.or(Some(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_linear(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // leading zero forces a row swap
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve_linear(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_3x3() {
+        // A = [[2,1,0],[1,3,1],[0,1,2]], x = [1,2,3] -> b = [4,10,8]
+        let a = vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
+        let x = solve_linear(a, vec![4.0, 10.0, 8.0]).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ls_exact_combination() {
+        let c1 = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        let c2 = vec![0.0, 1.0, 0.0, 1.0, 0.0];
+        let y: Vec<f64> = c1.iter().zip(&c2).map(|(a, b)| 3.0 * a - 2.0 * b).collect();
+        let fit = least_squares(&[c1, c2], &y).unwrap();
+        assert!(fit.is_exact());
+        assert!((fit.omega[0] - 3.0).abs() < 1e-9);
+        assert!((fit.omega[1] + 2.0).abs() < 1e-9);
+        assert_eq!(fit.nonzero_terms(), 2);
+    }
+
+    #[test]
+    fn ls_inexact_reports_residual() {
+        let c1 = vec![1.0, 0.0];
+        let y = vec![1.0, 1.0]; // cannot be represented
+        let fit = least_squares(&[c1], &y).unwrap();
+        assert!(!fit.is_exact());
+        assert!(fit.max_residual > 0.5);
+    }
+
+    #[test]
+    fn ls_empty_basis() {
+        let fit = least_squares(&[], &[1.0, -2.0]).unwrap();
+        assert_eq!(fit.max_residual, 2.0);
+        assert!(!fit.is_exact());
+    }
+
+    #[test]
+    fn proportionality_detects_scale() {
+        // the paper's example: λ(2) = 2 λ(1), λ(3) = 3 λ(1)
+        let l1 = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        let l2: Vec<f64> = l1.iter().map(|x| 2.0 * x).collect();
+        let l3: Vec<f64> = l1.iter().map(|x| 3.0 * x).collect();
+        assert_eq!(proportionality(&l1, &l2), Some(2.0));
+        assert_eq!(proportionality(&l1, &l3), Some(3.0));
+        assert_eq!(proportionality(&l1, &[1.0, 2.0, 3.0, 2.0, 2.0]), None);
+    }
+
+    #[test]
+    fn proportionality_with_zeros() {
+        let x = vec![0.0, 1.0, 0.0];
+        assert_eq!(proportionality(&x, &[0.0, 5.0, 0.0]), Some(5.0));
+        assert_eq!(proportionality(&x, &[1.0, 5.0, 0.0]), None);
+        assert_eq!(proportionality(&[0.0, 0.0], &[0.0, 0.0]), Some(0.0));
+    }
+}

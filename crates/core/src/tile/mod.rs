@@ -1,0 +1,268 @@
+//! Tiling layer: tessellate tiling (§3.4), split tiling (the SDSL
+//! stand-in) and plain spatial blocking.
+//!
+//! ## Tessellation geometry
+//!
+//! Time blocking runs in *rounds* of `tb` (possibly folded) steps. Within
+//! a round, each dimension is cut into tiles of width `w = 2 * reff * tb`
+//! (`reff` = radius advanced per inner step: `m * r` for an m-folded
+//! kernel). Per dimension a cell has a *triangle profile*
+//! `tau(i) = floor(dist_to_tile_edge / reff)` capped at `tb`; the stages
+//! then update, at inner step `t`:
+//!
+//! * triangle ranges `[L + reff*(t+1), R - reff*(t+1))` — shrinking;
+//! * inverted ranges `[B - reff*(t+1), B + reff*(t+1))` — growing around
+//!   each interior tile boundary `B`.
+//!
+//! A d-dimensional stage is a choice of triangle/inverted per dimension
+//! (`2^d` stages, barriers between; the paper's d+1-stage recombination
+//! is a scheduling refinement of the same tessellation — see DESIGN.md).
+//! Stage `s` updates, at step `t`, the product of its per-dim ranges;
+//! every cell is updated exactly `tb` times per round with no redundant
+//! computation, and all cross-tile reads within a stage touch only
+//! quiescent data — the correctness tests in `tessellate.rs` verify
+//! bit-equality against plain sweeps under heavy thread counts.
+//!
+//! Domain edges: ranges are clamped to the Dirichlet interior
+//! `[band, n - band)`, and tiles touching a domain edge do not shrink on
+//! that side (their reads hit frozen boundary cells).
+
+pub mod spatial;
+pub mod split;
+pub mod tessellate;
+
+use core::ops::Range;
+
+/// Per-dimension tessellation geometry for one round.
+#[derive(Debug, Clone, Copy)]
+pub struct DimTiling {
+    /// Grid extent in this dimension.
+    pub n: usize,
+    /// Dirichlet band width (frozen cells at each end).
+    pub band: usize,
+    /// Radius advanced per inner step (`m * r` for folded kernels).
+    pub reff: usize,
+    /// Inner steps per round.
+    pub tb: usize,
+    /// Tile width `2 * reff * tb`.
+    pub w: usize,
+    /// Number of triangle tiles.
+    pub ntri: usize,
+}
+
+impl DimTiling {
+    /// Build the geometry; `tb` is clamped so at least one tile fits.
+    pub fn new(n: usize, band: usize, reff: usize, tb: usize) -> Self {
+        assert!(reff >= 1 && tb >= 1);
+        assert!(n > 2 * band, "grid smaller than its Dirichlet bands");
+        let w = 2 * reff * tb;
+        let ntri = n.div_ceil(w).max(1);
+        Self {
+            n,
+            band,
+            reff,
+            tb,
+            w,
+            ntri,
+        }
+    }
+
+    /// Largest `tb` such that the tile width `2*reff*tb` does not exceed
+    /// the interior extent (so profiles are well-formed).
+    pub fn max_tb(n: usize, band: usize, reff: usize, wanted: usize) -> usize {
+        let interior = n - 2 * band;
+        wanted.max(1).min((interior / (2 * reff)).max(1))
+    }
+
+    /// Triangle tile `k`'s update range at inner step `t` (may be empty).
+    /// Tiles at domain edges do not shrink on the edge side.
+    pub fn triangle_range(&self, k: usize, t: usize) -> Range<usize> {
+        debug_assert!(k < self.ntri && t < self.tb);
+        let shrink = self.reff * (t + 1);
+        let lo = if k == 0 {
+            self.band
+        } else {
+            (k * self.w + shrink).max(self.band)
+        };
+        let hi = if k == self.ntri - 1 {
+            self.n - self.band
+        } else {
+            ((k + 1) * self.w).saturating_sub(shrink).min(self.n - self.band)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Inverted tile at interior boundary `b` (1..ntri): update range at
+    /// inner step `t`.
+    pub fn inverted_range(&self, b: usize, t: usize) -> Range<usize> {
+        debug_assert!(b >= 1 && b < self.ntri && t < self.tb);
+        let grow = self.reff * (t + 1);
+        let c = b * self.w;
+        let lo = c.saturating_sub(grow).max(self.band);
+        let hi = (c + grow).min(self.n - self.band);
+        lo..hi.max(lo)
+    }
+
+    /// Number of inverted tiles (interior boundaries).
+    pub fn ninv(&self) -> usize {
+        self.ntri - 1
+    }
+
+    /// Range for stage-kind `inv` and tile index `i` at step `t`.
+    pub fn range(&self, inv: bool, i: usize, t: usize) -> Range<usize> {
+        if inv {
+            self.inverted_range(i + 1, t)
+        } else {
+            self.triangle_range(i, t)
+        }
+    }
+
+    /// Tile count for stage-kind `inv`.
+    pub fn count(&self, inv: bool) -> usize {
+        if inv {
+            self.ninv()
+        } else {
+            self.ntri
+        }
+    }
+}
+
+/// Raw two-buffer handle for tile-parallel Jacobi rounds.
+///
+/// Tiles running concurrently need simultaneous access to both time
+/// levels with disjoint write regions; this wrapper hands out raw
+/// pointers under the tiling layer's region-disjointness contract
+/// (see module docs), keeping all mutation inside documented unsafe.
+pub(crate) struct RawPair<G> {
+    src0: *mut G,
+    dst0: *mut G,
+}
+
+// SAFETY: tiles write disjoint regions; stage barriers order everything
+// else (contract documented on the tiling drivers).
+unsafe impl<G> Send for RawPair<G> {}
+unsafe impl<G> Sync for RawPair<G> {}
+
+impl<G> RawPair<G> {
+    /// Wrap `(current, scratch)` mutable references.
+    pub fn new(cur: &mut G, scratch: &mut G) -> Self {
+        Self {
+            src0: cur as *mut G,
+            dst0: scratch as *mut G,
+        }
+    }
+
+    /// `(src, dst)` for inner step `t` (parity alternates).
+    ///
+    /// # Safety
+    /// Caller must only write regions no other thread touches during the
+    /// same stage, per the tessellation disjointness argument.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn src_dst(&self, t: usize) -> (&G, &mut G) {
+        if t.is_multiple_of(2) {
+            (&*self.src0, &mut *self.dst0)
+        } else {
+            (&*self.dst0, &mut *self.src0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_profiles_match_paper_fig7() {
+        // W = 8, tb = 4, reff = 1: per-cell update counts from triangles
+        // must be the staircase min(dist, tb) for interior tiles.
+        let d = DimTiling::new(24, 1, 1, 4);
+        assert_eq!(d.w, 8);
+        let mut count = [0usize; 24];
+        for k in 0..d.ntri {
+            for t in 0..d.tb {
+                for i in d.triangle_range(k, t) {
+                    count[i] += 1;
+                }
+            }
+        }
+        // middle tile [8, 16): profile 0,1,2,3,3,2,1,0 relative to edges
+        assert_eq!(&count[8..16], &[0, 1, 2, 3, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn triangles_plus_inverted_update_everything_tb_times() {
+        for (n, band, reff, tb) in [(40usize, 1, 1, 4), (64, 2, 2, 3), (33, 1, 1, 2)] {
+            let d = DimTiling::new(n, band, reff, tb);
+            let mut count = vec![0usize; n];
+            for k in 0..d.ntri {
+                for t in 0..tb {
+                    for i in d.triangle_range(k, t) {
+                        count[i] += 1;
+                    }
+                }
+            }
+            for b in 1..d.ntri {
+                for t in 0..tb {
+                    for i in d.inverted_range(b, t) {
+                        count[i] += 1;
+                    }
+                }
+            }
+            for (i, &c) in count.iter().enumerate() {
+                let want = if i < band || i >= n - band { 0 } else { tb };
+                assert_eq!(c, want, "n={n} band={band} reff={reff} tb={tb} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_write_overlap_within_stage_at_any_step_pair() {
+        // Disjointness of concurrent tiles: triangle tiles never overlap
+        // at any (t, t') pair, and inverted tiles never overlap.
+        let d = DimTiling::new(48, 1, 1, 4);
+        for k1 in 0..d.ntri {
+            for k2 in k1 + 1..d.ntri {
+                for t1 in 0..d.tb {
+                    for t2 in 0..d.tb {
+                        let a = d.triangle_range(k1, t1);
+                        let b = d.triangle_range(k2, t2);
+                        assert!(a.end <= b.start || b.end <= a.start);
+                    }
+                }
+            }
+        }
+        for b1 in 1..d.ntri {
+            for b2 in b1 + 1..d.ntri {
+                for t1 in 0..d.tb {
+                    for t2 in 0..d.tb {
+                        let a = d.inverted_range(b1, t1);
+                        let b = d.inverted_range(b2, t2);
+                        assert!(a.end <= b.start || b.end <= a.start);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_tb_keeps_tiles_inside() {
+        assert_eq!(DimTiling::max_tb(100, 1, 1, 10), 10);
+        assert_eq!(DimTiling::max_tb(100, 1, 1, 1000), 49);
+        assert_eq!(DimTiling::max_tb(20, 2, 2, 8), 4);
+        assert!(DimTiling::max_tb(6, 2, 1, 5) >= 1);
+    }
+
+    #[test]
+    fn raw_pair_parity() {
+        let mut a = vec![1.0f64];
+        let mut b = vec![2.0f64];
+        let pair = RawPair::new(&mut a, &mut b);
+        unsafe {
+            let (s0, d0) = pair.src_dst(0);
+            assert_eq!(s0[0], 1.0);
+            d0[0] = 5.0;
+            let (s1, _) = pair.src_dst(1);
+            assert_eq!(s1[0], 5.0);
+        }
+    }
+}

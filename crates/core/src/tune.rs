@@ -1,0 +1,203 @@
+//! Parameter autotuning — the paper's declared future work ("the
+//! performance is sensitive to the stencil parameters, significant
+//! efforts are required in automatic tuning and this will be done
+//! separately", §4.1).
+//!
+//! The search space here is the one Table 1 hand-tunes: the tessellation
+//! *time block* (and, for spatial blocking, the tile edge). Probe runs on
+//! a shrunken copy of the problem rank the candidates, then the best
+//! candidate is re-validated on a second probe to damp timing noise.
+
+use crate::api::{Method, Tiling};
+use crate::pattern::Pattern;
+use crate::Solver;
+use std::time::{Duration, Instant};
+use stencil_grid::{Grid1D, Grid2D};
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning time block.
+    pub time_block: usize,
+    /// Probe throughput per candidate, in points/sec (same order as the
+    /// candidate list).
+    pub probe_rates: Vec<(usize, f64)>,
+    /// Total time spent probing.
+    pub spent: Duration,
+}
+
+/// Default candidate ladder for time blocks.
+pub fn default_candidates() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64]
+}
+
+/// Tune the tessellation time block for a 1D problem of size `n`.
+///
+/// `probe_steps` inner steps per candidate (16 is plenty); the probe grid
+/// is capped at 1/4 of `n` (min 4096) so tuning costs a fraction of one
+/// real run.
+pub fn tune_time_block_1d(
+    p: &Pattern,
+    method: Method,
+    n: usize,
+    threads: usize,
+    probe_steps: usize,
+    candidates: &[usize],
+) -> TuneResult {
+    assert!(!candidates.is_empty());
+    let t0 = Instant::now();
+    let probe_n = (n / 4).clamp(4096.min(n), n);
+    let grid = Grid1D::from_fn(probe_n, |i| ((i * 31) % 17) as f64);
+    let mut rates = Vec::with_capacity(candidates.len());
+    for &tb in candidates {
+        let solver = Solver::new(p.clone())
+            .method(method)
+            .tiling(Tiling::Tessellate { time_block: tb })
+            .threads(threads);
+        // warm-up + measure
+        let _ = solver.run_1d(&grid, probe_steps.min(4));
+        let t = Instant::now();
+        let _ = solver.run_1d(&grid, probe_steps);
+        let rate = probe_n as f64 * probe_steps as f64 / t.elapsed().as_secs_f64();
+        rates.push((tb, rate));
+    }
+    let best = pick_best(&mut rates, |tb| {
+        let solver = Solver::new(p.clone())
+            .method(method)
+            .tiling(Tiling::Tessellate { time_block: tb })
+            .threads(threads);
+        let t = Instant::now();
+        let _ = solver.run_1d(&grid, probe_steps);
+        probe_n as f64 * probe_steps as f64 / t.elapsed().as_secs_f64()
+    });
+    TuneResult {
+        time_block: best,
+        probe_rates: rates,
+        spent: t0.elapsed(),
+    }
+}
+
+/// Tune the tessellation time block for a 2D problem of `ny x nx`.
+pub fn tune_time_block_2d(
+    p: &Pattern,
+    method: Method,
+    (ny, nx): (usize, usize),
+    threads: usize,
+    probe_steps: usize,
+    candidates: &[usize],
+) -> TuneResult {
+    assert!(!candidates.is_empty());
+    let t0 = Instant::now();
+    let (py, px) = ((ny / 2).clamp(64.min(ny), ny), (nx / 2).clamp(64.min(nx), nx));
+    let grid = Grid2D::from_fn(py, px, |y, x| ((y * 13 + x * 7) % 19) as f64);
+    let mut rates = Vec::with_capacity(candidates.len());
+    for &tb in candidates {
+        let solver = Solver::new(p.clone())
+            .method(method)
+            .tiling(Tiling::Tessellate { time_block: tb })
+            .threads(threads);
+        let _ = solver.run_2d(&grid, probe_steps.min(4));
+        let t = Instant::now();
+        let _ = solver.run_2d(&grid, probe_steps);
+        let rate = (py * px) as f64 * probe_steps as f64 / t.elapsed().as_secs_f64();
+        rates.push((tb, rate));
+    }
+    let best = pick_best(&mut rates, |tb| {
+        let solver = Solver::new(p.clone())
+            .method(method)
+            .tiling(Tiling::Tessellate { time_block: tb })
+            .threads(threads);
+        let t = Instant::now();
+        let _ = solver.run_2d(&grid, probe_steps);
+        (py * px) as f64 * probe_steps as f64 / t.elapsed().as_secs_f64()
+    });
+    TuneResult {
+        time_block: best,
+        probe_rates: rates,
+        spent: t0.elapsed(),
+    }
+}
+
+/// Pick the best candidate: re-probe the top two and keep the winner
+/// (single probes are noisy; a runoff between the leaders is cheap and
+/// fixes most mis-rankings).
+fn pick_best(rates: &mut [(usize, f64)], mut reprobe: impl FnMut(usize) -> f64) -> usize {
+    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    if rates.len() == 1 {
+        return rates[0].0;
+    }
+    let (a, b) = (rates[0].0, rates[1].0);
+    let (ra, rb) = (reprobe(a), reprobe(b));
+    if rb > ra {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn tuner_returns_a_candidate_1d() {
+        let cands = [2usize, 8, 16];
+        let r = tune_time_block_1d(
+            &kernels::heat1d(),
+            Method::Folded { m: 2 },
+            100_000,
+            2,
+            8,
+            &cands,
+        );
+        assert!(cands.contains(&r.time_block));
+        assert_eq!(r.probe_rates.len(), 3);
+        assert!(r.probe_rates.iter().all(|&(_, rate)| rate > 0.0));
+    }
+
+    #[test]
+    fn tuner_returns_a_candidate_2d() {
+        let cands = [2usize, 4];
+        let r = tune_time_block_2d(
+            &kernels::box2d9p(),
+            Method::Folded { m: 2 },
+            (128, 128),
+            2,
+            4,
+            &cands,
+        );
+        assert!(cands.contains(&r.time_block));
+    }
+
+    #[test]
+    fn tuned_solver_still_correct() {
+        // after tuning, a solve with the chosen tb matches the scalar
+        // reference — tuning must not change semantics
+        let p = kernels::heat1d();
+        let r = tune_time_block_1d(&p, Method::MultipleLoads, 50_000, 2, 6, &[4, 16]);
+        let g = Grid1D::from_fn(2048, |i| ((i * 7) % 23) as f64);
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, 12);
+        let got = Solver::new(p)
+            .method(Method::MultipleLoads)
+            .tiling(Tiling::Tessellate {
+                time_block: r.time_block,
+            })
+            .threads(2)
+            .run_1d(&g, 12);
+        assert!(stencil_grid::max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12);
+    }
+
+    #[test]
+    fn single_candidate_shortcut() {
+        let r = tune_time_block_1d(
+            &kernels::heat1d(),
+            Method::MultipleLoads,
+            20_000,
+            1,
+            4,
+            &[8],
+        );
+        assert_eq!(r.time_block, 8);
+    }
+}

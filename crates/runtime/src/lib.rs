@@ -1,0 +1,29 @@
+//! # stencil-runtime
+//!
+//! Thread runtime for the tiled stencil executors: a persistent worker
+//! pool ([`pool::ThreadPool`]) with blocking fork-join semantics, plus
+//! static and dynamic `parallel_for` helpers ([`parallel`]).
+//!
+//! `rayon` is not on this project's allowed dependency list, so the pool
+//! is built directly on `std::thread` + `parking_lot` synchronization.
+//! The design is the classic epoch/condvar fork-join: the calling thread
+//! publishes a job, participates as worker 0, and blocks until every
+//! worker has finished the job — giving each `run` call an implicit
+//! barrier, which is exactly the phase semantics tessellate tiling needs
+//! (one `run` per tessellation stage).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod parallel;
+pub mod pool;
+
+pub use parallel::{chunk_ranges, parallel_for, parallel_for_static};
+pub use pool::ThreadPool;
+
+/// Number of hardware threads (fallback 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,133 @@
+//! `parallel_for` helpers over a [`ThreadPool`](crate::ThreadPool).
+
+use crate::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Split `0..n` into `parts` near-equal contiguous ranges (first
+/// `n % parts` ranges get one extra element). Empty ranges are possible
+/// when `parts > n`.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Static-schedule parallel for: worker `w` processes the `w`-th
+/// contiguous chunk of `0..n`. Matches OpenMP `schedule(static)`, which
+/// the reference stencil codes use; contiguous chunks also preserve NUMA
+/// first-touch locality.
+pub fn parallel_for_static<F>(pool: &ThreadPool, n: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let ranges = chunk_ranges(n, pool.threads());
+    pool.run(&|w| {
+        let r = ranges[w].clone();
+        if !r.is_empty() {
+            body(r);
+        }
+    });
+}
+
+/// Dynamic-schedule parallel for: workers grab `grain`-sized chunks from
+/// an atomic cursor. Use for irregular tiles (tessellation boundary tiles
+/// are smaller than interior ones).
+pub fn parallel_for<F>(pool: &ThreadPool, n: usize, grain: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let cursor = AtomicUsize::new(0);
+    pool.run(&|_| loop {
+        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + grain).min(n);
+        body(start..end);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let rs = chunk_ranges(n, parts);
+                assert_eq!(rs.len(), parts);
+                let mut covered = vec![false; n];
+                for r in &rs {
+                    for i in r.clone() {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} parts={parts}");
+                // contiguous and ordered
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_for_touches_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let hits = Mutex::new(vec![0u32; n]);
+        parallel_for_static(&pool, n, &|r| {
+            let mut h = hits.lock();
+            for i in r {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn dynamic_for_touches_every_index_once() {
+        let pool = ThreadPool::new(5);
+        let n = 997; // prime: exercises ragged last chunk
+        let hits = Mutex::new(vec![0u32; n]);
+        parallel_for(&pool, n, 13, &|r| {
+            let mut h = hits.lock();
+            for i in r {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn dynamic_for_zero_items_is_noop() {
+        let pool = ThreadPool::new(2);
+        parallel_for(&pool, 0, 4, &|_r| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let pool = ThreadPool::new(8);
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let total = Mutex::new(0.0f64);
+        parallel_for_static(&pool, data.len(), &|r| {
+            let part: f64 = data[r].iter().sum();
+            *total.lock() += part;
+        });
+        let serial: f64 = data.iter().sum();
+        assert!((*total.lock() - serial).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Persistent fork-join worker pool.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased job pointer. The pool guarantees the referenced closure
+/// outlives its use: `run` does not return until every worker has
+/// finished the job, so extending the lifetime to `'static` inside the
+/// pool is sound (same argument as scoped threads).
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct State {
+    job: Option<Job>,
+    epoch: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    job_done: Condvar,
+}
+
+/// A fixed-size pool of `threads` workers (the creating thread counts as
+/// worker 0 and participates in every job).
+///
+/// ```
+/// use stencil_runtime::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|worker| {
+///     assert!(worker < 4);
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` total workers (min 1). `threads - 1`
+    /// OS threads are spawned; the caller is worker 0.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stencil-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total worker count (including the caller).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `f(worker_id)` on every worker, blocking until all have
+    /// returned. Acts as a barrier: no worker can observe state from a
+    /// later `run` while another is still inside this one.
+    pub fn run<F>(&self, f: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        let job: &(dyn Fn(usize) + Sync) = f;
+        // SAFETY: `run` blocks until every worker has finished with `job`,
+        // so the reference never outlives the closure it points to.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.job.is_none(), "nested run on the same pool");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.threads - 1;
+            self.shared.job_ready.notify_all();
+        }
+        // Participate as worker 0.
+        f(0);
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            self.shared.job_done.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch advanced without a job");
+                }
+                shared.job_ready.wait(&mut st);
+            }
+        };
+        job(id);
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_once() {
+        let pool = ThreadPool::new(6);
+        let count = AtomicUsize::new(0);
+        let ids = Mutex::new(Vec::new());
+        pool.run(&|id| {
+            count.fetch_add(1, Ordering::SeqCst);
+            ids.lock().push(id);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+        let mut ids = ids.into_inner();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_is_reusable_and_barriered() {
+        let pool = ThreadPool::new(4);
+        let acc = AtomicUsize::new(0);
+        for round in 1..=10 {
+            pool.run(&|_| {
+                acc.fetch_add(1, Ordering::SeqCst);
+            });
+            // Implicit barrier: after run returns, all 4 increments landed.
+            assert_eq!(acc.load(Ordering::SeqCst), round * 4);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let flag = AtomicUsize::new(0);
+        pool.run(&|id| {
+            assert_eq!(id, 0);
+            flag.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn borrows_local_state_safely() {
+        // The lifetime-erasure safety argument in action: job borrows a
+        // stack-local Vec through &Mutex.
+        let pool = ThreadPool::new(3);
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let sum = Mutex::new(0.0);
+        pool.run(&|id| {
+            let part: f64 = data.iter().skip(id).step_by(3).sum();
+            *sum.lock() += part;
+        });
+        assert_eq!(*sum.lock(), (0..100).sum::<usize>() as f64);
+    }
+}

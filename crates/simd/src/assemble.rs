@@ -1,0 +1,133 @@
+//! Assembled-vector construction for the transpose layout (paper §2.2).
+//!
+//! In the transpose layout, the vector set of block `b` holds the block's
+//! `vl x vl` elements column-major: vector `j` contains original elements
+//! `b*vl*vl + j + k*vl` for lane `k`. A radius-`r` 1D stencil then needs,
+//! per vector set, the `r` *left dependents* of its first vectors and the
+//! `r` *right dependents* of its last vectors — each built from one vector
+//! of the neighbouring block with a single blend + circular shift
+//! (`shift_in_left` / `shift_in_right`).
+
+use crate::vector::SimdF64;
+
+/// Left dependent #k (k = 1..=r) of a vector set: the vector holding the
+/// elements `k` positions to the left of vector `0`'s elements.
+///
+/// Needs the current set's vector `vl - k` and the previous block's vector
+/// `vl - k`.
+#[inline(always)]
+pub fn left_dependent<V: SimdF64>(cur_set: &[V], prev_set: &[V], k: usize) -> V {
+    debug_assert!(k >= 1 && k <= V::LANES);
+    let j = V::LANES - k;
+    cur_set[j].shift_in_left(prev_set[j])
+}
+
+/// Right dependent #k (k = 1..=r): the vector holding the elements `k`
+/// positions to the right of vector `vl-1`'s elements.
+///
+/// Needs the current set's vector `k - 1` and the next block's vector
+/// `k - 1`.
+#[inline(always)]
+pub fn right_dependent<V: SimdF64>(cur_set: &[V], next_set: &[V], k: usize) -> V {
+    debug_assert!(k >= 1 && k <= V::LANES);
+    let j = k - 1;
+    cur_set[j].shift_in_right(next_set[j])
+}
+
+/// The vector holding elements at offset `off` (can be negative) from the
+/// elements of vector `j` of the current set, given the neighbouring sets.
+///
+/// For `-(vl) <= off + j <= 2*vl - 1`. Interior offsets are free (another
+/// vector of the same set); crossing offsets cost one shuffle.
+#[inline(always)]
+pub fn neighbor_vector<V: SimdF64>(cur: &[V], prev: &[V], next: &[V], j: usize, off: isize) -> V {
+    let vl = V::LANES as isize;
+    let pos = j as isize + off;
+    if pos >= 0 && pos < vl {
+        cur[pos as usize]
+    } else if pos < 0 {
+        // pos in [-vl, -1]: left dependent #(-pos)
+        left_dependent(cur, prev, (-pos) as usize)
+    } else {
+        // pos in [vl, 2vl-1]: right dependent #(pos - vl + 1)
+        right_dependent(cur, next, (pos - vl + 1) as usize)
+    }
+}
+
+/// Number of shuffle (assembly) operations a radius-`r` stencil performs
+/// per vector set in the transpose layout: `2r` (paper §2.2) — versus
+/// `vl * 2r` single-element-shift shuffles for the data-reorganization
+/// scheme and `2r` *redundant full loads per vector* for multiple-loads.
+#[inline]
+pub fn assembled_ops_per_set(r: usize) -> usize {
+    2 * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portable::PF64x4;
+
+    /// Build the vector sets of three consecutive blocks of a 1D sequence
+    /// 0..48 in transpose layout.
+    fn blocks() -> [[PF64x4; 4]; 3] {
+        let mut out = [[PF64x4::zero(); 4]; 3];
+        for (b, set) in out.iter_mut().enumerate() {
+            for (j, v) in set.iter_mut().enumerate() {
+                for k in 0..4 {
+                    *v = v.insert(k, (b * 16 + j + k * 4) as f64);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn left_dependent_is_shifted_column() {
+        let [prev, cur, _] = blocks();
+        // Vector 0 of `cur` holds original indices {16,20,24,28}; its left
+        // dependent must hold {15,19,23,27}.
+        let ld = left_dependent(&cur, &prev, 1);
+        assert_eq!(ld.to_vec(), vec![15.0, 19.0, 23.0, 27.0]);
+        // Left dependent #2 holds {14,18,22,26}.
+        let ld2 = left_dependent(&cur, &prev, 2);
+        assert_eq!(ld2.to_vec(), vec![14.0, 18.0, 22.0, 26.0]);
+    }
+
+    #[test]
+    fn right_dependent_is_shifted_column() {
+        let [_, cur, next] = blocks();
+        // Vector 3 of `cur` holds {19,23,27,31}; right dependent #1 holds
+        // {20,24,28,32}.
+        let rd = right_dependent(&cur, &next, 1);
+        assert_eq!(rd.to_vec(), vec![20.0, 24.0, 28.0, 32.0]);
+        let rd2 = right_dependent(&cur, &next, 2);
+        assert_eq!(rd2.to_vec(), vec![21.0, 25.0, 29.0, 33.0]);
+    }
+
+    #[test]
+    fn neighbor_vector_all_offsets() {
+        let [prev, cur, next] = blocks();
+        // For every vector j and offset within +-4, the neighbor vector's
+        // lanes must equal original_index + offset.
+        for j in 0..4usize {
+            for off in -4isize..=4 {
+                let pos = j as isize + off;
+                if !(-4..8).contains(&pos) {
+                    continue;
+                }
+                let v = neighbor_vector(&cur, &prev, &next, j, off);
+                for k in 0..4 {
+                    let expect = (16 + j + k * 4) as isize + off;
+                    assert_eq!(v.extract(k), expect as f64, "j={j} off={off} lane={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts() {
+        assert_eq!(assembled_ops_per_set(1), 2);
+        assert_eq!(assembled_ops_per_set(2), 4);
+    }
+}

@@ -1,0 +1,125 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests: the intrinsic backends must agree bit-for-bit with
+//! the portable reference on every operation, for arbitrary lane values.
+
+use proptest::prelude::*;
+use stencil_simd::portable::{PF64x4, PF64x8};
+use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
+
+fn arr4() -> impl Strategy<Value = [f64; 4]> {
+    prop::array::uniform4(-1e6f64..1e6)
+}
+
+fn arr8() -> impl Strategy<Value = [f64; 8]> {
+    prop::array::uniform8(-1e6f64..1e6)
+}
+
+fn n4(a: [f64; 4]) -> NativeF64x4 {
+    NativeF64x4::from_slice(&a)
+}
+
+fn p4(a: [f64; 4]) -> PF64x4 {
+    PF64x4::new(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arithmetic_matches_portable_x4(a in arr4(), b in arr4(), c in arr4()) {
+        prop_assert_eq!(n4(a).add(n4(b)).to_vec(), p4(a).add(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).sub(n4(b)).to_vec(), p4(a).sub(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).mul(n4(b)).to_vec(), p4(a).mul(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).max(n4(b)).to_vec(), p4(a).max(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).min(n4(b)).to_vec(), p4(a).min(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).ge01(n4(b)).to_vec(), p4(a).ge01(p4(b)).to_vec());
+        prop_assert_eq!(n4(a).eq01(n4(b)).to_vec(), p4(a).eq01(p4(b)).to_vec());
+        // FMA: the portable backend uses f64::mul_add, so exact equality
+        // holds only when the native backend fuses too (it does on
+        // x86-64 with FMA); compare exactly.
+        prop_assert_eq!(
+            n4(a).mul_add(n4(b), n4(c)).to_vec(),
+            p4(a).mul_add(p4(b), p4(c)).to_vec()
+        );
+    }
+
+    #[test]
+    fn shifts_match_portable_x4(a in arr4(), b in arr4()) {
+        prop_assert_eq!(
+            n4(a).shift_in_right(n4(b)).to_vec(),
+            p4(a).shift_in_right(p4(b)).to_vec()
+        );
+        prop_assert_eq!(
+            n4(a).shift_in_left(n4(b)).to_vec(),
+            p4(a).shift_in_left(p4(b)).to_vec()
+        );
+        prop_assert_eq!(
+            n4(a).rotate_lanes_left().to_vec(),
+            p4(a).rotate_lanes_left().to_vec()
+        );
+        prop_assert_eq!(
+            n4(a).rotate_lanes_right().to_vec(),
+            p4(a).rotate_lanes_right().to_vec()
+        );
+    }
+
+    #[test]
+    fn transpose_matches_portable_x4(rows in prop::array::uniform4(arr4())) {
+        let mut native: Vec<NativeF64x4> = rows.iter().map(|r| n4(*r)).collect();
+        let mut portable: Vec<PF64x4> = rows.iter().map(|r| p4(*r)).collect();
+        NativeF64x4::transpose(&mut native);
+        PF64x4::transpose(&mut portable);
+        for (nv, pv) in native.iter().zip(&portable) {
+            prop_assert_eq!(nv.to_vec(), pv.to_vec());
+        }
+    }
+
+    #[test]
+    fn transpose_matches_portable_x8(rows in prop::array::uniform8(arr8())) {
+        let mut native: Vec<NativeF64x8> = rows.iter().map(|r| NativeF64x8::from_slice(r)).collect();
+        let mut portable: Vec<PF64x8> = rows.iter().map(|r| PF64x8::new(*r)).collect();
+        NativeF64x8::transpose(&mut native);
+        PF64x8::transpose(&mut portable);
+        for (nv, pv) in native.iter().zip(&portable) {
+            prop_assert_eq!(nv.to_vec(), pv.to_vec());
+        }
+    }
+
+    #[test]
+    fn shifts_match_portable_x8(a in arr8(), b in arr8()) {
+        let (na, nb) = (NativeF64x8::from_slice(&a), NativeF64x8::from_slice(&b));
+        let (pa, pb) = (PF64x8::new(a), PF64x8::new(b));
+        prop_assert_eq!(na.shift_in_right(nb).to_vec(), pa.shift_in_right(pb).to_vec());
+        prop_assert_eq!(na.shift_in_left(nb).to_vec(), pa.shift_in_left(pb).to_vec());
+    }
+
+    #[test]
+    fn load_store_roundtrip(a in arr8(), off in 0usize..8) {
+        let mut buf = [0.0f64; 24];
+        buf[off..off + 8].copy_from_slice(&a);
+        // SAFETY: in-bounds by construction.
+        let v = unsafe { NativeF64x8::load(buf.as_ptr().add(off)) };
+        let mut out = [0.0f64; 24];
+        unsafe { v.store(out.as_mut_ptr().add(off)) };
+        prop_assert_eq!(&out[off..off + 8], &a);
+    }
+
+    #[test]
+    fn insert_extract_consistency(a in arr4(), i in 0usize..4, v in -1e6f64..1e6) {
+        let w = n4(a).insert(i, v);
+        prop_assert_eq!(w.extract(i), v);
+        for j in 0..4 {
+            if j != i {
+                prop_assert_eq!(w.extract(j), a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_sum_matches(a in arr4()) {
+        let want: f64 = a.iter().sum();
+        let got = n4(a).horizontal_sum();
+        prop_assert!((want - got).abs() <= 1e-9 * want.abs().max(1.0));
+    }
+}

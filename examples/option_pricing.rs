@@ -1,0 +1,62 @@
+//! American put option pricing with the APOP kernel (paper Table 1): a
+//! 1D 3-point stencil over two arrays with an early-exercise check,
+//! run backward from expiry with the vectorized and folded executors.
+//!
+//! ```sh
+//! cargo run --release --example option_pricing
+//! ```
+
+use std::time::Instant;
+use stencil_lab::core::exec::apop;
+use stencil_lab::simd::NativeF64x4;
+
+fn main() {
+    let n = 200_001; // spot grid 0..=2000 in steps of 0.01
+    let strike = 100.0;
+    let ds = 0.001;
+    let steps = 2000;
+    let ap = apop::Apop::new(n, strike, ds);
+
+    println!("American put, strike = {strike}, {n} spot points, {steps} steps");
+
+    // per-step exercise (American)
+    let t0 = Instant::now();
+    let american = apop::sweep::<NativeF64x4>(&ap, steps);
+    let t_american = t0.elapsed();
+
+    // folded (Bermudan, exercise every 2nd step) — the paper's
+    // "Our (2 steps)" trade for this kernel
+    let t0 = Instant::now();
+    let bermudan = apop::sweep_folded::<NativeF64x4>(&ap, 2, steps);
+    let t_bermudan = t0.elapsed();
+
+    println!(
+        "American (m=1): {:>6.1} ms   Bermudan (m=2): {:>6.1} ms",
+        t_american.as_secs_f64() * 1e3,
+        t_bermudan.as_secs_f64() * 1e3
+    );
+
+    println!("\n  spot     payoff   American   Bermudan   early-exercise premium");
+    for spot in [60.0f64, 80.0, 90.0, 100.0, 110.0, 120.0] {
+        let i = ((spot / ds).round() as usize).min(n - 1);
+        let intrinsic = ap.payoff[i];
+        println!(
+            "{:>7.1} {:>9.3} {:>10.4} {:>10.4} {:>12.4}",
+            spot,
+            intrinsic,
+            american[i],
+            bermudan[i],
+            american[i] - intrinsic
+        );
+    }
+
+    // sanity: value dominates intrinsic, Bermudan <= American
+    let mut violations = 0usize;
+    for i in 4..n - 4 {
+        if american[i] < ap.payoff[i] - 1e-9 || bermudan[i] > american[i] + 1e-9 {
+            violations += 1;
+        }
+    }
+    println!("\nno-arbitrage violations: {violations}");
+    assert_eq!(violations, 0);
+}

@@ -1,0 +1,41 @@
+//! # stencil-lab
+//!
+//! Umbrella crate for the SC'21 reproduction of *"Reducing Redundancy in
+//! Data Organization and Arithmetic Calculation for Stencil
+//! Computations"* (Li et al.): transpose-layout vectorization, temporal
+//! computation folding, tessellate tiling, and every baseline the paper
+//! compares against — as a workspace of focused crates re-exported here.
+//!
+//! * [`simd`] — vector backends, in-register transpose, assembled vectors.
+//! * [`grid`] — aligned grids, ping-pong pairs, layout transforms.
+//! * [`runtime`] — thread pool and parallel-for (no external deps).
+//! * [`core`] — patterns, folding matrices, counterpart planning,
+//!   executors, tiling, and the high-level [`Solver`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stencil_lab::{Method, Solver, Tiling};
+//! use stencil_lab::core::kernels;
+//! use stencil_lab::grid::Grid1D;
+//!
+//! // Diffuse an impulse with the paper's folded method under tessellate
+//! // tiling on two threads.
+//! let grid = Grid1D::from_fn(4096, |i| if i == 2048 { 1.0 } else { 0.0 });
+//! let out = Solver::new(kernels::heat1d())
+//!     .method(Method::Folded { m: 2 })
+//!     .tiling(Tiling::Tessellate { time_block: 16 })
+//!     .threads(2)
+//!     .run_1d(&grid, 500);
+//! let mass: f64 = out.as_slice().iter().sum();
+//! assert!((mass - 1.0).abs() < 1e-9);
+//! ```
+
+pub use stencil_core as core;
+pub use stencil_grid as grid;
+pub use stencil_runtime as runtime;
+pub use stencil_simd as simd;
+
+pub use stencil_core::{FoldPlan, Method, Pattern, Shape, Solver, Tiling};
+pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
+pub use stencil_runtime::ThreadPool;

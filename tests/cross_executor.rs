@@ -1,0 +1,171 @@
+//! Integration: every vectorization method must produce the same fields
+//! as the scalar reference, for every linear benchmark kernel, across
+//! widths — the core correctness claim behind the performance numbers.
+
+use stencil_lab::core::api::Width;
+use stencil_lab::core::kernels;
+use stencil_lab::grid::max_abs_diff;
+use stencil_lab::{Grid1D, Grid2D, Grid3D, Method, Pattern, Solver};
+
+const TOL: f64 = 1e-11;
+
+fn grid1(n: usize) -> Grid1D {
+    Grid1D::from_fn(n, |i| ((i * 2654435761) % 1024) as f64 / 1024.0)
+}
+
+fn grid2(ny: usize, nx: usize) -> Grid2D {
+    Grid2D::from_fn(ny, nx, |y, x| ((y * 31 + x * 17) % 257) as f64 / 257.0)
+}
+
+fn grid3(nz: usize, ny: usize, nx: usize) -> Grid3D {
+    Grid3D::from_fn(nz, ny, nx, |z, y, x| ((z * 7 + y * 11 + x * 13) % 127) as f64)
+}
+
+#[test]
+fn one_dimensional_methods_agree() {
+    for p in [kernels::heat1d(), kernels::d1p5()] {
+        let g = grid1(1024);
+        let t = 20;
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+        for method in [
+            Method::MultipleLoads,
+            Method::DataReorg,
+            Method::Dlt,
+            Method::TransposeLayout,
+        ] {
+            for width in [Width::W4, Width::W8] {
+                let got = Solver::new(p.clone())
+                    .method(method)
+                    .width(width)
+                    .run_1d(&g, t);
+                assert!(
+                    max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
+                    "{method:?} {width:?} pts={}",
+                    p.points()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn folded_1d_matches_scalar_folded() {
+    for p in [kernels::heat1d(), kernels::d1p5()] {
+        for m in [2usize, 3] {
+            let folded = stencil_lab::core::folding::fold(&p, m);
+            if folded.radius() > 8 {
+                continue; // beyond the 8-lane assembled-vector reach
+            }
+            // the assembled vectors reach at most `vl` lanes: use the
+            // 8-lane width when the folded radius exceeds 4
+            let width = if folded.radius() > 4 { Width::W8 } else { Width::W4 };
+            let g = grid1(640);
+            let steps = 4 * m;
+            let want = Solver::new(folded)
+                .method(Method::Scalar)
+                .run_1d(&g, steps / m);
+            let got = Solver::new(p.clone())
+                .method(Method::Folded { m })
+                .width(width)
+                .run_1d(&g, steps);
+            assert!(
+                max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
+                "m={m} pts={}",
+                p.points()
+            );
+        }
+    }
+}
+
+#[test]
+fn two_dimensional_methods_agree() {
+    // life_count has weight sum 8, so the field grows as 8^t and only a
+    // relative comparison is meaningful; the others are averaging.
+    for p in [
+        kernels::heat2d(),
+        kernels::box2d9p(),
+        kernels::gb(),
+        kernels::life_count(),
+    ] {
+        let g = grid2(64, 72);
+        let t = 10;
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_2d(&g, t);
+        for method in [Method::MultipleLoads, Method::TransposeLayout] {
+            let got = Solver::new(p.clone()).method(method).run_2d(&g, t);
+            assert!(
+                stencil_lab::grid::rel_l2_error(&got.to_dense(), &want.to_dense()) < 1e-13,
+                "{method:?} pts={}",
+                p.points()
+            );
+        }
+    }
+}
+
+#[test]
+fn folded_2d_matches_scalar_folded_all_kernels() {
+    for p in [kernels::heat2d(), kernels::box2d9p(), kernels::gb()] {
+        let g = grid2(57, 63);
+        let folded = stencil_lab::core::folding::fold(&p, 2);
+        let want = Solver::new(folded).method(Method::Scalar).run_2d(&g, 4);
+        for width in [Width::W4, Width::W8] {
+            let got = Solver::new(p.clone())
+                .method(Method::Folded { m: 2 })
+                .width(width)
+                .run_2d(&g, 8);
+            assert!(
+                max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-10,
+                "{width:?} pts={}",
+                p.points()
+            );
+        }
+    }
+}
+
+#[test]
+fn three_dimensional_methods_agree() {
+    for p in [kernels::heat3d(), kernels::box3d27p()] {
+        let g = grid3(18, 20, 24);
+        let t = 5;
+        let want = Solver::new(p.clone()).method(Method::Scalar).run_3d(&g, t);
+        for method in [Method::MultipleLoads, Method::TransposeLayout] {
+            let got = Solver::new(p.clone()).method(method).run_3d(&g, t);
+            assert!(
+                max_abs_diff(&want.to_dense(), &got.to_dense()) < TOL,
+                "{method:?} pts={}",
+                p.points()
+            );
+        }
+        // folded m=2
+        let folded = stencil_lab::core::folding::fold(&p, 2);
+        let want2 = Solver::new(folded).method(Method::Scalar).run_3d(&g, 2);
+        let got2 = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .run_3d(&g, 4);
+        assert!(
+            max_abs_diff(&want2.to_dense(), &got2.to_dense()) < 1e-10,
+            "folded pts={}",
+            p.points()
+        );
+    }
+}
+
+#[test]
+fn arbitrary_asymmetric_patterns_1d() {
+    // beyond the named benchmarks: random asymmetric taps
+    let taps = [0.11, -0.2, 0.37, 0.4, 0.05];
+    let p = Pattern::new_1d(&taps);
+    let g = grid1(512);
+    let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, 8);
+    for method in [
+        Method::MultipleLoads,
+        Method::DataReorg,
+        Method::Dlt,
+        Method::TransposeLayout,
+    ] {
+        let got = Solver::new(p.clone()).method(method).run_1d(&g, 8);
+        assert!(
+            max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
+            "{method:?}"
+        );
+    }
+}

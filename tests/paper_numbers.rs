@@ -1,0 +1,107 @@
+//! The paper's quantitative claims that are checkable analytically —
+//! pinned as integration tests so the reproduction can't drift.
+
+use stencil_lab::core::plan::FoldPlan;
+use stencil_lab::core::{cost, folding, kernels};
+use stencil_lab::simd::cost as simd_cost;
+
+/// §3.2, Fig. 4: naive 2-step 2D9P costs |C(E)| = 90 instructions.
+#[test]
+fn naive_collect_90() {
+    assert_eq!(cost::collect_naive(&kernels::box2d9p(), 2), 90);
+}
+
+/// §3.2, Eq. 2: direct folded evaluation costs |C(E_Λ)| = 25.
+#[test]
+fn folded_collect_25() {
+    assert_eq!(cost::collect_folded(&kernels::box2d9p(), 2), 25);
+}
+
+/// §3.2, Eq. 3: P(E, E_Λ) = 90/25 = 3.6 before counterpart reuse.
+#[test]
+fn profitability_3_6_before_reuse() {
+    let p = cost::collect_naive(&kernels::box2d9p(), 2) as f64
+        / cost::collect_folded(&kernels::box2d9p(), 2) as f64;
+    assert_eq!(p, 3.6);
+}
+
+/// §3.3: counterpart reuse drops the collect to 9 → P = 10.
+#[test]
+fn planned_collect_9_profitability_10() {
+    let plan = FoldPlan::new(&kernels::box2d9p(), 2);
+    assert_eq!(cost::collect_planned(&plan), 9);
+    assert_eq!(cost::profitability(&kernels::box2d9p(), 2), 10.0);
+}
+
+/// §3.4, Fig. 6: shifts reusing turns the 9-op update into 4 ops,
+/// a 2.25x reuse profitability.
+#[test]
+fn shift_reuse_2_25() {
+    assert_eq!(cost::collect_shift_reuse(&kernels::box2d9p()), 4);
+    assert_eq!(cost::shift_reuse_profitability(&kernels::box2d9p()), 2.25);
+}
+
+/// Fig. 4(b): the six λ weights of the symmetric 9-point folding matrix.
+#[test]
+fn lambda_weights_fig4() {
+    let (w1, w2, w3) = (0.1, 0.05, 0.4);
+    let p = stencil_lab::Pattern::new_2d(1, &[w1, w2, w1, w2, w3, w2, w1, w2, w1]);
+    let f = folding::fold(&p, 2);
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-14;
+    assert!(close(f.at(0, -2, -2), w1 * w1)); // λ1
+    assert!(close(f.at(0, -2, -1), 2.0 * w1 * w2)); // λ2
+    assert!(close(f.at(0, -2, 0), 2.0 * w1 * w1 + w2 * w2)); // λ3
+    assert!(close(f.at(0, -1, -1), 2.0 * (w1 * w3 + w2 * w2))); // λ4
+    assert!(close(f.at(0, -1, 0), 2.0 * (2.0 * w1 * w2 + w2 * w3))); // λ5
+    assert!(close(
+        f.at(0, 0, 0),
+        2.0 * (2.0 * w1 * w1 + w2 * w2) + 2.0 * w2 * w2 + w3 * w3
+    )); // λ6
+}
+
+/// Fig. 5: the all-w box's counterpart weights are λ(1) = {1,2,3,2,1}
+/// scaled, with c2 = 2·c1 and c3 = 3·c1 (the paper's ω2 = (2),
+/// ω3 = (0, 3)).
+#[test]
+fn counterpart_ratios_fig5() {
+    let plan = FoldPlan::new(&kernels::box2d9p(), 2);
+    assert_eq!(plan.fresh_folds(), 1);
+    let c: Vec<f64> = plan.h.iter().map(|t| t[0].coeff).collect();
+    assert!((c[1] / c[0] - 2.0).abs() < 1e-12, "c2 = 2 c1");
+    assert!((c[2] / c[0] - 3.0).abs() < 1e-12, "c3 = 3 c1");
+}
+
+/// §2.3: the AVX2 transpose is 8 instructions in 2 stages ("launched
+/// continuously in 8 cycles"); AVX-512 takes 3 stages.
+#[test]
+fn transpose_scheme_claims() {
+    assert_eq!(simd_cost::PAPER_AVX2.instructions(), 8);
+    assert_eq!(simd_cost::PAPER_AVX2.stages, 2);
+    assert_eq!(simd_cost::PAPER_AVX2.issue_cycles(), 8);
+    assert_eq!(simd_cost::PAPER_AVX512.stages, 3);
+}
+
+/// §2.2: a radius-r stencil needs 2r assembled vectors per vector set.
+#[test]
+fn assembled_vector_count() {
+    assert_eq!(stencil_lab::simd::assemble::assembled_ops_per_set(1), 2);
+    assert_eq!(stencil_lab::simd::assemble::assembled_ops_per_set(2), 4);
+}
+
+/// Table 1 point counts, all nine benchmarks.
+#[test]
+fn table1_point_counts() {
+    let t = kernels::table1();
+    let pts: Vec<usize> = t.iter().map(|b| b.points).collect();
+    assert_eq!(pts, vec![3, 5, 6, 5, 9, 8, 9, 7, 27]);
+}
+
+/// The GB stress test: folding stays profitable but trails the
+/// symmetric box (the paper's "not prominent" observation).
+#[test]
+fn gb_profitability_ordering() {
+    let gb = cost::profitability(&kernels::gb(), 2);
+    let sym = cost::profitability(&kernels::box2d9p(), 2);
+    assert!(gb > 1.0);
+    assert!(gb < sym);
+}
