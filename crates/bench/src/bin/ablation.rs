@@ -28,7 +28,11 @@ fn main() {
     for m in 1..=3usize {
         let s = Solver::new(kernels::heat1d()).method(Method::Folded { m });
         let (_, d) = measure::time_once(|| s.run_1d(&g1, t1));
-        tab.put("1D-Heat", format!("m={m}"), Some(measure::gflops(n1, t1, 6, d)));
+        tab.put(
+            "1D-Heat",
+            format!("m={m}"),
+            Some(measure::gflops(n1, t1, 6, d)),
+        );
         let s = Solver::new(kernels::box2d9p()).method(Method::Folded { m });
         let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
         tab.put(
@@ -59,7 +63,11 @@ fn main() {
 
     // 3. vector width
     let mut tab = Table::new("Ablation: vector width (2D9P folded m=2)", "GFLOP/s");
-    for (name, w) in [("scalar", Width::W1), ("4 lanes", Width::W4), ("8 lanes", Width::W8)] {
+    for (name, w) in [
+        ("scalar", Width::W1),
+        ("4 lanes", Width::W4),
+        ("8 lanes", Width::W8),
+    ] {
         let s = Solver::new(kernels::box2d9p())
             .method(Method::Folded { m: 2 })
             .width(w);

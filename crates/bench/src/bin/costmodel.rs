@@ -9,10 +9,19 @@ use stencil_simd::cost as simd_cost;
 fn main() {
     println!("== Scalar profitability analysis (paper §3.2, 2D9P m=2) ==");
     let p9 = kernels::box2d9p();
-    println!("|C(E)|  naive 2-step        = {}", cost::collect_naive(&p9, 2));
-    println!("|C(E_L)| folded             = {}", cost::collect_folded(&p9, 2));
+    println!(
+        "|C(E)|  naive 2-step        = {}",
+        cost::collect_naive(&p9, 2)
+    );
+    println!(
+        "|C(E_L)| folded             = {}",
+        cost::collect_folded(&p9, 2)
+    );
     let plan = FoldPlan::new(&p9, 2);
-    println!("|C(E_L)| counterpart reuse  = {}", cost::collect_planned(&plan));
+    println!(
+        "|C(E_L)| counterpart reuse  = {}",
+        cost::collect_planned(&plan)
+    );
     println!(
         "P(E, E_L) = {:.1} (before reuse {:.1}); shifts reuse: {} -> {} ops, P = {:.2}",
         cost::profitability(&p9, 2),

@@ -33,7 +33,10 @@ fn main() {
         SIZE_LADDER.to_vec()
     };
 
-    println!("Fig. 8 — single-thread blocking-free 1D-Heat ({})", stencil_simd::backend_summary());
+    println!(
+        "Fig. 8 — single-thread blocking-free 1D-Heat ({})",
+        stencil_simd::backend_summary()
+    );
     let mut tables = Vec::new();
     for (label, t) in [("T", t_small), ("10T", t_big)] {
         let mut tab = Table::new(format!("Fig 8 ({label} = {t} steps)"), "GFLOP/s");

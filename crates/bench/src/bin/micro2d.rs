@@ -9,15 +9,24 @@ use stencil_simd::NativeF64x4;
 fn bench(name: &str, n: usize, flops_per_call: f64, reps: usize, mut f: impl FnMut()) {
     f();
     let t0 = Instant::now();
-    for _ in 0..reps { f(); }
+    for _ in 0..reps {
+        f();
+    }
     let dt = t0.elapsed().as_secs_f64() / reps as f64;
-    println!("{name:<26} n={n:>5}^2  {:>8.2} GFLOP/s(nominal)", flops_per_call / dt / 1e9);
+    println!(
+        "{name:<26} n={n:>5}^2  {:>8.2} GFLOP/s(nominal)",
+        flops_per_call / dt / 1e9
+    );
 }
 
 fn main() {
     for n in [256usize, 1024] {
         let reps = (1024 * 1024 * 24 / (n * n)).max(2);
-        for p in [("2D9P", kernels::box2d9p()), ("2D-Heat", kernels::heat2d()), ("GB", kernels::gb())] {
+        for p in [
+            ("2D9P", kernels::box2d9p()),
+            ("2D-Heat", kernels::heat2d()),
+            ("GB", kernels::gb()),
+        ] {
             let (name, p) = p;
             let g = Grid2D::from_fn(n, n, |y, x| ((y * 31 + x) % 101) as f64);
             let mut a = g.clone();

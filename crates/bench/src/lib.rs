@@ -17,9 +17,21 @@
 //! Default problem sizes are scaled to finish on a laptop; pass `--paper`
 //! for the Table-1 sizes and `--quick` for CI smoke runs. All binaries
 //! accept `--json <path>` to dump machine-readable results.
+//!
+//! ```
+//! use stencil_bench::{gflops, Table};
+//! use std::time::Duration;
+//!
+//! let mut t = Table::new("demo", "GFLOP/s");
+//! // 1M points x 10 steps x 5 flops in 25 ms = 2 GFLOP/s.
+//! let rate = gflops(1_000_000, 10, 5, Duration::from_millis(25));
+//! t.put("1D-Heat", "scalar", Some(rate));
+//! assert_eq!(t.get("1D-Heat", "scalar"), Some(2.0));
+//! ```
 
-#![allow(clippy::needless_range_loop)] // offset-indexed loops are the
-// domain idiom here (windows, tiles, taps); iterators would hide the math
+// Offset-indexed loops are the domain idiom here (windows, tiles, taps);
+// iterators would hide the math.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,9 +1,11 @@
 //! Result tables: fixed-width console rendering + JSON dump.
-
-use serde::Serialize;
+//!
+//! JSON is emitted by a small hand-rolled writer instead of
+//! `serde`/`serde_json` so the harness stays dependency-free (the build
+//! environment is offline).
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     /// Row label (e.g. benchmark name).
     pub row: String,
@@ -14,7 +16,7 @@ pub struct Cell {
 }
 
 /// A named table of cells addressed by (row, col).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (printed as a header).
     pub title: String,
@@ -112,10 +114,69 @@ impl Table {
         println!("{}", self.render());
     }
 
-    /// Serialize (possibly several tables) to a JSON file.
+    /// Serialize (possibly several tables) to a pretty-printed JSON file.
     pub fn dump_json(tables: &[&Table], path: &str) -> std::io::Result<()> {
-        let s = serde_json::to_string_pretty(tables).expect("tables serialize");
+        let mut s = String::from("[");
+        for (i, t) in tables.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n  {\n");
+            s.push_str(&format!("    \"title\": {},\n", json_string(&t.title)));
+            s.push_str(&format!("    \"unit\": {},\n", json_string(&t.unit)));
+            s.push_str("    \"cells\": [");
+            for (j, c) in t.cells.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\n      {{ \"row\": {}, \"col\": {}, \"value\": {} }}",
+                    json_string(&c.row),
+                    json_string(&c.col),
+                    json_number(c.value)
+                ));
+            }
+            if !t.cells.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("]\n  }");
+        }
+        s.push_str("\n]\n");
         std::fs::write(path, s)
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (or `null`); non-finite values also map to `null`.
+fn json_number(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => {
+            // Ensure a decimal point so the value parses back as a float.
+            if x == x.trunc() && x.abs() < 1e15 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        _ => "null".to_string(),
     }
 }
 

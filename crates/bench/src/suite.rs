@@ -89,8 +89,8 @@ impl BenchId {
     /// Flops per point per time step (multiply-accumulate counting).
     pub fn flops_per_point(self) -> usize {
         match self {
-            BenchId::Apop => 7,       // 3 madds + max
-            BenchId::Life => 16,      // 8 neighbour adds + rule
+            BenchId::Apop => 7,  // 3 madds + max
+            BenchId::Life => 16, // 8 neighbour adds + rule
             other => 2 * other.pattern().unwrap().points(),
         }
     }
@@ -227,9 +227,8 @@ pub fn run_one(
     }
     let flops = bench.flops_per_point();
     match bench {
-        BenchId::Apop => run_apop(method, threads, sizes).map(|d| {
-            (measure::gflops(sizes.n1, sizes.t1, flops, d), d)
-        }),
+        BenchId::Apop => run_apop(method, threads, sizes)
+            .map(|d| (measure::gflops(sizes.n1, sizes.t1, flops, d), d)),
         BenchId::Life => run_life(method, threads, sizes).map(|d| {
             let (ny, nx) = sizes.n2;
             (measure::gflops(ny * nx, sizes.t2, flops, d), d)
@@ -304,12 +303,17 @@ fn run_apop(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
         MethodId::Tess => Some(
             measure::time_once(|| {
                 let mut pp = PingPong::new(ap.initial_values());
-                tessellate::run_1d(&pool, &mut pp, 1, 1, tb, t, &|s: &[f64],
-                                                                  d: &mut [f64],
-                                                                  lo,
-                                                                  hi| {
-                    apop::step_range_scalar(s, d, &taps, &pay, lo, hi)
-                });
+                tessellate::run_1d(
+                    &pool,
+                    &mut pp,
+                    1,
+                    1,
+                    tb,
+                    t,
+                    &|s: &[f64], d: &mut [f64], lo, hi| {
+                        apop::step_range_scalar(s, d, &taps, &pay, lo, hi)
+                    },
+                );
                 pp.into_current()
             })
             .1,
@@ -331,12 +335,15 @@ fn apop_tess<V: SimdF64>(
     let taps = ap.taps.to_vec();
     measure::time_once(|| {
         let mut pp = PingPong::new(ap.initial_values());
-        tessellate::run_1d(pool, &mut pp, 1, 1, tb, t, &|s: &[f64],
-                                                         d: &mut [f64],
-                                                         lo,
-                                                         hi| {
-            apop::step_range::<V>(s, d, &taps, &pay, lo, hi)
-        });
+        tessellate::run_1d(
+            pool,
+            &mut pp,
+            1,
+            1,
+            tb,
+            t,
+            &|s: &[f64], d: &mut [f64], lo, hi| apop::step_range::<V>(s, d, &taps, &pay, lo, hi),
+        );
         pp.into_current()
     })
     .1
@@ -355,12 +362,17 @@ fn apop_tess_folded<V: SimdF64>(
     let rr = folded.radius();
     measure::time_once(|| {
         let mut pp = PingPong::new(ap.initial_values());
-        tessellate::run_1d(pool, &mut pp, rr, rr, tb, t / m, &|s: &[f64],
-                                                               d: &mut [f64],
-                                                               lo,
-                                                               hi| {
-            apop::step_folded_range::<V>(s, d, &taps, &pay, lo, hi)
-        });
+        tessellate::run_1d(
+            pool,
+            &mut pp,
+            rr,
+            rr,
+            tb,
+            t / m,
+            &|s: &[f64], d: &mut [f64], lo, hi| {
+                apop::step_folded_range::<V>(s, d, &taps, &pay, lo, hi)
+            },
+        );
         pp.into_current()
     })
     .1
@@ -377,12 +389,15 @@ fn run_life(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
         MethodId::Tess => Some(
             measure::time_once(|| {
                 let mut pp = PingPong::new(g.clone());
-                tessellate::run_2d(&pool, &mut pp, 1, 1, tb, t, &|s: &Grid2D,
-                                                                  d: &mut Grid2D,
-                                                                  ys,
-                                                                  xs| {
-                    life::step_range_scalar(s, d, ys, xs)
-                });
+                tessellate::run_2d(
+                    &pool,
+                    &mut pp,
+                    1,
+                    1,
+                    tb,
+                    t,
+                    &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step_range_scalar(s, d, ys, xs),
+                );
                 pp.into_current()
             })
             .1,
@@ -396,12 +411,15 @@ fn run_life(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
 fn life_tess<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> Duration {
     measure::time_once(|| {
         let mut pp = PingPong::new(g.clone());
-        tessellate::run_2d(pool, &mut pp, 1, 1, tb, t, &|s: &Grid2D,
-                                                         d: &mut Grid2D,
-                                                         ys,
-                                                         xs| {
-            life::step_range::<V>(s, d, ys, xs)
-        });
+        tessellate::run_2d(
+            pool,
+            &mut pp,
+            1,
+            1,
+            tb,
+            t,
+            &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step_range::<V>(s, d, ys, xs),
+        );
         pp.into_current()
     })
     .1
@@ -411,12 +429,15 @@ fn life_tess2<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) ->
     measure::time_once(|| {
         let mut pp = PingPong::new(g.clone());
         // fused double generation: reff = 2 per inner step
-        tessellate::run_2d(pool, &mut pp, 2, 2, tb, t / 2, &|s: &Grid2D,
-                                                             d: &mut Grid2D,
-                                                             ys,
-                                                             xs| {
-            life::step2_range::<V>(s, d, ys, xs)
-        });
+        tessellate::run_2d(
+            pool,
+            &mut pp,
+            2,
+            2,
+            tb,
+            t / 2,
+            &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step2_range::<V>(s, d, ys, xs),
+        );
         pp.into_current()
     })
     .1

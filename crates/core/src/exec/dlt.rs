@@ -12,12 +12,12 @@
 //!
 //! Seam columns (`p` within `r` of 0 or `cols`) need values from the
 //! neighbouring lane: `orig[l*cols - k]` is lane `l-1` of DLT vector
-//! `cols - k`. [`vec_at`] builds those wrapped vectors with a single lane
+//! `cols - k`. The private `vec_at` helper builds those wrapped vectors with a single lane
 //! shift; the out-of-domain lanes they carry are restored by the
 //! Dirichlet fix-up, mirroring how DLT codes patch their boundaries.
 
-#![allow(clippy::needless_range_loop)] // indexed tap/window loops keep
-// the offset arithmetic explicit and unrolled
+// Indexed tap/window loops keep the offset arithmetic explicit and unrolled.
+#![allow(clippy::needless_range_loop)]
 
 use crate::pattern::Pattern;
 use stencil_grid::layout::DltLayout;
@@ -59,7 +59,12 @@ pub fn step_dlt_range<V: SimdF64>(
     p_lo: usize,
     p_hi: usize,
 ) {
-    crate::exec::dispatch_taps!(step_dlt_range_t, V, taps, (src, dst, taps, cols, p_lo, p_hi));
+    crate::exec::dispatch_taps!(
+        step_dlt_range_t,
+        V,
+        taps,
+        (src, dst, taps, cols, p_lo, p_hi)
+    );
 }
 
 fn step_dlt_range_t<V: SimdF64, const T: usize>(

@@ -23,11 +23,13 @@
 //! square, horizontal fold with assembled block-edge vectors, transpose
 //! back — matching the paper's "view 4N points as a 4 x N grid".
 
-#![allow(clippy::needless_range_loop)] // indexed loops here are offset
+#![allow(clippy::needless_range_loop)]
+// indexed loops here are offset
 // windows (ext[j + k]) where iterator rewrites obscure the paper's
 // notation and codegen alike
-#![allow(clippy::too_many_arguments)] // kernel entry points mirror the
-// (plan, grid, strides, block) parameter sets of the paper's pseudocode
+// Kernel entry points mirror the (plan, grid, strides, block) parameter
+// sets of the paper's pseudocode.
+#![allow(clippy::too_many_arguments)]
 
 use crate::folding::fold;
 use crate::pattern::Pattern;
@@ -108,8 +110,7 @@ impl FoldedKernel {
         self.used_ids == [1]
             && self.taps_by_id.len() > 1
             && self.taps_by_id[1].len() == side.pow(self.plan.dims as u32 - 1)
-            && self
-                .taps_by_id[1]
+            && self.taps_by_id[1]
                 .iter()
                 .enumerate()
                 .all(|(i, &(slab, _))| slab == i)
@@ -200,7 +201,8 @@ fn step_squares_range_1d_t<V: SimdF64, const T: usize>(
         V::transpose(&mut ext[rr..rr + vl]);
         for k in 1..=rr {
             ext[rr - k] = ext[rr + vl - k].shift_in_left(V::splat(src[s - k]));
-            ext[rr + vl - 1 + k] = ext[rr + k - 1].shift_in_right(V::splat(src[s + square + k - 1]));
+            ext[rr + vl - 1 + k] =
+                ext[rr + k - 1].shift_in_right(V::splat(src[s + square + k - 1]));
         }
         // horizontal fold
         let mut out = [V::zero(); 8];
@@ -670,12 +672,7 @@ fn compute_block_3d<V: SimdF64>(
     for (u, plane) in rowvec[..side].iter_mut().enumerate() {
         for (t, rv) in plane[..vl + 2 * rr].iter_mut().enumerate() {
             // SAFETY: caller keeps the block R away from grid edges.
-            *rv = unsafe {
-                V::load(
-                    s.as_ptr()
-                        .add((z0 - rr + u) * sz + (y0 - rr + t) * sy + bx),
-                )
-            };
+            *rv = unsafe { V::load(s.as_ptr().add((z0 - rr + u) * sz + (y0 - rr + t) * sy + bx)) };
         }
     }
     for (u, &id) in k.used_ids.iter().enumerate() {

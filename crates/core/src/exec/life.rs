@@ -16,8 +16,8 @@
 //! Boundary cells are frozen (Dirichlet), consistent with the other
 //! executors.
 
-#![allow(clippy::needless_range_loop)] // indexed tap/window loops keep
-// the offset arithmetic explicit and unrolled
+// Indexed tap/window loops keep the offset arithmetic explicit and unrolled.
+#![allow(clippy::needless_range_loop)]
 
 use stencil_grid::{Grid2D, PingPong};
 use stencil_simd::SimdF64;

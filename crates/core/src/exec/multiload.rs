@@ -5,8 +5,8 @@
 //! output vector — redundant cache traffic that makes it the slowest
 //! scheme in Fig. 8.
 
-#![allow(clippy::needless_range_loop)] // indexed tap/window loops keep
-// the offset arithmetic explicit and unrolled
+// Indexed tap/window loops keep the offset arithmetic explicit and unrolled.
+#![allow(clippy::needless_range_loop)]
 
 use crate::exec::{dispatch_taps, tap_count};
 use crate::pattern::Pattern;

@@ -10,8 +10,8 @@
 //! DLT, elements within a block stay contiguous (one or two cache lines),
 //! so cache blocking still works.
 
-#![allow(clippy::needless_range_loop)] // indexed tap/window loops keep
-// the offset arithmetic explicit and unrolled
+// Indexed tap/window loops keep the offset arithmetic explicit and unrolled.
+#![allow(clippy::needless_range_loop)]
 
 use crate::folding::fold;
 use crate::pattern::Pattern;
@@ -59,7 +59,8 @@ fn step_x_t<V: SimdF64, const T: usize>(src: &[f64], dst: &mut [f64], taps: &[f6
             // entries are the set's own vectors.
             let mut ext = [V::zero(); 8 + 2 * 8];
             for k in 1..=r {
-                ext[r - k] = neighbor_vector(&cur[..vl], &prev[..vl], &next[..vl], 0, -(k as isize));
+                ext[r - k] =
+                    neighbor_vector(&cur[..vl], &prev[..vl], &next[..vl], 0, -(k as isize));
                 ext[r + vl - 1 + k] =
                     neighbor_vector(&cur[..vl], &prev[..vl], &next[..vl], vl - 1, k as isize);
             }

@@ -27,10 +27,7 @@ pub fn apop_linear() -> Pattern {
 
 /// 2D 5-point heat stencil (star): center 0.5, axis neighbours 0.125.
 pub fn heat2d() -> Pattern {
-    Pattern::new_2d(
-        1,
-        &[0.0, 0.125, 0.0, 0.125, 0.5, 0.125, 0.0, 0.125, 0.0],
-    )
+    Pattern::new_2d(1, &[0.0, 0.125, 0.0, 0.125, 0.5, 0.125, 0.0, 0.125, 0.0])
 }
 
 /// 2D 9-point box stencil, uniform weight 1/9 (Fig. 5's kernel).
@@ -48,10 +45,7 @@ pub fn life_count() -> Pattern {
 /// (the paper's stress test: no column of the folding matrix is a
 /// multiple of another).
 pub fn gb() -> Pattern {
-    Pattern::new_2d(
-        1,
-        &[0.01, 0.03, 0.05, 0.07, 0.53, 0.11, 0.09, 0.06, 0.05],
-    )
+    Pattern::new_2d(1, &[0.01, 0.03, 0.05, 0.07, 0.53, 0.11, 0.09, 0.06, 0.05])
 }
 
 /// 3D 7-point heat stencil (star): center 0.4, axis neighbours 0.1.
@@ -59,7 +53,14 @@ pub fn heat3d() -> Pattern {
     let mut w = vec![0.0; 27];
     let idx = |dz: usize, dy: usize, dx: usize| dz * 9 + dy * 3 + dx;
     w[idx(1, 1, 1)] = 0.4;
-    for (dz, dy, dx) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+    for (dz, dy, dx) in [
+        (0, 1, 1),
+        (2, 1, 1),
+        (1, 0, 1),
+        (1, 2, 1),
+        (1, 1, 0),
+        (1, 1, 2),
+    ] {
         w[idx(dz, dy, dx)] = 0.1;
     }
     Pattern::new_3d(1, &w)

@@ -87,7 +87,9 @@ impl DimTiling {
         let hi = if k == self.ntri - 1 {
             self.n - self.band
         } else {
-            ((k + 1) * self.w).saturating_sub(shrink).min(self.n - self.band)
+            ((k + 1) * self.w)
+                .saturating_sub(shrink)
+                .min(self.n - self.band)
         };
         lo..hi.max(lo)
     }

@@ -351,13 +351,9 @@ mod tests {
                 1,
                 6,
                 24,
-                &|s: &[f64], d: &mut [f64], lo, hi| {
-                    scalar::step_range_1d(s, d, &taps, lo, hi)
-                },
+                &|s: &[f64], d: &mut [f64], lo, hi| scalar::step_range_1d(s, d, &taps, lo, hi),
             );
-            assert!(
-                max_abs_diff(want.current().as_slice(), pp.current().as_slice()) < 1e-12
-            );
+            assert!(max_abs_diff(want.current().as_slice(), pp.current().as_slice()) < 1e-12);
         }
     }
 
@@ -397,9 +393,7 @@ mod tests {
             1,
             3,
             steps,
-            &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
-                life::step_range::<NativeF64x4>(s, d, ys, xs)
-            },
+            &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step_range::<NativeF64x4>(s, d, ys, xs),
         );
         assert!(max_abs_diff(&want.to_dense(), &pp.current().to_dense()) < 1e-15);
     }
@@ -408,7 +402,11 @@ mod tests {
     #[test]
     fn tess_2d_randomized_shapes() {
         let p = Pattern::new_2d(1, &[0.05, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05]);
-        for (ny, nx, steps, tb) in [(20usize, 35usize, 3usize, 2usize), (31, 22, 8, 5), (64, 17, 6, 4)] {
+        for (ny, nx, steps, tb) in [
+            (20usize, 35usize, 3usize, 2usize),
+            (31, 22, 8, 5),
+            (64, 17, 6, 4),
+        ] {
             let g = Grid2D::from_fn(ny, nx, |y, x| ((y * 17 + x * 29) % 41) as f64);
             let mut want = PingPong::new(g.clone());
             scalar::sweep_2d(&mut want, &p, steps);
@@ -421,9 +419,7 @@ mod tests {
                 1,
                 tb,
                 steps,
-                &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
-                    scalar::step_range_2d(s, d, &pc, ys, xs)
-                },
+                &|s: &Grid2D, d: &mut Grid2D, ys, xs| scalar::step_range_2d(s, d, &pc, ys, xs),
             );
             assert!(
                 max_abs_diff(&want.current().to_dense(), &pp.current().to_dense()) < 1e-12,

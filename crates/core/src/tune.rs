@@ -88,7 +88,10 @@ pub fn tune_time_block_2d(
 ) -> TuneResult {
     assert!(!candidates.is_empty());
     let t0 = Instant::now();
-    let (py, px) = ((ny / 2).clamp(64.min(ny), ny), (nx / 2).clamp(64.min(nx), nx));
+    let (py, px) = (
+        (ny / 2).clamp(64.min(ny), ny),
+        (nx / 2).clamp(64.min(nx), nx),
+    );
     let grid = Grid2D::from_fn(py, px, |y, x| ((y * 13 + x * 7) % 19) as f64);
     let mut rates = Vec::with_capacity(candidates.len());
     for &tb in candidates {

@@ -79,7 +79,10 @@ impl DltLayout {
     /// Layout for array length `n` and vector length `vl`.
     /// Panics unless `n` is a positive multiple of `vl`.
     pub fn new(n: usize, vl: usize) -> Self {
-        assert!(vl >= 1 && n > 0 && n.is_multiple_of(vl), "n must be a multiple of vl");
+        assert!(
+            vl >= 1 && n > 0 && n.is_multiple_of(vl),
+            "n must be a multiple of vl"
+        );
         Self { vl, n }
     }
 

@@ -12,6 +12,23 @@
 //! * the **DLT layout** (Henretty; §2.1) — a *global* dimension-lifted
 //!   transpose into a separate buffer ([`layout::DltLayout`]), whose cost
 //!   and locality loss are exactly what the paper's scheme avoids.
+//!
+//! ```
+//! use stencil_grid::{Grid1D, Grid2D, PingPong};
+//!
+//! // Row-padded 2D grid: rows are aligned, so vector loads on any row
+//! // start at a cache-line boundary.
+//! let g = Grid2D::from_fn(3, 5, |y, x| (y * 5 + x) as f64);
+//! assert_eq!(g.row(2)[4], 14.0);
+//! assert!(g.stride() >= 5);
+//!
+//! // Jacobi ping-pong pair: write into dst, swap, read from current.
+//! let mut pp = PingPong::new(Grid1D::zeros(8));
+//! let (_src, dst) = pp.src_dst();
+//! dst.as_mut_slice()[3] = 1.0;
+//! pp.swap();
+//! assert_eq!(pp.current().as_slice()[3], 1.0);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

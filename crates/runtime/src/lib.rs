@@ -5,18 +5,33 @@
 //! static and dynamic `parallel_for` helpers ([`parallel`]).
 //!
 //! `rayon` is not on this project's allowed dependency list, so the pool
-//! is built directly on `std::thread` + `parking_lot` synchronization.
+//! is built directly on `std::thread` plus the poison-free `Mutex`/
+//! `Condvar` wrappers in [`sync`] — the crate has zero dependencies.
 //! The design is the classic epoch/condvar fork-join: the calling thread
 //! publishes a job, participates as worker 0, and blocks until every
 //! worker has finished the job — giving each `run` call an implicit
 //! barrier, which is exactly the phase semantics tessellate tiling needs
 //! (one `run` per tessellation stage).
+//!
+//! ```
+//! use stencil_runtime::{parallel_for_static, ThreadPool};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = ThreadPool::new(4);
+//! let sum = AtomicU64::new(0);
+//! parallel_for_static(&pool, 1000, &|range| {
+//!     let part: u64 = range.map(|i| i as u64).sum();
+//!     sum.fetch_add(part, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod parallel;
 pub mod pool;
+pub mod sync;
 
 pub use parallel::{chunk_ranges, parallel_for, parallel_for_static};
 pub use pool::ThreadPool;

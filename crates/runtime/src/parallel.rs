@@ -1,4 +1,4 @@
-//! `parallel_for` helpers over a [`ThreadPool`](crate::ThreadPool).
+//! `parallel_for` helpers over a [`crate::ThreadPool`].
 
 use crate::ThreadPool;
 use std::ops::Range;
@@ -60,7 +60,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use crate::sync::Mutex;
 
     #[test]
     fn chunks_cover_exactly() {

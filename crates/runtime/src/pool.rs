@@ -1,6 +1,6 @@
 //! Persistent fork-join worker pool.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

@@ -1,0 +1,137 @@
+//! Poison-free `Mutex`/`Condvar` wrappers over `std::sync`.
+//!
+//! The pool originally targeted `parking_lot`'s ergonomics (`lock()`
+//! returns a guard directly, `Condvar::wait` takes `&mut guard`). The
+//! build environment is offline, so this module provides the same surface
+//! on top of the standard library, keeping the runtime crate
+//! dependency-free. Poisoning is deliberately ignored: a worker that
+//! panics while holding the state lock leaves a consistent `State` (all
+//! mutations are single-field writes), and propagating poison would turn
+//! one failed test into a hang for every later `run` call.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// Mutual exclusion with `parking_lot`-style `lock() -> guard` semantics.
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` is an implementation detail of [`Condvar::wait`],
+/// which must move the std guard out and back; it is `Some` at every
+/// observable point.
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard invariant")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard invariant")
+    }
+}
+
+/// Condition variable whose `wait` takes the guard by `&mut`, matching
+/// `parking_lot::Condvar`.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard`'s lock while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard invariant");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wake every thread parked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Wake one thread parked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        struct Shared {
+            flag: Mutex<bool>,
+            cv: Condvar,
+        }
+        let shared = Arc::new(Shared {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let s2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let mut g = s2.flag.lock();
+            while !*g {
+                s2.cv.wait(&mut g);
+            }
+        });
+        *shared.flag.lock() = true;
+        shared.cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable afterwards.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Vendored minimal re-implementation of the `criterion` API subset used
+//! by this workspace's benches (`harness = false` targets).
+//!
+//! The build environment has no network access to crates.io, so the
+//! benches link against this shim instead of the real crate. It keeps the
+//! same shape — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`Throughput`], [`BatchSize`], [`criterion_group!`],
+//! [`criterion_main!`] — but the statistics are deliberately simple: each
+//! benchmark runs a warm-up phase, then collects `sample_size` samples
+//! inside the configured measurement time and reports min / mean / max
+//! nanoseconds per iteration plus derived throughput. No HTML reports, no
+//! outlier analysis, no comparison against saved baselines.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched-setup inputs are sized. The shim only uses this to pick how
+/// many iterations share one setup call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup.
+    SmallInput,
+    /// Large inputs: one iteration per setup.
+    LargeInput,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each collected sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration, warm_up_time: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+            warm_up_time,
+        }
+    }
+
+    /// Benchmark `routine`, timing batches of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size each sample so that `sample_size` samples fit in the
+        // measurement budget, with at least one iteration per sample.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            // Do not overshoot a slow benchmark's budget by more than 2x.
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmark `routine` against a fresh setup value each batch, passed
+    /// by mutable reference (the `iter_batched_ref` pattern).
+    pub fn iter_batched_ref<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(&mut S) -> O,
+    {
+        // One setup per timed iteration: correct for involution-style
+        // routines (like in-place layout transforms) at the cost of more
+        // setup calls than real criterion's SmallInput batching.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut input = setup();
+            std::hint::black_box(routine(&mut input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, group: &str, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{name:40} (no samples)");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0, f64::max);
+        let rate = match throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:10.1} Melem/s", e as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:10.1} MiB/s", b as f64 / mean * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{name:40} [min {min:12.1} ns  mean {mean:12.1} ns  max {max:12.1} ns]{rate}"
+        );
+    }
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up budget for subsequent benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set how many samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-iteration throughput used for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut b);
+        b.report(&self.name, &id, self.throughput);
+        self
+    }
+
+    /// End the group (prints a trailing blank line, mirroring criterion).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver. The shim holds no global configuration;
+/// it exists so `criterion_group!` functions keep their real signature
+/// `fn(&mut Criterion)`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group with default timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(20, Duration::from_secs(1), Duration::from_millis(300));
+        f(&mut b);
+        b.report("bench", &id, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5, Duration::from_millis(20), Duration::from_millis(5));
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn batched_ref_runs_setup_per_sample() {
+        let mut b = Bencher::new(4, Duration::from_millis(10), Duration::from_millis(2));
+        b.iter_batched_ref(
+            || vec![1.0f64; 16],
+            |v| v.iter_mut().for_each(|x| *x *= -1.0),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+    }
+}

@@ -1,0 +1,389 @@
+//! Vendored minimal re-implementation of the `proptest` API subset used by
+//! this workspace's property tests.
+//!
+//! The build environment has no network access to crates.io, so instead of
+//! depending on the real `proptest` crate the workspace vendors this shim:
+//! a [`Strategy`] trait over a deterministic xorshift RNG, the handful of
+//! strategy constructors the tests call (numeric ranges,
+//! `prop::array::uniform4/8`, `prop::collection::vec`), and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Semantics differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via `Debug`
+//!   formatting in the panic message but is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so failures reproduce exactly across runs.
+//! * **`prop_assert*` are early returns**, not panics: the generated test
+//!   body is a closure returning `Result<(), String>`, matching real
+//!   proptest closely enough that `return Ok(())` in a test body works.
+
+#![deny(missing_docs)]
+
+/// Deterministic split-mix/xorshift RNG driving all value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a seed (0 is mapped to a fixed non-zero seed).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 significant bits, like rand's standard uniform.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values. The shim equivalent of proptest's
+/// `Strategy`: no value tree, no shrinking — just sampling.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Fixed-length array strategies (`prop::array::uniform4` & co).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]`, each element drawn independently.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    /// Array of 4 values drawn from `strategy`.
+    pub fn uniform4<S: Strategy>(strategy: S) -> UniformArray<S, 4> {
+        UniformArray(strategy)
+    }
+
+    /// Array of 8 values drawn from `strategy`.
+    pub fn uniform8<S: Strategy>(strategy: S) -> UniformArray<S, 8> {
+        UniformArray(strategy)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::RangeInclusive<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let (lo, hi) = (*self.len.start(), *self.len.end());
+            let len = if lo == hi {
+                lo
+            } else {
+                lo + (rng.next_u64() as usize) % (hi - lo + 1)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Length specification: a fixed size or an inclusive range of sizes.
+    pub trait IntoSizeRange {
+        /// Convert into an inclusive length range.
+        fn into_size_range(self) -> core::ops::RangeInclusive<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> core::ops::RangeInclusive<usize> {
+            self..=self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn into_size_range(self) -> core::ops::RangeInclusive<usize> {
+            assert!(self.start < self.end, "empty vec-length range");
+            self.start..=self.end - 1
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> core::ops::RangeInclusive<usize> {
+            self
+        }
+    }
+
+    /// `Vec` strategy with `len` elements (or a length drawn from a range).
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of a test name, used as the deterministic RNG seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF29CE484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the current
+/// case returns an error that panics with the case's inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...)` item becomes
+/// a `#[test]` that samples its arguments `cases` times from a
+/// deterministic RNG and runs the body as a `Result<(), String>` closure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let result: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(msg) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        msg,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+
+    /// Mirror of `proptest::prelude::prop`: module-style access to the
+    /// strategy constructors.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(seed_a());
+        let mut b = TestRng::new(seed_a());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    fn seed_a() -> u64 {
+        crate::seed_from_name("rng_is_deterministic")
+    }
+
+    #[test]
+    fn f64_samples_stay_in_range() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..10_000 {
+            let x = Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_samples_stay_in_range() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..10_000 {
+            let x = Strategy::sample(&(5usize..9), &mut rng);
+            assert!((5..9).contains(&x));
+            let y = Strategy::sample(&(1usize..=3), &mut rng);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_running_tests(a in prop::array::uniform4(-1.0f64..1.0), n in 1usize..4) {
+            prop_assert_eq!(a.len(), 4);
+            prop_assert!(n >= 1, "n={}", n);
+            let v = Strategy::sample(&prop::collection::vec(0.0f64..1.0, 3), &mut TestRng::new(1));
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn early_ok_return_works(x in 0u64..10) {
+            if x < 100 {
+                return Ok(());
+            }
+            prop_assert!(false);
+        }
+    }
+}

@@ -152,6 +152,7 @@ impl SimdF64 for F64x4 {
             let t1 = _mm256_permute2f128_pd::<0x20>(r1, r3); // [b0 b1 | d0 d1]
             let t2 = _mm256_permute2f128_pd::<0x31>(r0, r2); // [a2 a3 | c2 c3]
             let t3 = _mm256_permute2f128_pd::<0x31>(r1, r3); // [b2 b3 | d2 d3]
+
             // Stage 2: interleave 64-bit lanes within halves.
             set[0] = Self(_mm256_unpacklo_pd(t0, t1)); // [a0 b0 c0 d0]
             set[1] = Self(_mm256_unpackhi_pd(t0, t1)); // [a1 b1 c1 d1]

@@ -13,11 +13,11 @@
 //!   LLVM lowers these to the same vector instructions as the intrinsic
 //!   backends in almost all cases; they are also the fallback on
 //!   non-x86_64 targets.
-//! * [`avx2::F64x4`] — `__m256d` wrappers, compiled only when the build
+//! * `avx2::F64x4` — `__m256d` wrappers, compiled only when the build
 //!   statically enables `avx2` (this workspace sets `target-cpu=native`).
 //!   Implements the paper's `permute2f128` + `unpackhi/lo` transpose
 //!   (Fig. 3) and the `blend` + lane-rotate assembled vectors (Fig. 2).
-//! * [`avx512::F64x8`] — `__m512d` wrappers for the AVX-512 experiments,
+//! * `avx512::F64x8` — `__m512d` wrappers for the AVX-512 experiments,
 //!   compiled only when `avx512f` is statically enabled.
 //!
 //! Width selection for kernels happens through the type aliases
@@ -31,9 +31,21 @@
 //! AVX-512) beats both in-lane 4-stage schemes and shuffle-immediate
 //! schemes. [`cost`] encodes that instruction/latency accounting so the
 //! claim is checkable as a unit test rather than folklore.
+//!
+//! ```
+//! use stencil_simd::{NativeF64x4, SimdF64};
+//!
+//! // A 4x4 in-register transpose: row i, lane j  ->  row j, lane i.
+//! let mut rows: Vec<NativeF64x4> = (0..4)
+//!     .map(|i| NativeF64x4::from_slice(&[0.0, 1.0, 2.0, 3.0].map(|x| x + 10.0 * i as f64)))
+//!     .collect();
+//! NativeF64x4::transpose(&mut rows);
+//! assert_eq!(rows[1].to_vec(), vec![1.0, 11.0, 21.0, 31.0]);
+//! ```
 
-#![allow(clippy::needless_range_loop)] // offset-indexed loops are the
-// domain idiom here (windows, tiles, taps); iterators would hide the math
+// Offset-indexed loops are the domain idiom here (windows, tiles, taps);
+// iterators would hide the math.
+#![allow(clippy::needless_range_loop)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

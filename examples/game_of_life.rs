@@ -15,12 +15,42 @@ use stencil_lab::{Grid2D, PingPong};
 
 /// Gosper glider gun cells (row, col) offsets.
 const GUN: [(usize, usize); 36] = [
-    (5, 1), (5, 2), (6, 1), (6, 2),
-    (3, 13), (3, 14), (4, 12), (4, 16), (5, 11), (5, 17), (6, 11), (6, 15),
-    (6, 17), (6, 18), (7, 11), (7, 17), (8, 12), (8, 16), (9, 13), (9, 14),
-    (1, 25), (2, 23), (2, 25), (3, 21), (3, 22), (4, 21), (4, 22), (5, 21),
-    (5, 22), (6, 23), (6, 25), (7, 25),
-    (3, 35), (3, 36), (4, 35), (4, 36),
+    (5, 1),
+    (5, 2),
+    (6, 1),
+    (6, 2),
+    (3, 13),
+    (3, 14),
+    (4, 12),
+    (4, 16),
+    (5, 11),
+    (5, 17),
+    (6, 11),
+    (6, 15),
+    (6, 17),
+    (6, 18),
+    (7, 11),
+    (7, 17),
+    (8, 12),
+    (8, 16),
+    (9, 13),
+    (9, 14),
+    (1, 25),
+    (2, 23),
+    (2, 25),
+    (3, 21),
+    (3, 22),
+    (4, 21),
+    (4, 22),
+    (5, 21),
+    (5, 22),
+    (6, 23),
+    (6, 25),
+    (7, 25),
+    (3, 35),
+    (3, 36),
+    (4, 35),
+    (4, 36),
 ];
 
 fn render(g: &Grid2D, rows: usize, cols: usize) -> String {
@@ -53,26 +83,53 @@ fn main() {
 
     let t0 = Instant::now();
     let mut pp = PingPong::new(soup.clone());
-    tessellate::run_2d(&pool, &mut pp, 1, 1, 8, t, &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
-        life::step_range_scalar(s, d, ys, xs)
-    });
+    tessellate::run_2d(
+        &pool,
+        &mut pp,
+        1,
+        1,
+        8,
+        t,
+        &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step_range_scalar(s, d, ys, xs),
+    );
     let scalar_out = pp.into_current();
-    println!("scalar + tessellation : {:>7.1} Mcells/s", cells / t0.elapsed().as_secs_f64() / 1e6);
+    println!(
+        "scalar + tessellation : {:>7.1} Mcells/s",
+        cells / t0.elapsed().as_secs_f64() / 1e6
+    );
 
     let t0 = Instant::now();
     let mut pp = PingPong::new(soup.clone());
-    tessellate::run_2d(&pool, &mut pp, 1, 1, 8, t, &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
-        life::step_range::<NativeF64x4>(s, d, ys, xs)
-    });
+    tessellate::run_2d(
+        &pool,
+        &mut pp,
+        1,
+        1,
+        8,
+        t,
+        &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step_range::<NativeF64x4>(s, d, ys, xs),
+    );
     let vec_out = pp.into_current();
-    println!("SIMD   + tessellation : {:>7.1} Mcells/s", cells / t0.elapsed().as_secs_f64() / 1e6);
+    println!(
+        "SIMD   + tessellation : {:>7.1} Mcells/s",
+        cells / t0.elapsed().as_secs_f64() / 1e6
+    );
 
     let t0 = Instant::now();
     let mut pp = PingPong::new(soup.clone());
-    tessellate::run_2d(&pool, &mut pp, 2, 2, 8, t / 2, &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
-        life::step2_range::<NativeF64x4>(s, d, ys, xs)
-    });
-    println!("fused 2-step          : {:>7.1} Mcells/s", cells / t0.elapsed().as_secs_f64() / 1e6);
+    tessellate::run_2d(
+        &pool,
+        &mut pp,
+        2,
+        2,
+        8,
+        t / 2,
+        &|s: &Grid2D, d: &mut Grid2D, ys, xs| life::step2_range::<NativeF64x4>(s, d, ys, xs),
+    );
+    println!(
+        "fused 2-step          : {:>7.1} Mcells/s",
+        cells / t0.elapsed().as_secs_f64() / 1e6
+    );
 
     // scalar and SIMD paths must agree exactly (binary states)
     let err = stencil_lab::grid::max_abs_diff(&scalar_out.to_dense(), &vec_out.to_dense());

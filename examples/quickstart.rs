@@ -16,7 +16,10 @@ fn main() {
     let grid = Grid1D::from_fn(n, |i| if i == n / 2 { 1.0 } else { 0.0 });
     let pattern = kernels::heat1d();
 
-    println!("1D heat, n = {n}, T = {t} ({})", stencil_lab::simd::backend_summary());
+    println!(
+        "1D heat, n = {n}, T = {t} ({})",
+        stencil_lab::simd::backend_summary()
+    );
     println!();
 
     // 1. All methods agree with the scalar reference.

@@ -18,7 +18,9 @@ fn grid2(ny: usize, nx: usize) -> Grid2D {
 }
 
 fn grid3(nz: usize, ny: usize, nx: usize) -> Grid3D {
-    Grid3D::from_fn(nz, ny, nx, |z, y, x| ((z * 7 + y * 11 + x * 13) % 127) as f64)
+    Grid3D::from_fn(nz, ny, nx, |z, y, x| {
+        ((z * 7 + y * 11 + x * 13) % 127) as f64
+    })
 }
 
 #[test]
@@ -58,7 +60,11 @@ fn folded_1d_matches_scalar_folded() {
             }
             // the assembled vectors reach at most `vl` lanes: use the
             // 8-lane width when the folded radius exceeds 4
-            let width = if folded.radius() > 4 { Width::W8 } else { Width::W4 };
+            let width = if folded.radius() > 4 {
+                Width::W8
+            } else {
+                Width::W4
+            };
             let g = grid1(640);
             let steps = 4 * m;
             let want = Solver::new(folded)

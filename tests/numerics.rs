@@ -16,7 +16,9 @@ fn diffusion_conserves_mass_1d() {
         Method::TransposeLayout,
         Method::Folded { m: 2 },
     ] {
-        let out = Solver::new(kernels::heat1d()).method(method).run_1d(&g, 200);
+        let out = Solver::new(kernels::heat1d())
+            .method(method)
+            .run_1d(&g, 200);
         let mass: f64 = out.as_slice().iter().sum();
         assert!(
             (mass - mass0).abs() < 1e-9,
@@ -56,10 +58,7 @@ fn symmetry_preserved_1d() {
         .method(Method::Folded { m: 2 })
         .run_1d(&g, 100);
     for i in 0..n {
-        assert!(
-            (out[i] - out[n - 1 - i]).abs() < 1e-12,
-            "asymmetry at {i}"
-        );
+        assert!((out[i] - out[n - 1 - i]).abs() < 1e-12, "asymmetry at {i}");
     }
 }
 

@@ -119,7 +119,9 @@ fn tessellation_2d_folded_vs_blockfree_folded() {
 fn sdsl_hybrid_2d_and_3d() {
     let p2 = kernels::heat2d();
     let g2 = Grid2D::from_fn(60, 64, |y, x| ((y + 3 * x) % 43) as f64);
-    let want2 = Solver::new(p2.clone()).method(Method::Scalar).run_2d(&g2, 12);
+    let want2 = Solver::new(p2.clone())
+        .method(Method::Scalar)
+        .run_2d(&g2, 12);
     let got2 = Solver::new(p2)
         .method(Method::Dlt)
         .tiling(Tiling::Split { time_block: 4 })
@@ -129,7 +131,9 @@ fn sdsl_hybrid_2d_and_3d() {
 
     let p3 = kernels::box3d27p();
     let g3 = Grid3D::from_fn(20, 18, 24, |z, y, x| ((z * 9 + y * 5 + x) % 29) as f64);
-    let want3 = Solver::new(p3.clone()).method(Method::Scalar).run_3d(&g3, 6);
+    let want3 = Solver::new(p3.clone())
+        .method(Method::Scalar)
+        .run_3d(&g3, 6);
     let got3 = Solver::new(p3)
         .method(Method::Dlt)
         .tiling(Tiling::Split { time_block: 3 })
