@@ -4,8 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
-use stencil_core::{kernels, Method, Solver, Tiling};
+use stencil_core::{kernels, Method, Plan, Solver, Tiling};
 use stencil_grid::Grid2D;
+use stencil_runtime::PoolHandle;
 
 const N: usize = 512;
 const T: usize = 32;
@@ -13,7 +14,7 @@ const T: usize = 32;
 fn tiling(c: &mut Criterion) {
     let p = kernels::box2d9p();
     let g = Grid2D::from_fn(N, N, |y, x| ((y * 7 + x * 3) % 101) as f64);
-    let threads = stencil_runtime::available_parallelism().min(8);
+    let pool = PoolHandle::new(stencil_runtime::available_parallelism().min(8));
 
     let mut grp = c.benchmark_group("tiling_2d9p_512x512x32");
     grp.warm_up_time(Duration::from_millis(500))
@@ -21,36 +22,47 @@ fn tiling(c: &mut Criterion) {
         .sample_size(10)
         .throughput(Throughput::Elements((N * N * T) as u64));
 
-    let cases: Vec<(&str, Solver)> = vec![
+    // plans are compiled once, outside the measured iterations; the
+    // multithreaded cases share one pool
+    let cases: Vec<(&str, Plan)> = vec![
         (
             "blockfree_1t",
-            Solver::new(p.clone()).method(Method::Folded { m: 2 }),
+            Solver::new(p.clone())
+                .method(Method::Folded { m: 2 })
+                .compile()
+                .unwrap(),
         ),
         (
             "spatial_mt",
             Solver::new(p.clone())
                 .method(Method::MultipleLoads)
                 .tiling(Tiling::Spatial { block: (64, 128) })
-                .threads(threads),
+                .pool(pool.clone())
+                .compile()
+                .unwrap(),
         ),
         (
             "tessellate_mt",
             Solver::new(p.clone())
                 .method(Method::Folded { m: 2 })
                 .tiling(Tiling::Tessellate { time_block: 8 })
-                .threads(threads),
+                .pool(pool.clone())
+                .compile()
+                .unwrap(),
         ),
         (
             "sdsl_split_mt",
             Solver::new(p.clone())
                 .method(Method::Dlt)
                 .tiling(Tiling::Split { time_block: 8 })
-                .threads(threads),
+                .pool(pool.clone())
+                .compile()
+                .unwrap(),
         ),
     ];
-    for (name, solver) in &cases {
+    for (name, plan) in &cases {
         grp.bench_function(*name, |b| {
-            b.iter(|| black_box(solver.run_2d(black_box(&g), T)))
+            b.iter(|| black_box(plan.run_2d(black_box(&g), T).unwrap()))
         });
     }
     grp.finish();

@@ -9,8 +9,8 @@
 
 use stencil_bench::workload;
 use stencil_bench::{measure, Args, Table};
-use stencil_core::api::Width;
-use stencil_core::{kernels, Method, Solver, Tiling};
+use stencil_core::{kernels, Method, Solver, Tiling, Width};
+use stencil_runtime::PoolHandle;
 
 fn main() {
     let args = Args::parse();
@@ -19,22 +19,29 @@ fn main() {
     } else {
         (2_097_152, 120, 768, 60)
     };
+    let reps = 2;
     let mut tables = Vec::new();
 
-    // 1. folding factor
+    // 1. folding factor — each m compiled once, timed best-of-reps
     let mut tab = Table::new("Ablation: folding factor m (block-free)", "GFLOP/s");
     let g1 = workload::random_1d(n1, 1);
     let g2 = workload::random_2d(n2, n2, 1);
     for m in 1..=3usize {
-        let s = Solver::new(kernels::heat1d()).method(Method::Folded { m });
-        let (_, d) = measure::time_once(|| s.run_1d(&g1, t1));
+        let plan = Solver::new(kernels::heat1d())
+            .method(Method::Folded { m })
+            .compile()
+            .unwrap();
+        let (_, d) = measure::best_of(reps, || plan.run_1d(&g1, t1).unwrap());
         tab.put(
             "1D-Heat",
             format!("m={m}"),
             Some(measure::gflops(n1, t1, 6, d)),
         );
-        let s = Solver::new(kernels::box2d9p()).method(Method::Folded { m });
-        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+        let plan = Solver::new(kernels::box2d9p())
+            .method(Method::Folded { m })
+            .compile()
+            .unwrap();
+        let (_, d) = measure::best_of(reps, || plan.run_2d(&g2, t2).unwrap());
         tab.put(
             "2D9P",
             format!("m={m}"),
@@ -44,14 +51,18 @@ fn main() {
     tab.print();
     tables.push(tab);
 
-    // 2. time-block sweep for tessellation (folded m=2 kernel, 2D9P)
+    // 2. time-block sweep for tessellation (folded m=2 kernel, 2D9P);
+    //    one shared pool across the whole sweep
+    let pool = PoolHandle::new(args.threads());
     let mut tab = Table::new("Ablation: tessellation time block (2D9P, m=2)", "GFLOP/s");
     for tb in [1usize, 2, 4, 8, 16] {
-        let s = Solver::new(kernels::box2d9p())
+        let plan = Solver::new(kernels::box2d9p())
             .method(Method::Folded { m: 2 })
             .tiling(Tiling::Tessellate { time_block: tb })
-            .threads(args.threads());
-        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+            .pool(pool.clone())
+            .compile()
+            .unwrap();
+        let (_, d) = measure::best_of(reps, || plan.run_2d(&g2, t2).unwrap());
         tab.put(
             format!("tb={tb}"),
             "GFLOP/s",
@@ -68,10 +79,12 @@ fn main() {
         ("4 lanes", Width::W4),
         ("8 lanes", Width::W8),
     ] {
-        let s = Solver::new(kernels::box2d9p())
+        let plan = Solver::new(kernels::box2d9p())
             .method(Method::Folded { m: 2 })
-            .width(w);
-        let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+            .width(w)
+            .compile()
+            .unwrap();
+        let (_, d) = measure::best_of(reps, || plan.run_2d(&g2, t2).unwrap());
         tab.put(name, "GFLOP/s", Some(measure::gflops(n2 * n2, t2, 18, d)));
     }
     tab.print();
@@ -82,16 +95,22 @@ fn main() {
         "Ablation: planned folding vs per-point recompute (2D9P m=2)",
         "GFLOP/s",
     );
-    let s = Solver::new(kernels::box2d9p()).method(Method::Folded { m: 2 });
-    let (_, d) = measure::time_once(|| s.run_2d(&g2, t2));
+    let plan = Solver::new(kernels::box2d9p())
+        .method(Method::Folded { m: 2 })
+        .compile()
+        .unwrap();
+    let (_, d) = measure::best_of(reps, || plan.run_2d(&g2, t2).unwrap());
     tab.put(
         "register pipeline (shifts reuse)",
         "GFLOP/s",
         Some(measure::gflops(n2 * n2, t2, 18, d)),
     );
     let folded = stencil_core::folding::fold(&kernels::box2d9p(), 2);
-    let s = Solver::new(folded).method(Method::Scalar);
-    let (_, d) = measure::time_once(|| s.run_2d(&g2, t2 / 2));
+    let plan = Solver::new(folded)
+        .method(Method::Scalar)
+        .compile()
+        .unwrap();
+    let (_, d) = measure::best_of(reps, || plan.run_2d(&g2, t2 / 2).unwrap());
     tab.put(
         "scalar folded (recompute)",
         "GFLOP/s",

@@ -4,6 +4,7 @@
 
 use stencil_bench::suite::{run_one, BenchId, MethodId, Sizes};
 use stencil_bench::{Args, Table};
+use stencil_runtime::PoolHandle;
 
 fn core_ladder(max: usize) -> Vec<usize> {
     let mut v = vec![1usize];
@@ -29,15 +30,17 @@ fn main() {
         stencil_simd::backend_summary()
     );
 
+    // one pool per rung of the core ladder, shared by all benchmarks
+    let pools: Vec<_> = ladder.iter().map(|&c| PoolHandle::new(c)).collect();
     let mut tables = Vec::new();
     for b in BenchId::ALL {
         if !args.wants(b.name()) {
             continue;
         }
         let mut tab = Table::new(format!("Fig 10 ({})", b.name()), "GFLOP/s");
-        for &cores in &ladder {
+        for (&cores, pool) in ladder.iter().zip(&pools) {
             for m in MethodId::ALL {
-                let cell = run_one(b, m, cores, &sizes).map(|(gf, _)| gf);
+                let cell = run_one(b, m, pool, &sizes).map(|(gf, _)| gf);
                 tab.put(format!("{cores} cores"), m.name(), cell);
             }
             eprint!(".");

@@ -2,7 +2,7 @@
 //! single-thread blocking-free experiments, across problem sizes spanning
 //! L1 cache to main memory, for T and 10T total time steps.
 
-use stencil_bench::suite::{run_blockfree_1d, BlockFreeMethod};
+use stencil_bench::suite::{run_blockfree_1d_with, BlockFreeMethod};
 use stencil_bench::{Args, Table};
 
 /// (label, problem size in doubles) spanning the storage hierarchy of a
@@ -37,6 +37,12 @@ fn main() {
         "Fig. 8 — single-thread blocking-free 1D-Heat ({})",
         stencil_simd::backend_summary()
     );
+    // one compiled plan per method, reused across every size and both
+    // step counts — the harness never re-plans between cells
+    let plans: Vec<_> = BlockFreeMethod::ALL
+        .iter()
+        .map(|&m| (m, m.plan_1d_heat()))
+        .collect();
     let mut tables = Vec::new();
     for (label, t) in [("T", t_small), ("10T", t_big)] {
         let mut tab = Table::new(format!("Fig 8 ({label} = {t} steps)"), "GFLOP/s");
@@ -44,8 +50,8 @@ fn main() {
             // keep total work roughly constant across sizes so small
             // sizes don't finish in microseconds
             let steps = (t * 2_000_000 / n).clamp(t, 200 * t);
-            for m in BlockFreeMethod::ALL {
-                let gf = run_blockfree_1d(m, n, steps);
+            for (m, plan) in &plans {
+                let gf = run_blockfree_1d_with(plan, n, steps);
                 tab.put(size_label, m.name(), Some(gf));
             }
             eprint!(".");

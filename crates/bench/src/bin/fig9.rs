@@ -4,6 +4,7 @@
 
 use stencil_bench::suite::{run_one, BenchId, MethodId, Sizes};
 use stencil_bench::{Args, Table};
+use stencil_runtime::PoolHandle;
 
 fn main() {
     let args = Args::parse();
@@ -15,6 +16,8 @@ fn main() {
         stencil_simd::backend_summary()
     );
 
+    // one worker pool for the whole figure; every cell's plan shares it
+    let pool = PoolHandle::new(threads);
     let mut perf = Table::new("Fig 9 (absolute)", "GFLOP/s");
     let mut speedup = Table::new("Fig 9 (speedup)", "x over group base");
     for b in BenchId::ALL {
@@ -23,7 +26,7 @@ fn main() {
         }
         let mut base: Option<f64> = None;
         for m in MethodId::ALL {
-            let cell = run_one(b, m, threads, &sizes).map(|(gf, _)| gf);
+            let cell = run_one(b, m, &pool, &sizes).map(|(gf, _)| gf);
             perf.put(b.name(), m.name(), cell);
             if let Some(gf) = cell {
                 // speedups are relative to the first supported method in

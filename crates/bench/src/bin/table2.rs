@@ -2,7 +2,7 @@
 //! single-thread blocking-free experiments, relative to Multiple Loads
 //! (paper means: 1.00 / 1.11 / 1.35 / 1.98 / 2.79).
 
-use stencil_bench::suite::{run_blockfree_1d, BlockFreeMethod};
+use stencil_bench::suite::{run_blockfree_1d_with, BlockFreeMethod};
 use stencil_bench::{Args, Table};
 
 /// (storage level, representative sizes) — two sizes per level, averaged.
@@ -25,6 +25,11 @@ fn main() {
     let levels: &[(&str, [usize; 2])] = if args.quick { &LEVELS[..2] } else { &LEVELS };
 
     println!("Table 2 — relative improvement per storage level (base: Multiple Loads)");
+    // compile each method's plan once for the whole table
+    let plans: Vec<_> = BlockFreeMethod::ALL
+        .iter()
+        .map(|m| m.plan_1d_heat())
+        .collect();
     let mut tab = Table::new("Table 2", "x over Multiple Loads");
     let mut means = vec![0.0f64; BlockFreeMethod::ALL.len()];
     for (level, ns) in levels {
@@ -32,8 +37,8 @@ fn main() {
         let mut vals = vec![0.0f64; BlockFreeMethod::ALL.len()];
         for &n in ns {
             let steps = (t * 2_000_000 / n).clamp(t, 200 * t);
-            for (i, m) in BlockFreeMethod::ALL.iter().enumerate() {
-                let gf = run_blockfree_1d(*m, n, steps);
+            for (i, plan) in plans.iter().enumerate() {
+                let gf = run_blockfree_1d_with(plan, n, steps);
                 vals[i] += gf;
                 if i == 0 {
                     base += gf;

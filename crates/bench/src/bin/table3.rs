@@ -3,6 +3,7 @@
 
 use stencil_bench::suite::{run_one, BenchId, MethodId, Sizes};
 use stencil_bench::{Args, Table};
+use stencil_runtime::PoolHandle;
 
 fn main() {
     let args = Args::parse();
@@ -10,14 +11,17 @@ fn main() {
     let threads = args.threads();
     println!("Table 3 — speedup over single core at {threads} cores");
 
+    // two pools — single-core baseline and full-core — shared by all cells
+    let pool_one = PoolHandle::new(1);
+    let pool_many = PoolHandle::new(threads);
     let mut tab = Table::new("Table 3", format!("x (speedup at {threads} cores)"));
     for m in MethodId::ALL {
         for b in BenchId::ALL {
             if !args.wants(b.name()) {
                 continue;
             }
-            let one = run_one(b, m, 1, &sizes).map(|(gf, _)| gf);
-            let many = run_one(b, m, threads, &sizes).map(|(gf, _)| gf);
+            let one = run_one(b, m, &pool_one, &sizes).map(|(gf, _)| gf);
+            let many = run_one(b, m, &pool_many, &sizes).map(|(gf, _)| gf);
             let cell = match (one, many) {
                 (Some(a), Some(z)) if a > 0.0 => Some(z / a),
                 _ => None,

@@ -29,7 +29,8 @@ impl Args {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--paper" => out.paper = true,
-                "--quick" => out.quick = true,
+                // --smoke is the CI-facing alias for --quick
+                "--quick" | "--smoke" => out.quick = true,
                 "--json" => out.json = it.next(),
                 "--threads" => {
                     out.threads = it.next().and_then(|v| v.parse().ok());
@@ -37,7 +38,8 @@ impl Args {
                 "--filter" => out.filter = it.next(),
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: [--paper] [--quick] [--json PATH] [--threads N] [--filter NAME]"
+                        "options: [--paper] [--quick|--smoke] [--json PATH] [--threads N] \
+                         [--filter NAME]"
                     );
                     std::process::exit(0);
                 }

@@ -1,14 +1,20 @@
 //! The shared benchmark suite behind `fig9`, `fig10` and `table3`:
 //! the nine Table-1 benchmarks x the five methods of Fig. 9/10.
+//!
+//! The harness follows the library's compile-once/run-many discipline:
+//! each (benchmark, method) cell compiles a [`Plan`] once and reuses it
+//! across `sizes.reps` repetitions (reporting the best time), and every
+//! cell of a sweep shares one [`PoolHandle`] so worker threads are
+//! spawned once per thread-count, not once per cell.
 
 use crate::measure;
 use crate::workload;
 use std::time::Duration;
 use stencil_core::exec::{apop, life};
 use stencil_core::tile::tessellate;
-use stencil_core::{kernels, Method, Pattern, Solver, Tiling};
+use stencil_core::{kernels, Method, Pattern, Plan, Solver, Tiling, Width};
 use stencil_grid::{Grid2D, PingPong};
-use stencil_runtime::ThreadPool;
+use stencil_runtime::PoolHandle;
 use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
 
 /// The nine benchmarks of Table 1.
@@ -154,6 +160,9 @@ pub struct Sizes {
     pub tb2: usize,
     /// 3D time block.
     pub tb3: usize,
+    /// Timed repetitions per cell, sharing one compiled plan; the best
+    /// time is reported.
+    pub reps: usize,
 }
 
 impl Sizes {
@@ -169,10 +178,12 @@ impl Sizes {
             tb1: 50,
             tb2: 12,
             tb3: 6,
+            reps: 2,
         }
     }
 
-    /// CI smoke sizes (seconds).
+    /// CI smoke sizes (seconds). Two repetitions so plan reuse stays
+    /// exercised even in smoke runs.
     pub fn quick() -> Self {
         Self {
             n1: 131_072,
@@ -184,6 +195,7 @@ impl Sizes {
             tb1: 8,
             tb2: 4,
             tb3: 3,
+            reps: 2,
         }
     }
 
@@ -199,6 +211,7 @@ impl Sizes {
             tb1: 500,
             tb2: 50,
             tb3: 10,
+            reps: 1,
         }
     }
 
@@ -214,12 +227,14 @@ impl Sizes {
     }
 }
 
-/// Run one (benchmark, method, threads) cell; `None` when the method
-/// does not support the benchmark (mirroring the paper's "-").
+/// Run one (benchmark, method) cell on the shared `pool`; `None` when
+/// the method does not support the benchmark (mirroring the paper's
+/// "-"). The cell's configuration is compiled once and run
+/// `sizes.reps` times; the best time is reported.
 pub fn run_one(
     bench: BenchId,
     method: MethodId,
-    threads: usize,
+    pool: &PoolHandle,
     sizes: &Sizes,
 ) -> Option<(f64, Duration)> {
     if method == MethodId::Our2W8 && !stencil_simd::HAS_AVX512 {
@@ -227,38 +242,42 @@ pub fn run_one(
     }
     let flops = bench.flops_per_point();
     match bench {
-        BenchId::Apop => run_apop(method, threads, sizes)
+        BenchId::Apop => run_apop(method, pool, sizes)
             .map(|d| (measure::gflops(sizes.n1, sizes.t1, flops, d), d)),
-        BenchId::Life => run_life(method, threads, sizes).map(|d| {
+        BenchId::Life => run_life(method, pool, sizes).map(|d| {
             let (ny, nx) = sizes.n2;
             (measure::gflops(ny * nx, sizes.t2, flops, d), d)
         }),
         linear => {
             let p = linear.pattern().unwrap();
             let (sm, st) = method_config(method, sizes, linear.dims())?;
-            let solver = Solver::new(p)
+            // compile once; every repetition reuses the folded kernel
+            // and the shared pool
+            let plan = Solver::new(p)
                 .method(sm)
                 .tiling(st)
                 .width(if method == MethodId::Our2W8 {
-                    stencil_core::api::Width::W8
+                    Width::W8
                 } else {
-                    stencil_core::api::Width::W4
+                    Width::W4
                 })
-                .threads(threads);
+                .pool(pool.clone())
+                .compile()
+                .expect("suite configurations are valid");
             let d = match linear.dims() {
                 1 => {
                     let g = workload::random_1d(sizes.n1, 42);
-                    measure::time_once(|| solver.run_1d(&g, sizes.t1)).1
+                    measure::best_of(sizes.reps, || plan.run_1d(&g, sizes.t1).unwrap()).1
                 }
                 2 => {
                     let (ny, nx) = sizes.n2;
                     let g = workload::random_2d(ny, nx, 42);
-                    measure::time_once(|| solver.run_2d(&g, sizes.t2)).1
+                    measure::best_of(sizes.reps, || plan.run_2d(&g, sizes.t2).unwrap()).1
                 }
                 _ => {
                     let (nz, ny, nx) = sizes.n3;
                     let g = workload::random_3d(nz, ny, nx, 42);
-                    measure::time_once(|| solver.run_3d(&g, sizes.t3)).1
+                    measure::best_of(sizes.reps, || plan.run_3d(&g, sizes.t3).unwrap()).1
                 }
             };
             let (points, steps) = match linear.dims() {
@@ -291,9 +310,8 @@ fn method_config(method: MethodId, sizes: &Sizes, dims: usize) -> Option<(Method
     })
 }
 
-fn run_apop(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration> {
+fn run_apop(method: MethodId, pool: &PoolHandle, sizes: &Sizes) -> Option<Duration> {
     let ap = apop::Apop::new(sizes.n1, 50.0, 100.0 / sizes.n1 as f64);
-    let pool = ThreadPool::new(threads);
     let pay = ap.payoff.as_slice().to_vec();
     let taps = ap.taps.to_vec();
     let t = sizes.t1;
@@ -301,10 +319,10 @@ fn run_apop(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
     match method {
         MethodId::Sdsl => None, // not expressible in SDSL (paper: "-")
         MethodId::Tess => Some(
-            measure::time_once(|| {
+            measure::best_of(sizes.reps, || {
                 let mut pp = PingPong::new(ap.initial_values());
                 tessellate::run_1d(
-                    &pool,
+                    pool,
                     &mut pp,
                     1,
                     1,
@@ -318,22 +336,26 @@ fn run_apop(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
             })
             .1,
         ),
-        MethodId::Our => Some(apop_tess::<NativeF64x4>(&pool, &ap, 1, tb, t)),
-        MethodId::Our2 => Some(apop_tess_folded::<NativeF64x4>(&pool, &ap, 2, tb, t)),
-        MethodId::Our2W8 => Some(apop_tess_folded::<NativeF64x8>(&pool, &ap, 2, tb, t)),
+        MethodId::Our => Some(apop_tess::<NativeF64x4>(pool, &ap, tb, t, sizes.reps)),
+        MethodId::Our2 => Some(apop_tess_folded::<NativeF64x4>(
+            pool, &ap, 2, tb, t, sizes.reps,
+        )),
+        MethodId::Our2W8 => Some(apop_tess_folded::<NativeF64x8>(
+            pool, &ap, 2, tb, t, sizes.reps,
+        )),
     }
 }
 
 fn apop_tess<V: SimdF64>(
-    pool: &ThreadPool,
+    pool: &PoolHandle,
     ap: &apop::Apop,
-    _m: usize,
     tb: usize,
     t: usize,
+    reps: usize,
 ) -> Duration {
     let pay = ap.payoff.as_slice().to_vec();
     let taps = ap.taps.to_vec();
-    measure::time_once(|| {
+    measure::best_of(reps, || {
         let mut pp = PingPong::new(ap.initial_values());
         tessellate::run_1d(
             pool,
@@ -350,17 +372,19 @@ fn apop_tess<V: SimdF64>(
 }
 
 fn apop_tess_folded<V: SimdF64>(
-    pool: &ThreadPool,
+    pool: &PoolHandle,
     ap: &apop::Apop,
     m: usize,
     tb: usize,
     t: usize,
+    reps: usize,
 ) -> Duration {
+    // the folded taps are planned once, outside the timed repetitions
     let pay = ap.payoff.as_slice().to_vec();
     let folded = stencil_core::folding::fold(&ap.linear_pattern(), m);
     let taps = folded.weights().to_vec();
     let rr = folded.radius();
-    measure::time_once(|| {
+    measure::best_of(reps, || {
         let mut pp = PingPong::new(ap.initial_values());
         tessellate::run_1d(
             pool,
@@ -378,19 +402,18 @@ fn apop_tess_folded<V: SimdF64>(
     .1
 }
 
-fn run_life(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration> {
+fn run_life(method: MethodId, pool: &PoolHandle, sizes: &Sizes) -> Option<Duration> {
     let (ny, nx) = sizes.n2;
     let g = life::random_soup(ny, nx, 42);
-    let pool = ThreadPool::new(threads);
     let t = sizes.t2;
     let tb = sizes.tb2;
     match method {
         MethodId::Sdsl => None, // nonlinear rule not expressible in SDSL
         MethodId::Tess => Some(
-            measure::time_once(|| {
+            measure::best_of(sizes.reps, || {
                 let mut pp = PingPong::new(g.clone());
                 tessellate::run_2d(
-                    &pool,
+                    pool,
                     &mut pp,
                     1,
                     1,
@@ -402,14 +425,20 @@ fn run_life(method: MethodId, threads: usize, sizes: &Sizes) -> Option<Duration>
             })
             .1,
         ),
-        MethodId::Our => Some(life_tess::<NativeF64x4>(&pool, &g, tb, t)),
-        MethodId::Our2 => Some(life_tess2::<NativeF64x4>(&pool, &g, tb, t)),
-        MethodId::Our2W8 => Some(life_tess2::<NativeF64x8>(&pool, &g, tb, t)),
+        MethodId::Our => Some(life_tess::<NativeF64x4>(pool, &g, tb, t, sizes.reps)),
+        MethodId::Our2 => Some(life_tess2::<NativeF64x4>(pool, &g, tb, t, sizes.reps)),
+        MethodId::Our2W8 => Some(life_tess2::<NativeF64x8>(pool, &g, tb, t, sizes.reps)),
     }
 }
 
-fn life_tess<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> Duration {
-    measure::time_once(|| {
+fn life_tess<V: SimdF64>(
+    pool: &PoolHandle,
+    g: &Grid2D,
+    tb: usize,
+    t: usize,
+    reps: usize,
+) -> Duration {
+    measure::best_of(reps, || {
         let mut pp = PingPong::new(g.clone());
         tessellate::run_2d(
             pool,
@@ -425,8 +454,14 @@ fn life_tess<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> 
     .1
 }
 
-fn life_tess2<V: SimdF64>(pool: &ThreadPool, g: &Grid2D, tb: usize, t: usize) -> Duration {
-    measure::time_once(|| {
+fn life_tess2<V: SimdF64>(
+    pool: &PoolHandle,
+    g: &Grid2D,
+    tb: usize,
+    t: usize,
+    reps: usize,
+) -> Duration {
+    measure::best_of(reps, || {
         let mut pp = PingPong::new(g.clone());
         // fused double generation: reff = 2 per inner step
         tessellate::run_2d(
@@ -489,16 +524,28 @@ impl BlockFreeMethod {
             BlockFreeMethod::Our2 => Method::Folded { m: 2 },
         }
     }
+
+    /// Compile the single-thread block-free 1D-Heat plan for this
+    /// method once; `fig8`/`table2` reuse it across every problem size
+    /// and step count.
+    pub fn plan_1d_heat(self) -> Plan {
+        Solver::new(kernels::heat1d())
+            .method(self.method())
+            .width(Width::W4)
+            .threads(1)
+            .compile()
+            .expect("block-free 1D-Heat configurations are valid")
+    }
 }
 
-/// One Fig.-8 cell: block-free single-thread 1D-Heat at size `n` for `t`
-/// steps; returns GFLOP/s.
-pub fn run_blockfree_1d(method: BlockFreeMethod, n: usize, t: usize) -> f64 {
-    let p = kernels::heat1d();
+/// One Fig.-8 cell on a pre-compiled plan (see
+/// [`BlockFreeMethod::plan_1d_heat`]): block-free single-thread 1D-Heat
+/// at size `n` for `t` steps; returns GFLOP/s.
+pub fn run_blockfree_1d_with(plan: &Plan, n: usize, t: usize) -> f64 {
+    let p = plan.pattern();
     let flops = 2 * p.points();
     let g = workload::random_1d(n, 7);
-    let solver = Solver::new(p).method(method.method()).threads(1);
-    let (_, d) = measure::time_once(|| solver.run_1d(&g, t));
+    let (_, d) = measure::time_once(|| plan.run_1d(&g, t).unwrap());
     measure::gflops(n, t, flops, d)
 }
 
@@ -516,11 +563,12 @@ mod tests {
     #[test]
     fn quick_suite_smoke() {
         // every supported (bench, method) cell runs and yields a finite
-        // positive throughput at quick sizes
+        // positive throughput at quick sizes, all cells sharing one pool
         let sizes = Sizes::quick();
+        let pool = PoolHandle::new(2);
         for b in BenchId::ALL {
             for m in [MethodId::Tess, MethodId::Our, MethodId::Our2] {
-                let out = run_one(b, m, 2, &sizes);
+                let out = run_one(b, m, &pool, &sizes);
                 let (gf, _) = out.expect("supported combo");
                 assert!(gf > 0.0 && gf.is_finite(), "{} {}", b.name(), m.name());
             }
@@ -530,18 +578,23 @@ mod tests {
     #[test]
     fn sdsl_support_matrix_matches_paper() {
         let sizes = Sizes::quick();
+        let pool = PoolHandle::new(1);
         // SDSL: linear kernels only
-        assert!(run_one(BenchId::Apop, MethodId::Sdsl, 1, &sizes).is_none());
-        assert!(run_one(BenchId::Life, MethodId::Sdsl, 1, &sizes).is_none());
-        assert!(run_one(BenchId::Heat1D, MethodId::Sdsl, 1, &sizes).is_some());
-        assert!(run_one(BenchId::Heat3D, MethodId::Sdsl, 1, &sizes).is_some());
+        assert!(run_one(BenchId::Apop, MethodId::Sdsl, &pool, &sizes).is_none());
+        assert!(run_one(BenchId::Life, MethodId::Sdsl, &pool, &sizes).is_none());
+        assert!(run_one(BenchId::Heat1D, MethodId::Sdsl, &pool, &sizes).is_some());
+        assert!(run_one(BenchId::Heat3D, MethodId::Sdsl, &pool, &sizes).is_some());
     }
 
     #[test]
     fn blockfree_methods_run() {
         for m in BlockFreeMethod::ALL {
-            let gf = run_blockfree_1d(m, 4096, 10);
-            assert!(gf > 0.0, "{}", m.name());
+            let plan = m.plan_1d_heat();
+            // same plan, two sizes — no recompilation between cells
+            for n in [2048usize, 4096] {
+                let gf = run_blockfree_1d_with(&plan, n, 10);
+                assert!(gf > 0.0, "{} n={n}", m.name());
+            }
         }
     }
 }

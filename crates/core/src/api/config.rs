@@ -1,0 +1,219 @@
+//! Solver configuration: method, tiling, width and thread selection.
+
+use super::error::PlanError;
+use super::plan_exec::Plan;
+use crate::pattern::Pattern;
+use stencil_grid::{Grid1D, Grid2D, Grid3D};
+use stencil_runtime::PoolHandle;
+
+/// Vectorization scheme (the methods compared in Fig. 8/9/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Scalar reference sweep.
+    Scalar,
+    /// Multiple loads: one unaligned load per tap.
+    MultipleLoads,
+    /// Data reorganization: aligned loads + shuffles (1D only).
+    DataReorg,
+    /// Global dimension-lifted transpose (1D block-free, or SDSL when
+    /// combined with [`Tiling::Split`]).
+    Dlt,
+    /// The paper's transpose layout, single-step (§2).
+    TransposeLayout,
+    /// The paper's temporal computation folding with unrolling factor
+    /// `m` (§3); `m = 1` is the register-transpose pipeline without
+    /// temporal fusion.
+    Folded {
+        /// Unrolling factor (time steps fused per register update).
+        m: usize,
+    },
+    /// Let the library choose: [`Solver::compile`] resolves this via
+    /// [`crate::tune::auto_method`] (cost-model profitability §3.2 plus
+    /// the executor's radius bounds) into one of the concrete methods
+    /// above. Query the choice with [`Plan::method`].
+    Auto,
+}
+
+/// Tiling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tiling {
+    /// Whole-grid Jacobi sweeps (the "block-free" rows of Fig. 8).
+    None,
+    /// Tessellate tiling (Yuan) with `time_block` inner steps per round.
+    Tessellate {
+        /// Inner (possibly folded) steps per round.
+        time_block: usize,
+    },
+    /// Split tiling over DLT layout — the SDSL configuration.
+    Split {
+        /// Inner steps per round.
+        time_block: usize,
+    },
+    /// Spatial blocking only (one step at a time).
+    Spatial {
+        /// Tile extents `(outer, inner)` = (y,x) in 2D / (z,y) in 3D.
+        block: (usize, usize),
+    },
+}
+
+/// SIMD width selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// Scalar lanes (1): useful for calibration.
+    W1,
+    /// 4 x f64 (AVX2-class).
+    W4,
+    /// 8 x f64 (AVX-512-class).
+    W8,
+}
+
+impl Width {
+    /// Widest width with a native backend on this build.
+    pub fn native_max() -> Self {
+        if stencil_simd::HAS_AVX512 {
+            Width::W8
+        } else {
+            Width::W4
+        }
+    }
+
+    /// Lane count.
+    pub fn lanes(self) -> usize {
+        match self {
+            Width::W1 => 1,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+/// Stencil solver *configuration* — a cheap, cloneable builder.
+///
+/// Nothing is derived and no threads are spawned until
+/// [`Solver::compile`] turns the configuration into a [`Plan`]; compile
+/// once, run many times.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    pub(crate) pattern: Pattern,
+    pub(crate) method: Method,
+    pub(crate) tiling: Tiling,
+    pub(crate) width: Width,
+    pub(crate) threads: usize,
+    pub(crate) pool: Option<PoolHandle>,
+}
+
+impl Solver {
+    /// New solver for `pattern` (defaults: multiple-loads, no tiling,
+    /// the widest native vector width, single thread).
+    pub fn new(pattern: Pattern) -> Self {
+        Self {
+            pattern,
+            method: Method::MultipleLoads,
+            tiling: Tiling::None,
+            width: Width::native_max(),
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// Select the vectorization method.
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Select the tiling scheme.
+    pub fn tiling(mut self, t: Tiling) -> Self {
+        self.tiling = t;
+        self
+    }
+
+    /// Select the vector width (default: [`Width::native_max`]).
+    pub fn width(mut self, w: Width) -> Self {
+        self.width = w;
+        self
+    }
+
+    /// Use `n` worker threads. The pool itself is spawned by
+    /// [`Solver::compile`], not here; prefer [`Solver::pool`] to share
+    /// one pool across several plans.
+    ///
+    /// `threads` and [`Solver::pool`] are two ways to set the same
+    /// thing and the **last call wins**: calling `threads` discards a
+    /// previously supplied shared pool (compile will spawn a fresh
+    /// `n`-thread pool instead).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self.pool = None;
+        self
+    }
+
+    /// Share an existing worker pool instead of spawning a new one at
+    /// compile time — lets many plans amortize one set of threads.
+    ///
+    /// Last call wins: this overrides any earlier [`Solver::threads`]
+    /// count (the plan uses `pool.threads()` workers), and a later
+    /// `threads` call would discard this pool again.
+    pub fn pool(mut self, pool: PoolHandle) -> Self {
+        self.threads = pool.threads();
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The configured pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Validate the configuration and derive everything the runs will
+    /// reuse: the folded pattern Λ, the planned register kernel, the
+    /// resolved method (for [`Method::Auto`]) and the worker pool.
+    ///
+    /// Every invalid method × tiling × dimension combination is reported
+    /// here as a typed [`PlanError`]; the returned [`Plan`] can only fail
+    /// on grid-shape errors at run time (wrong dimensionality, or a
+    /// DLT-layout extent that is ragged or smaller than the lifted
+    /// radius).
+    pub fn compile(&self) -> Result<Plan, PlanError> {
+        Plan::compile(self)
+    }
+
+    /// One-shot run on a 1D grid (compiles on every call).
+    #[deprecated(
+        since = "0.2.0",
+        note = "call `.compile()` once and reuse the returned `Plan`; this wrapper re-plans \
+                (folding matrix, kernel plan, thread pool) on every invocation"
+    )]
+    pub fn run_1d(&self, grid: &Grid1D, t: usize) -> Grid1D {
+        self.compile()
+            .expect("invalid Solver configuration")
+            .run_1d(grid, t)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// One-shot run on a 2D grid (compiles on every call).
+    #[deprecated(
+        since = "0.2.0",
+        note = "call `.compile()` once and reuse the returned `Plan`; this wrapper re-plans \
+                (folding matrix, kernel plan, thread pool) on every invocation"
+    )]
+    pub fn run_2d(&self, grid: &Grid2D, t: usize) -> Grid2D {
+        self.compile()
+            .expect("invalid Solver configuration")
+            .run_2d(grid, t)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// One-shot run on a 3D grid (compiles on every call).
+    #[deprecated(
+        since = "0.2.0",
+        note = "call `.compile()` once and reuse the returned `Plan`; this wrapper re-plans \
+                (folding matrix, kernel plan, thread pool) on every invocation"
+    )]
+    pub fn run_3d(&self, grid: &Grid3D, t: usize) -> Grid3D {
+        self.compile()
+            .expect("invalid Solver configuration")
+            .run_3d(grid, t)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}

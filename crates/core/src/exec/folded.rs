@@ -59,7 +59,12 @@ pub struct FoldedKernel {
 impl FoldedKernel {
     /// Plan an `m`-step folded kernel for `p`.
     pub fn new(p: &Pattern, m: usize) -> Self {
-        let plan = FoldPlan::new(p, m);
+        Self::from_plan(FoldPlan::new(p, m))
+    }
+
+    /// Build the executor form of an already-computed [`FoldPlan`]
+    /// (lets a compile step validate the plan first and reuse it).
+    pub fn from_plan(plan: FoldPlan) -> Self {
         assert!(plan.fresh.len() <= MAX_F, "too many counterparts");
         let taps_by_id: Vec<_> = (0..plan.fresh.len()).map(|id| plan.fold_taps(id)).collect();
         let mut hterms = Vec::new();
@@ -601,10 +606,18 @@ pub fn step_2d<V: SimdF64>(k: &FoldedKernel, src: &Grid2D, dst: &mut Grid2D) {
 /// through the multiple-loads kernel.
 pub fn sweep_2d<V: SimdF64>(grid: &Grid2D, p: &Pattern, m: usize, t: usize) -> Grid2D {
     let k = FoldedKernel::new(p, m);
+    sweep_2d_with::<V>(&k, grid, p, t)
+}
+
+/// [`sweep_2d`] with the planned kernel supplied by the caller — the
+/// compile-once/run-many entry point: a plan builds the [`FoldedKernel`]
+/// once and reuses it across every run.
+pub fn sweep_2d_with<V: SimdF64>(k: &FoldedKernel, grid: &Grid2D, p: &Pattern, t: usize) -> Grid2D {
+    let m = k.m();
     let mut pp = PingPong::new(grid.clone());
     for _ in 0..t / m {
         let (src, dst) = pp.src_dst();
-        step_2d::<V>(&k, src, dst);
+        step_2d::<V>(k, src, dst);
         pp.swap_folded(m);
     }
     for _ in 0..t % m {
@@ -841,10 +854,17 @@ pub fn step_3d<V: SimdF64>(k: &FoldedKernel, src: &Grid3D, dst: &mut Grid3D) {
 /// Block-free "Our (m steps)" 3D sweep.
 pub fn sweep_3d<V: SimdF64>(grid: &Grid3D, p: &Pattern, m: usize, t: usize) -> Grid3D {
     let k = FoldedKernel::new(p, m);
+    sweep_3d_with::<V>(&k, grid, p, t)
+}
+
+/// [`sweep_3d`] with the planned kernel supplied by the caller (see
+/// [`sweep_2d_with`]).
+pub fn sweep_3d_with<V: SimdF64>(k: &FoldedKernel, grid: &Grid3D, p: &Pattern, t: usize) -> Grid3D {
+    let m = k.m();
     let mut pp = PingPong::new(grid.clone());
     for _ in 0..t / m {
         let (src, dst) = pp.src_dst();
-        step_3d::<V>(&k, src, dst);
+        step_3d::<V>(k, src, dst);
         pp.swap_folded(m);
     }
     for _ in 0..t % m {

@@ -176,10 +176,25 @@ pub fn sweep_folded_1d<V: SimdF64>(grid: &Grid1D, p: &Pattern, m: usize, t: usiz
     assert_eq!(p.dims(), 1);
     assert!(m >= 1);
     let folded = fold(p, m);
+    sweep_folded_1d_with::<V>(grid, p.weights(), &folded, m, t)
+}
+
+/// [`sweep_folded_1d`] with the folded pattern Λ supplied by the caller —
+/// the compile-once/run-many entry point: a plan computes Λ once and
+/// reuses it across every run.
+pub fn sweep_folded_1d_with<V: SimdF64>(
+    grid: &Grid1D,
+    base_taps: &[f64],
+    folded: &Pattern,
+    m: usize,
+    t: usize,
+) -> Grid1D {
+    assert!(m >= 1);
+    assert_eq!(folded.dims(), 1);
     assert!(folded.radius() <= V::LANES, "folded radius exceeds vl");
     let mut s = XLayoutSweep1D::<V>::new(grid);
     s.steps_folded(folded.weights(), t / m, m);
-    s.steps(p.weights(), t % m);
+    s.steps(base_taps, t % m);
     s.into_grid()
 }
 

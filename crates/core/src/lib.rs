@@ -18,22 +18,31 @@
 //!   executor with shifts reuse.
 //! * [`tile`] — tessellate tiling (1D/2D/3D), split tiling (the SDSL
 //!   stand-in), and plain spatial blocking.
-//! * [`api`] — a high-level `Solver` facade tying pattern x method x
-//!   tiling x thread pool together.
-//! * [`tune`] — tiling-parameter autotuner (the paper's declared future
-//!   work).
+//! * [`api`] — the high-level facade: a [`Solver`] configuration is
+//!   validated by [`Solver::compile`] into a reusable [`Plan`]
+//!   (pattern x method x tiling x width x thread pool), with invalid
+//!   combinations reported as typed [`PlanError`]s.
+//! * [`tune`] — tiling-parameter autotuner and the [`Method::Auto`]
+//!   resolver (the paper's declared future work).
 //!
 //! ```
 //! use stencil_core::{kernels, Method, Solver};
 //! use stencil_grid::Grid1D;
 //!
-//! // The folded method must agree with the scalar reference away from
-//! // the Dirichlet boundary band.
+//! // Compile once, run many: the folded method must agree with the
+//! // scalar reference away from the Dirichlet boundary band.
 //! let g = Grid1D::from_fn(256, |i| ((i * 31 + 7) % 97) as f64 * 0.01);
-//! let scalar = Solver::new(kernels::heat1d()).method(Method::Scalar).run_1d(&g, 4);
-//! let folded = Solver::new(kernels::heat1d()).method(Method::Folded { m: 2 }).run_1d(&g, 4);
+//! let scalar = Solver::new(kernels::heat1d())
+//!     .method(Method::Scalar)
+//!     .compile()
+//!     .unwrap();
+//! let folded = Solver::new(kernels::heat1d())
+//!     .method(Method::Folded { m: 2 })
+//!     .compile()
+//!     .unwrap();
+//! let (a, b) = (scalar.run_1d(&g, 4).unwrap(), folded.run_1d(&g, 4).unwrap());
 //! for i in 8..248 {
-//!     assert!((scalar.as_slice()[i] - folded.as_slice()[i]).abs() < 1e-12);
+//!     assert!((a.as_slice()[i] - b.as_slice()[i]).abs() < 1e-12);
 //! }
 //! ```
 
@@ -54,6 +63,6 @@ pub mod regression;
 pub mod tile;
 pub mod tune;
 
-pub use api::{Method, Solver, Tiling};
+pub use api::{Domain, Method, Plan, PlanError, Solver, Tiling, Width};
 pub use pattern::{Pattern, Shape};
 pub use plan::FoldPlan;

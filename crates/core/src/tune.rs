@@ -3,16 +3,67 @@
 //! efforts are required in automatic tuning and this will be done
 //! separately", §4.1).
 //!
-//! The search space here is the one Table 1 hand-tunes: the tessellation
-//! *time block* (and, for spatial blocking, the tile edge). Probe runs on
-//! a shrunken copy of the problem rank the candidates, then the best
-//! candidate is re-validated on a second probe to damp timing noise.
+//! Two layers:
+//!
+//! * [`auto_method`] — the compile-time resolver behind
+//!   [`Method::Auto`]: picks a vectorization method from the op-collect
+//!   cost model (§3.2) and the register pipeline's radius bounds, with
+//!   no probe runs.
+//! * [`tune_time_block_1d`]/[`tune_time_block_2d`] — measured probes
+//!   over the tessellation *time block* (the parameter Table 1
+//!   hand-tunes). Each candidate configuration is compiled **once** into
+//!   a [`crate::Plan`] and reused across the warm-up and both probe
+//!   passes, so tuning itself follows the plan-once/run-many discipline.
 
-use crate::api::{Method, Tiling};
+use crate::api::plan_exec::fold_radius_cap;
+use crate::api::{Method, Tiling, Width};
+use crate::cost;
 use crate::pattern::Pattern;
+use crate::plan::FoldPlan;
 use crate::Solver;
 use std::time::{Duration, Instant};
 use stencil_grid::{Grid1D, Grid2D};
+use stencil_runtime::PoolHandle;
+
+/// Profitability threshold θ >= 1 for choosing temporal folding
+/// (Eq. 3); folding must save at least this factor of arithmetic to be
+/// selected by [`auto_method`].
+pub const AUTO_FOLD_THETA: f64 = 1.5;
+
+/// Resolve [`Method::Auto`] for `p` at vector width `width` under
+/// `tiling`, without probe runs:
+///
+/// * split tiling admits only DLT (the SDSL configuration);
+/// * spatial blocking uses the straightforward vector kernel;
+/// * otherwise prefer temporal folding `m = 2` when the folded radius
+///   fits the register pipeline, the counterpart plan fits the register
+///   budget, and the §3.2 profitability index clears
+///   [`AUTO_FOLD_THETA`]; fall back to the transpose-layout pipeline,
+///   then to multiple loads.
+pub fn auto_method(p: &Pattern, width: Width, tiling: Tiling) -> Method {
+    match tiling {
+        Tiling::Split { .. } => return Method::Dlt,
+        Tiling::Spatial { .. } => return Method::MultipleLoads,
+        Tiling::None | Tiling::Tessellate { .. } => {}
+    }
+    let dims = p.dims();
+    let cap = fold_radius_cap(dims, width);
+    // The counterpart plan built here (and inside cost::profitability) is
+    // rebuilt by Plan::compile for the chosen method; patterns are tiny
+    // (<= (2R+1)^d weights), so this costs microseconds and only at
+    // compile time — never on the run path.
+    let fits = |m: usize| {
+        m * p.radius() <= cap
+            && (dims == 1 || FoldPlan::new(p, m).fresh.len() <= crate::exec::folded::MAX_F)
+    };
+    if fits(2) && cost::profitability(p, 2) >= AUTO_FOLD_THETA {
+        Method::Folded { m: 2 }
+    } else if fits(1) {
+        Method::TransposeLayout
+    } else {
+        Method::MultipleLoads
+    }
+}
 
 /// Outcome of a tuning run.
 #[derive(Debug, Clone)]
@@ -36,6 +87,12 @@ pub fn default_candidates() -> Vec<usize> {
 /// `probe_steps` inner steps per candidate (16 is plenty); the probe grid
 /// is capped at 1/4 of `n` (min 4096) so tuning costs a fraction of one
 /// real run.
+///
+/// # Panics
+///
+/// If `p` is not 1D or `method` cannot pair with tessellate tiling
+/// (e.g. [`Method::Dlt`]) — probing time blocks only makes sense for
+/// configurations `Solver::compile` accepts under `Tiling::Tessellate`.
 pub fn tune_time_block_1d(
     p: &Pattern,
     method: Method,
@@ -48,27 +105,37 @@ pub fn tune_time_block_1d(
     let t0 = Instant::now();
     let probe_n = (n / 4).clamp(4096.min(n), n);
     let grid = Grid1D::from_fn(probe_n, |i| ((i * 31) % 17) as f64);
-    let mut rates = Vec::with_capacity(candidates.len());
-    for &tb in candidates {
-        let solver = Solver::new(p.clone())
-            .method(method)
-            .tiling(Tiling::Tessellate { time_block: tb })
-            .threads(threads);
-        // warm-up + measure
-        let _ = solver.run_1d(&grid, probe_steps.min(4));
+    // one plan per candidate — compiled once, reused by every probe —
+    // all sharing a single worker pool
+    let pool = PoolHandle::new(threads);
+    let plans: Vec<_> = candidates
+        .iter()
+        .map(|&tb| {
+            let plan = Solver::new(p.clone())
+                .method(method)
+                .tiling(Tiling::Tessellate { time_block: tb })
+                .pool(pool.clone())
+                .compile()
+                .expect("tuning requires a tessellate-compatible method");
+            (tb, plan)
+        })
+        .collect();
+    let measure = |plan: &crate::Plan| -> f64 {
         let t = Instant::now();
-        let _ = solver.run_1d(&grid, probe_steps);
-        let rate = probe_n as f64 * probe_steps as f64 / t.elapsed().as_secs_f64();
-        rates.push((tb, rate));
-    }
-    let best = pick_best(&mut rates, |tb| {
-        let solver = Solver::new(p.clone())
-            .method(method)
-            .tiling(Tiling::Tessellate { time_block: tb })
-            .threads(threads);
-        let t = Instant::now();
-        let _ = solver.run_1d(&grid, probe_steps);
+        plan.run_1d(&grid, probe_steps)
+            .expect("tuner pattern must be 1D");
         probe_n as f64 * probe_steps as f64 / t.elapsed().as_secs_f64()
+    };
+    let mut rates = Vec::with_capacity(candidates.len());
+    for (tb, plan) in &plans {
+        // warm-up + measure on the same compiled plan
+        plan.run_1d(&grid, probe_steps.min(4))
+            .expect("tuner pattern must be 1D");
+        rates.push((*tb, measure(plan)));
+    }
+    // the runoff re-probe looks the winner's plan back up by time block
+    let best = pick_best(&mut rates, |tb| {
+        measure(&plans.iter().find(|(c, _)| *c == tb).unwrap().1)
     });
     TuneResult {
         time_block: best,
@@ -78,6 +145,11 @@ pub fn tune_time_block_1d(
 }
 
 /// Tune the tessellation time block for a 2D problem of `ny x nx`.
+///
+/// # Panics
+///
+/// If `p` is not 2D or `method` cannot pair with tessellate tiling
+/// (see [`tune_time_block_1d`]).
 pub fn tune_time_block_2d(
     p: &Pattern,
     method: Method,
@@ -93,26 +165,33 @@ pub fn tune_time_block_2d(
         (nx / 2).clamp(64.min(nx), nx),
     );
     let grid = Grid2D::from_fn(py, px, |y, x| ((y * 13 + x * 7) % 19) as f64);
-    let mut rates = Vec::with_capacity(candidates.len());
-    for &tb in candidates {
-        let solver = Solver::new(p.clone())
-            .method(method)
-            .tiling(Tiling::Tessellate { time_block: tb })
-            .threads(threads);
-        let _ = solver.run_2d(&grid, probe_steps.min(4));
+    let pool = PoolHandle::new(threads);
+    let plans: Vec<_> = candidates
+        .iter()
+        .map(|&tb| {
+            let plan = Solver::new(p.clone())
+                .method(method)
+                .tiling(Tiling::Tessellate { time_block: tb })
+                .pool(pool.clone())
+                .compile()
+                .expect("tuning requires a tessellate-compatible method");
+            (tb, plan)
+        })
+        .collect();
+    let measure = |plan: &crate::Plan| -> f64 {
         let t = Instant::now();
-        let _ = solver.run_2d(&grid, probe_steps);
-        let rate = (py * px) as f64 * probe_steps as f64 / t.elapsed().as_secs_f64();
-        rates.push((tb, rate));
+        plan.run_2d(&grid, probe_steps)
+            .expect("tuner pattern must be 2D");
+        (py * px) as f64 * probe_steps as f64 / t.elapsed().as_secs_f64()
+    };
+    let mut rates = Vec::with_capacity(candidates.len());
+    for (tb, plan) in &plans {
+        plan.run_2d(&grid, probe_steps.min(4))
+            .expect("tuner pattern must be 2D");
+        rates.push((*tb, measure(plan)));
     }
     let best = pick_best(&mut rates, |tb| {
-        let solver = Solver::new(p.clone())
-            .method(method)
-            .tiling(Tiling::Tessellate { time_block: tb })
-            .threads(threads);
-        let t = Instant::now();
-        let _ = solver.run_2d(&grid, probe_steps);
-        (py * px) as f64 * probe_steps as f64 / t.elapsed().as_secs_f64()
+        measure(&plans.iter().find(|(c, _)| *c == tb).unwrap().1)
     });
     TuneResult {
         time_block: best,
@@ -180,14 +259,22 @@ mod tests {
         let p = kernels::heat1d();
         let r = tune_time_block_1d(&p, Method::MultipleLoads, 50_000, 2, 6, &[4, 16]);
         let g = Grid1D::from_fn(2048, |i| ((i * 7) % 23) as f64);
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, 12);
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_1d(&g, 12)
+            .unwrap();
         let got = Solver::new(p)
             .method(Method::MultipleLoads)
             .tiling(Tiling::Tessellate {
                 time_block: r.time_block,
             })
             .threads(2)
-            .run_1d(&g, 12);
+            .compile()
+            .unwrap()
+            .run_1d(&g, 12)
+            .unwrap();
         assert!(stencil_grid::max_abs_diff(want.as_slice(), got.as_slice()) < 1e-12);
     }
 
@@ -202,5 +289,46 @@ mod tests {
             &[8],
         );
         assert_eq!(r.time_block, 8);
+    }
+
+    #[test]
+    fn auto_prefers_folding_when_profitable() {
+        // every linear Table-1 kernel has profitability > θ at m = 2 and
+        // a folded radius within bounds at the native width
+        for p in [kernels::heat1d(), kernels::heat2d(), kernels::box2d9p()] {
+            let m = auto_method(&p, Width::native_max(), Tiling::None);
+            assert_eq!(m, Method::Folded { m: 2 }, "pts={}", p.points());
+        }
+    }
+
+    #[test]
+    fn auto_respects_width_bounds_1d() {
+        // at one lane the folded radius 2 of heat1d m=2 cannot fit; auto
+        // must degrade to a supported method, not an invalid plan
+        let m = auto_method(&kernels::heat1d(), Width::W1, Tiling::None);
+        assert_ne!(m, Method::Folded { m: 2 });
+        let plan = Solver::new(kernels::heat1d())
+            .method(Method::Auto)
+            .width(Width::W1)
+            .compile()
+            .unwrap();
+        assert_ne!(plan.method(), Method::Auto);
+    }
+
+    #[test]
+    fn auto_honors_tiling_constraints() {
+        let p = kernels::heat1d();
+        assert_eq!(
+            auto_method(&p, Width::W4, Tiling::Split { time_block: 4 }),
+            Method::Dlt
+        );
+        assert_eq!(
+            auto_method(
+                &kernels::heat2d(),
+                Width::W4,
+                Tiling::Spatial { block: (8, 8) }
+            ),
+            Method::MultipleLoads
+        );
     }
 }

@@ -15,6 +15,12 @@ struct State {
     epoch: u64,
     /// Workers still executing the current job.
     active: usize,
+    /// A worker's job closure panicked during the current job; the
+    /// panic is re-raised on the calling thread when the job completes.
+    worker_panicked: bool,
+    /// A single-thread pool is executing its job inline (serializes
+    /// concurrent callers on the `threads == 1` fast path).
+    inline_busy: bool,
     shutdown: bool,
 }
 
@@ -22,6 +28,30 @@ struct Shared {
     state: Mutex<State>,
     job_ready: Condvar,
     job_done: Condvar,
+}
+
+std::thread_local! {
+    /// Identity of the pool whose job this thread is currently
+    /// executing (null when idle). Used to turn reentrant `run` calls —
+    /// a job launching a job on its own pool, which can only deadlock —
+    /// into an immediate panic with a diagnostic.
+    static ACTIVE_POOL: std::cell::Cell<*const ()> =
+        const { std::cell::Cell::new(std::ptr::null()) };
+}
+
+/// Run `f` with this thread marked as executing a job of `pool`,
+/// restoring the previous marker afterwards — including on unwind, so a
+/// panicking job cannot leave the reentrancy marker dirty. (A job may
+/// legitimately drive a *different* pool; the marker nests.)
+fn with_active_pool<R>(pool: *const (), f: impl FnOnce() -> R) -> R {
+    struct Restore(*const ());
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE_POOL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(ACTIVE_POOL.with(|c| c.replace(pool)));
+    f()
 }
 
 /// A fixed-size pool of `threads` workers (the creating thread counts as
@@ -55,6 +85,8 @@ impl ThreadPool {
                 job: None,
                 epoch: 0,
                 active: 0,
+                worker_panicked: false,
+                inline_busy: false,
                 shutdown: false,
             }),
             job_ready: Condvar::new(),
@@ -85,33 +117,150 @@ impl ThreadPool {
     /// Execute `f(worker_id)` on every worker, blocking until all have
     /// returned. Acts as a barrier: no worker can observe state from a
     /// later `run` while another is still inside this one.
+    ///
+    /// Concurrent `run` calls from different threads (e.g. through
+    /// cloned [`PoolHandle`]s) are serialized: a caller waits until the
+    /// in-flight job has fully completed before publishing its own.
     pub fn run<F>(&self, f: &F)
     where
         F: Fn(usize) + Sync,
     {
+        let id = Arc::as_ptr(&self.shared) as *const ();
         if self.threads == 1 {
-            f(0);
+            // Reentrancy is harmless without workers: the nested call is
+            // an ordinary inline invocation (this thread already holds
+            // `inline_busy`, so it must not wait on itself).
+            if ACTIVE_POOL.with(|c| c.get()) == id {
+                f(0);
+                return;
+            }
+            // No workers to publish to, but concurrent callers through
+            // cloned handles must still serialize (documented contract).
+            {
+                let mut st = self.shared.state.lock();
+                while st.inline_busy {
+                    self.shared.job_done.wait(&mut st);
+                }
+                st.inline_busy = true;
+            }
+            struct InlineGuard<'a>(&'a Shared);
+            impl Drop for InlineGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.state.lock().inline_busy = false;
+                    self.0.job_done.notify_all();
+                }
+            }
+            let _guard = InlineGuard(&self.shared);
+            with_active_pool(id, || f(0));
             return;
         }
+        // With real workers, a job launching a job on its own pool can
+        // only deadlock — fail loudly instead.
+        assert!(
+            ACTIVE_POOL.with(|c| c.get()) != id,
+            "reentrant ThreadPool::run: a job may not launch another job on its own pool"
+        );
         let job: &(dyn Fn(usize) + Sync) = f;
         // SAFETY: `run` blocks until every worker has finished with `job`,
         // so the reference never outlives the closure it points to.
         let job: Job = unsafe { std::mem::transmute(job) };
         {
             let mut st = self.shared.state.lock();
-            debug_assert!(st.job.is_none(), "nested run on the same pool");
+            // Serialize with any in-flight job from another caller; the
+            // finishing caller clears `job` and notifies `job_done`.
+            while st.job.is_some() {
+                self.shared.job_done.wait(&mut st);
+            }
             st.job = Some(job);
             st.epoch += 1;
             st.active = self.threads - 1;
             self.shared.job_ready.notify_all();
         }
-        // Participate as worker 0.
-        f(0);
-        let mut st = self.shared.state.lock();
-        while st.active > 0 {
-            self.shared.job_done.wait(&mut st);
+        // From here to the end of the job, cleanup must happen even if
+        // `f(0)` panics on this thread: the guard waits for the workers
+        // (the transmuted `job` reference must not outlive this frame),
+        // clears the job slot, and wakes queued callers — on both the
+        // normal and the unwind path. Without it, a caught panic would
+        // leave `job` set and deadlock every later `run` on this pool.
+        // A panic observed on a *worker* thread is re-raised here, on
+        // the calling thread, once the job has fully drained.
+        struct JobGuard<'a>(&'a Shared);
+        impl Drop for JobGuard<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.state.lock();
+                while st.active > 0 {
+                    self.0.job_done.wait(&mut st);
+                }
+                st.job = None;
+                let worker_panicked = std::mem::take(&mut st.worker_panicked);
+                drop(st);
+                self.0.job_done.notify_all();
+                if worker_panicked && !std::thread::panicking() {
+                    panic!("a ThreadPool job panicked on a worker thread");
+                }
+            }
         }
-        st.job = None;
+        let _guard = JobGuard(&self.shared);
+        // Participate as worker 0.
+        with_active_pool(id, || f(0));
+    }
+}
+
+/// Cheaply cloneable, shareable handle to a [`ThreadPool`].
+///
+/// A compiled execution plan (or several) can hold clones of the same
+/// handle, so the worker threads are spawned once and amortized across
+/// every run — the "setup cost paid once" discipline the tiled executors
+/// are built around. Dereferences to [`ThreadPool`].
+///
+/// The underlying pool serves one fork-join job at a time; concurrent
+/// `run` calls through cloned handles are safe and serialize against
+/// each other. Use separate handles when plans must actually execute
+/// in parallel with one another.
+///
+/// ```
+/// use stencil_runtime::PoolHandle;
+///
+/// let a = PoolHandle::new(3);
+/// let b = a.clone(); // same worker threads, no respawn
+/// assert_eq!(a.threads(), b.threads());
+/// assert!(PoolHandle::ptr_eq(&a, &b));
+/// ```
+#[derive(Clone)]
+pub struct PoolHandle(Arc<ThreadPool>);
+
+impl PoolHandle {
+    /// Spawn a pool with `threads` total workers and wrap it in a
+    /// shareable handle.
+    pub fn new(threads: usize) -> Self {
+        Self(Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// True when both handles point at the same worker pool.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl From<ThreadPool> for PoolHandle {
+    fn from(pool: ThreadPool) -> Self {
+        Self(Arc::new(pool))
+    }
+}
+
+impl std::ops::Deref for PoolHandle {
+    type Target = ThreadPool;
+
+    fn deref(&self) -> &ThreadPool {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolHandle")
+            .field("threads", &self.0.threads())
+            .finish()
     }
 }
 
@@ -144,8 +293,18 @@ fn worker_loop(shared: &Shared, id: usize) {
                 shared.job_ready.wait(&mut st);
             }
         };
-        job(id);
+        // Catch job panics so a dying closure cannot strand the barrier:
+        // `active` is always decremented, the worker thread survives for
+        // future jobs, and the panic is re-raised on the calling thread
+        // by its JobGuard. AssertUnwindSafe is justified because the
+        // caller observes the panic before `run` returns.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_active_pool(shared as *const Shared as *const (), || job(id))
+        }));
         let mut st = shared.state.lock();
+        if result.is_err() {
+            st.worker_panicked = true;
+        }
         st.active -= 1;
         if st.active == 0 {
             shared.job_done.notify_all();
@@ -201,6 +360,116 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_on_worker_zero() {
+        let pool = PoolHandle::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|id| {
+                if id == 0 {
+                    panic!("job failure on the calling thread");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // the job slot and the reentrancy marker were cleaned up on
+        // unwind: later runs on the same pool complete normally
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn worker_job_panic_propagates_and_pool_survives() {
+        let pool = PoolHandle::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|id| {
+                if id == 1 {
+                    panic!("job failure on a worker thread");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on the caller");
+        // every worker is still alive and the job slot is clean
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn single_thread_pool_serializes_concurrent_callers() {
+        // the threads == 1 fast path must honor the same serialization
+        // contract as the worker path
+        let pool = PoolHandle::new(1);
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let (pool, inside, max_seen) =
+                (pool.clone(), Arc::clone(&inside), Arc::clone(&max_seen));
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    pool.run(&|_| {
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "jobs overlapped");
+    }
+
+    #[test]
+    fn concurrent_runs_through_shared_handles_serialize() {
+        // two threads hammer the same pool through cloned handles; every
+        // run must execute on all workers exactly once (no lost or
+        // overwritten jobs)
+        let pool = PoolHandle::new(3);
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let pool = pool.clone();
+            let count = Arc::clone(&count);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    pool.run(&|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 2 * 50 * 3);
+    }
+
+    #[test]
+    fn handle_shares_one_pool() {
+        let a = PoolHandle::new(4);
+        let b = a.clone();
+        let c = PoolHandle::new(4);
+        assert!(PoolHandle::ptr_eq(&a, &b));
+        assert!(!PoolHandle::ptr_eq(&a, &c));
+        // both clones drive the same workers
+        let hits = AtomicUsize::new(0);
+        a.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        b.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
     }
 
     #[test]

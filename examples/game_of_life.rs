@@ -9,7 +9,7 @@
 use std::time::Instant;
 use stencil_lab::core::exec::life;
 use stencil_lab::core::tile::tessellate;
-use stencil_lab::runtime::ThreadPool;
+use stencil_lab::runtime::PoolHandle;
 use stencil_lab::simd::NativeF64x4;
 use stencil_lab::{Grid2D, PingPong};
 
@@ -78,7 +78,8 @@ fn main() {
     let (ny, nx) = (1024, 1024);
     let t = 100;
     let soup = life::random_soup(ny, nx, 42);
-    let pool = ThreadPool::new(stencil_lab::runtime::available_parallelism().min(8));
+    // one shareable pool handle, reused by all three timed kernels
+    let pool = PoolHandle::new(stencil_lab::runtime::available_parallelism().min(8));
     let cells = (ny * nx * t) as f64;
 
     let t0 = Instant::now();

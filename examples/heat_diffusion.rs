@@ -1,6 +1,8 @@
 //! 2D heat diffusion with a hot plate: renders the temperature field as
 //! ASCII frames while solving with the paper's folded register kernel
 //! under tessellate tiling, and cross-checks against the scalar solver.
+//! The plan is compiled once and reused for every frame and for the
+//! verification run — no per-frame re-planning.
 //!
 //! ```sh
 //! cargo run --release --example heat_diffusion
@@ -43,17 +45,21 @@ fn main() {
         }
     });
 
-    let solver = Solver::new(kernels::heat2d())
+    // Compile once: the folding matrix, register-kernel plan and thread
+    // pool are derived here and reused by every run below.
+    let plan = Solver::new(kernels::heat2d())
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 8 })
-        .threads(stencil_lab::runtime::available_parallelism().min(8));
+        .threads(stencil_lab::runtime::available_parallelism().min(8))
+        .compile()
+        .expect("folded + tessellate is a valid 2D configuration");
 
     let mut state = grid.clone();
     println!("t = 0");
     println!("{}", render(&state, 24, 48));
     for frame in 1..=3 {
         let steps = 400;
-        state = solver.run_2d(&state, steps);
+        state = plan.run_2d(&state, steps).unwrap();
         println!("t = {}", frame * steps);
         println!("{}", render(&state, 24, 48));
     }
@@ -61,8 +67,11 @@ fn main() {
     // verification against the scalar reference on a shorter run
     let want = Solver::new(kernels::heat2d())
         .method(Method::Scalar)
-        .run_2d(&grid, 50);
-    let got = solver.run_2d(&grid, 50);
+        .compile()
+        .unwrap()
+        .run_2d(&grid, 50)
+        .unwrap();
+    let got = plan.run_2d(&grid, 50).unwrap();
     let err = stencil_lab::grid::max_abs_diff(&want.to_dense(), &got.to_dense());
     println!("verification vs scalar after 50 steps: max |diff| = {err:.2e}");
     // the folded method freezes a 2-cell Dirichlet band; interior matches

@@ -1,6 +1,9 @@
 //! American put option pricing with the APOP kernel (paper Table 1): a
 //! 1D 3-point stencil over two arrays with an early-exercise check,
 //! run backward from expiry with the vectorized and folded executors.
+//! The European limit (no early exercise) is a plain linear stencil, so
+//! it is priced through a compiled [`Plan`] — one compile, one run per
+//! maturity.
 //!
 //! ```sh
 //! cargo run --release --example option_pricing
@@ -9,6 +12,7 @@
 use std::time::Instant;
 use stencil_lab::core::exec::apop;
 use stencil_lab::simd::NativeF64x4;
+use stencil_lab::{Method, Solver, Tiling};
 
 fn main() {
     let n = 200_001; // spot grid 0..=2000 in steps of 0.01
@@ -30,30 +34,53 @@ fn main() {
     let bermudan = apop::sweep_folded::<NativeF64x4>(&ap, 2, steps);
     let t_bermudan = t0.elapsed();
 
+    // European limit (never exercise early): the update is purely linear,
+    // so it runs through a compiled plan — the library's folded +
+    // tessellated fast path, planned once.
+    let plan = Solver::new(ap.linear_pattern())
+        .method(Method::Folded { m: 2 })
+        .tiling(Tiling::Tessellate { time_block: 16 })
+        .threads(stencil_lab::runtime::available_parallelism().min(8))
+        .compile()
+        .expect("APOP's linear part is a valid 1D pattern");
+    let t0 = Instant::now();
+    let european = plan.run_1d(&ap.initial_values(), steps).unwrap();
+    let t_european = t0.elapsed();
+
     println!(
-        "American (m=1): {:>6.1} ms   Bermudan (m=2): {:>6.1} ms",
+        "American (m=1): {:>6.1} ms   Bermudan (m=2): {:>6.1} ms   European (plan): {:>6.1} ms",
         t_american.as_secs_f64() * 1e3,
-        t_bermudan.as_secs_f64() * 1e3
+        t_bermudan.as_secs_f64() * 1e3,
+        t_european.as_secs_f64() * 1e3
     );
 
-    println!("\n  spot     payoff   American   Bermudan   early-exercise premium");
+    println!("\n  spot     payoff   American   Bermudan   European   early-exercise premium");
     for spot in [60.0f64, 80.0, 90.0, 100.0, 110.0, 120.0] {
         let i = ((spot / ds).round() as usize).min(n - 1);
         let intrinsic = ap.payoff[i];
         println!(
-            "{:>7.1} {:>9.3} {:>10.4} {:>10.4} {:>12.4}",
+            "{:>7.1} {:>9.3} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
             spot,
             intrinsic,
             american[i],
             bermudan[i],
+            european[i],
             american[i] - intrinsic
         );
     }
 
-    // sanity: value dominates intrinsic, Bermudan <= American
+    // sanity: value dominates intrinsic, Bermudan <= American, and the
+    // American right to exercise early is worth something non-negative
+    // against the European limit (away from the boundary bands)
     let mut violations = 0usize;
     for i in 4..n - 4 {
         if american[i] < ap.payoff[i] - 1e-9 || bermudan[i] > american[i] + 1e-9 {
+            violations += 1;
+        }
+    }
+    let band = 4 * steps.min(1000);
+    for i in band..n - band {
+        if european[i] > american[i] + 1e-6 {
             violations += 1;
         }
     }

@@ -1,6 +1,6 @@
-//! Quickstart: solve a 1D heat equation with every vectorization method
-//! and verify they agree, then time the paper's folded method against
-//! the baselines.
+//! Quickstart: compile a plan per vectorization method for a 1D heat
+//! equation, verify they agree, then time the paper's folded method
+//! against the baselines — each plan compiled once and reused.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -22,24 +22,33 @@ fn main() {
     );
     println!();
 
-    // 1. All methods agree with the scalar reference.
+    // 1. All methods agree with the scalar reference. One compiled plan
+    //    per method; compilation validates the combination up front.
     let reference = Solver::new(pattern.clone())
         .method(Method::Scalar)
-        .run_1d(&grid, t);
+        .compile()
+        .expect("scalar plan")
+        .run_1d(&grid, t)
+        .unwrap();
     for method in [
         Method::MultipleLoads,
         Method::DataReorg,
         Method::Dlt,
         Method::TransposeLayout,
     ] {
-        let out = Solver::new(pattern.clone()).method(method).run_1d(&grid, t);
+        let plan = Solver::new(pattern.clone())
+            .method(method)
+            .compile()
+            .expect("valid block-free configuration");
+        let out = plan.run_1d(&grid, t).unwrap();
         let err = stencil_lab::grid::max_abs_diff(reference.as_slice(), out.as_slice());
         println!("{method:?}: max |diff vs scalar| = {err:.2e}");
         assert!(err < 1e-12);
     }
     println!();
 
-    // 2. Throughput comparison (block-free, single thread).
+    // 2. Throughput comparison (block-free, single thread). The plan is
+    //    compiled once per method; the timed loop only runs it.
     let flops = 2.0 * pattern.points() as f64 * n as f64 * t as f64;
     for (name, method) in [
         ("Multiple Loads ", Method::MultipleLoads),
@@ -48,9 +57,12 @@ fn main() {
         ("Our            ", Method::TransposeLayout),
         ("Our (2 steps)  ", Method::Folded { m: 2 }),
     ] {
-        let solver = Solver::new(pattern.clone()).method(method);
+        let plan = Solver::new(pattern.clone())
+            .method(method)
+            .compile()
+            .unwrap();
         let t0 = Instant::now();
-        let out = solver.run_1d(&grid, t);
+        let out = plan.run_1d(&grid, t).unwrap();
         let dt = t0.elapsed();
         let mass: f64 = out.as_slice().iter().sum();
         println!(
@@ -61,19 +73,32 @@ fn main() {
     }
     println!();
 
-    // 3. The full configuration: folding + tessellate tiling + threads.
+    // 3. The full configuration: folding + tessellate tiling + threads,
+    //    compiled once and run three times — the pool and the folded
+    //    kernel are reused across runs.
     let threads = stencil_lab::runtime::available_parallelism().min(8);
-    let solver = Solver::new(pattern)
+    let plan = Solver::new(pattern.clone())
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 32 })
-        .threads(threads);
-    let t0 = Instant::now();
-    let out = solver.run_1d(&grid, t);
-    let dt = t0.elapsed();
-    println!(
-        "Folded + tessellation on {threads} threads: {:.2} GFLOP/s",
-        flops / dt.as_secs_f64() / 1e9
-    );
-    let err = stencil_lab::grid::max_abs_diff(reference.as_slice(), out.as_slice());
-    println!("max |diff vs scalar| = {err:.2e} (folded Dirichlet band differs only near edges)");
+        .threads(threads)
+        .compile()
+        .expect("folded + tessellate");
+    for round in 1..=3 {
+        let t0 = Instant::now();
+        let out = plan.run_1d(&grid, t).unwrap();
+        let dt = t0.elapsed();
+        let err = stencil_lab::grid::max_abs_diff(reference.as_slice(), out.as_slice());
+        println!(
+            "Folded + tessellation on {threads} threads, run {round}: {:.2} GFLOP/s \
+             (max |diff vs scalar| = {err:.2e})",
+            flops / dt.as_secs_f64() / 1e9
+        );
+    }
+    println!("(the folded Dirichlet band differs only near the edges)");
+    println!();
+
+    // 4. Or let the library choose: Method::Auto resolves through the
+    //    cost model at compile time.
+    let auto = Solver::new(pattern).method(Method::Auto).compile().unwrap();
+    println!("Method::Auto resolved to {:?}", auto.method());
 }

@@ -10,25 +10,45 @@
 //! * [`grid`] — aligned grids, ping-pong pairs, layout transforms.
 //! * [`runtime`] — thread pool and parallel-for (no external deps).
 //! * [`core`] — patterns, folding matrices, counterpart planning,
-//!   executors, tiling, and the high-level [`Solver`].
+//!   executors, tiling, and the high-level [`Solver`]/[`Plan`] facade.
 //!
 //! ## Quickstart
+//!
+//! The facade follows the paper's own discipline — do the redundant work
+//! once. A [`Solver`] is a cheap configuration; [`Solver::compile`]
+//! validates it (typed [`PlanError`]s, no panics) and precomputes the
+//! folding matrix Λ, the register-kernel plan and the worker pool into a
+//! [`Plan`] that runs any number of sweeps:
 //!
 //! ```
 //! use stencil_lab::{Method, Solver, Tiling};
 //! use stencil_lab::core::kernels;
 //! use stencil_lab::grid::Grid1D;
 //!
-//! // Diffuse an impulse with the paper's folded method under tessellate
-//! // tiling on two threads.
-//! let grid = Grid1D::from_fn(4096, |i| if i == 2048 { 1.0 } else { 0.0 });
-//! let out = Solver::new(kernels::heat1d())
+//! // Compile the paper's folded method under tessellate tiling once...
+//! let plan = Solver::new(kernels::heat1d())
 //!     .method(Method::Folded { m: 2 })
 //!     .tiling(Tiling::Tessellate { time_block: 16 })
 //!     .threads(2)
-//!     .run_1d(&grid, 500);
-//! let mass: f64 = out.as_slice().iter().sum();
-//! assert!((mass - 1.0).abs() < 1e-9);
+//!     .compile()
+//!     .expect("valid configuration");
+//!
+//! // ...then serve as many sweeps as you like from the same plan.
+//! let grid = Grid1D::from_fn(4096, |i| if i == 2048 { 1.0 } else { 0.0 });
+//! for _ in 0..3 {
+//!     let out = plan.run_1d(&grid, 500).unwrap();
+//!     let mass: f64 = out.as_slice().iter().sum();
+//!     assert!((mass - 1.0).abs() < 1e-9);
+//! }
+//!
+//! // Invalid configurations are compile-time errors, not panics:
+//! use stencil_lab::PlanError;
+//! let err = Solver::new(kernels::heat1d())
+//!     .method(Method::Dlt)
+//!     .tiling(Tiling::Tessellate { time_block: 8 })
+//!     .compile()
+//!     .unwrap_err();
+//! assert!(matches!(err, PlanError::IncompatibleMethodTiling { .. }));
 //! ```
 
 pub use stencil_core as core;
@@ -36,6 +56,8 @@ pub use stencil_grid as grid;
 pub use stencil_runtime as runtime;
 pub use stencil_simd as simd;
 
-pub use stencil_core::{FoldPlan, Method, Pattern, Shape, Solver, Tiling};
+pub use stencil_core::{
+    Domain, FoldPlan, Method, Pattern, Plan, PlanError, Shape, Solver, Tiling, Width,
+};
 pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
-pub use stencil_runtime::ThreadPool;
+pub use stencil_runtime::{PoolHandle, ThreadPool};

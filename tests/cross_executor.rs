@@ -28,7 +28,12 @@ fn one_dimensional_methods_agree() {
     for p in [kernels::heat1d(), kernels::d1p5()] {
         let g = grid1(1024);
         let t = 20;
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_1d(&g, t)
+            .unwrap();
         for method in [
             Method::MultipleLoads,
             Method::DataReorg,
@@ -39,7 +44,10 @@ fn one_dimensional_methods_agree() {
                 let got = Solver::new(p.clone())
                     .method(method)
                     .width(width)
-                    .run_1d(&g, t);
+                    .compile()
+                    .unwrap()
+                    .run_1d(&g, t)
+                    .unwrap();
                 assert!(
                     max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
                     "{method:?} {width:?} pts={}",
@@ -69,11 +77,17 @@ fn folded_1d_matches_scalar_folded() {
             let steps = 4 * m;
             let want = Solver::new(folded)
                 .method(Method::Scalar)
-                .run_1d(&g, steps / m);
+                .compile()
+                .unwrap()
+                .run_1d(&g, steps / m)
+                .unwrap();
             let got = Solver::new(p.clone())
                 .method(Method::Folded { m })
                 .width(width)
-                .run_1d(&g, steps);
+                .compile()
+                .unwrap()
+                .run_1d(&g, steps)
+                .unwrap();
             assert!(
                 max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
                 "m={m} pts={}",
@@ -95,9 +109,19 @@ fn two_dimensional_methods_agree() {
     ] {
         let g = grid2(64, 72);
         let t = 10;
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_2d(&g, t);
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_2d(&g, t)
+            .unwrap();
         for method in [Method::MultipleLoads, Method::TransposeLayout] {
-            let got = Solver::new(p.clone()).method(method).run_2d(&g, t);
+            let got = Solver::new(p.clone())
+                .method(method)
+                .compile()
+                .unwrap()
+                .run_2d(&g, t)
+                .unwrap();
             assert!(
                 stencil_lab::grid::rel_l2_error(&got.to_dense(), &want.to_dense()) < 1e-13,
                 "{method:?} pts={}",
@@ -112,12 +136,20 @@ fn folded_2d_matches_scalar_folded_all_kernels() {
     for p in [kernels::heat2d(), kernels::box2d9p(), kernels::gb()] {
         let g = grid2(57, 63);
         let folded = stencil_lab::core::folding::fold(&p, 2);
-        let want = Solver::new(folded).method(Method::Scalar).run_2d(&g, 4);
+        let want = Solver::new(folded)
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_2d(&g, 4)
+            .unwrap();
         for width in [Width::W4, Width::W8] {
             let got = Solver::new(p.clone())
                 .method(Method::Folded { m: 2 })
                 .width(width)
-                .run_2d(&g, 8);
+                .compile()
+                .unwrap()
+                .run_2d(&g, 8)
+                .unwrap();
             assert!(
                 max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-10,
                 "{width:?} pts={}",
@@ -132,9 +164,19 @@ fn three_dimensional_methods_agree() {
     for p in [kernels::heat3d(), kernels::box3d27p()] {
         let g = grid3(18, 20, 24);
         let t = 5;
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_3d(&g, t);
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_3d(&g, t)
+            .unwrap();
         for method in [Method::MultipleLoads, Method::TransposeLayout] {
-            let got = Solver::new(p.clone()).method(method).run_3d(&g, t);
+            let got = Solver::new(p.clone())
+                .method(method)
+                .compile()
+                .unwrap()
+                .run_3d(&g, t)
+                .unwrap();
             assert!(
                 max_abs_diff(&want.to_dense(), &got.to_dense()) < TOL,
                 "{method:?} pts={}",
@@ -143,10 +185,18 @@ fn three_dimensional_methods_agree() {
         }
         // folded m=2
         let folded = stencil_lab::core::folding::fold(&p, 2);
-        let want2 = Solver::new(folded).method(Method::Scalar).run_3d(&g, 2);
+        let want2 = Solver::new(folded)
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_3d(&g, 2)
+            .unwrap();
         let got2 = Solver::new(p.clone())
             .method(Method::Folded { m: 2 })
-            .run_3d(&g, 4);
+            .compile()
+            .unwrap()
+            .run_3d(&g, 4)
+            .unwrap();
         assert!(
             max_abs_diff(&want2.to_dense(), &got2.to_dense()) < 1e-10,
             "folded pts={}",
@@ -161,14 +211,24 @@ fn arbitrary_asymmetric_patterns_1d() {
     let taps = [0.11, -0.2, 0.37, 0.4, 0.05];
     let p = Pattern::new_1d(&taps);
     let g = grid1(512);
-    let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, 8);
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_1d(&g, 8)
+        .unwrap();
     for method in [
         Method::MultipleLoads,
         Method::DataReorg,
         Method::Dlt,
         Method::TransposeLayout,
     ] {
-        let got = Solver::new(p.clone()).method(method).run_1d(&g, 8);
+        let got = Solver::new(p.clone())
+            .method(method)
+            .compile()
+            .unwrap()
+            .run_1d(&g, 8)
+            .unwrap();
         assert!(
             max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
             "{method:?}"

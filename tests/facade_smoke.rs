@@ -27,7 +27,10 @@ fn quickstart_path_conserves_mass() {
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 16 })
         .threads(2)
-        .run_1d(&impulse(), STEPS);
+        .compile()
+        .unwrap()
+        .run_1d(&impulse(), STEPS)
+        .unwrap();
     assert!((mass(&out) - 1.0).abs() < 1e-9, "mass = {}", mass(&out));
 }
 
@@ -44,7 +47,10 @@ fn every_reexported_method_conserves_mass() {
     ] {
         let out = Solver::new(kernels::heat1d())
             .method(method)
-            .run_1d(&impulse(), STEPS);
+            .compile()
+            .unwrap()
+            .run_1d(&impulse(), STEPS)
+            .unwrap();
         assert!(
             (mass(&out) - 1.0).abs() < 1e-9,
             "{method:?}: mass = {}",
@@ -58,12 +64,18 @@ fn facade_reexports_agree_with_scalar_reference() {
     let grid = Grid1D::from_fn(N, |i| ((i * 13 + 5) % 89) as f64 * 0.01);
     let want = Solver::new(kernels::heat1d())
         .method(Method::Scalar)
-        .run_1d(&grid, STEPS);
+        .compile()
+        .unwrap()
+        .run_1d(&grid, STEPS)
+        .unwrap();
     let got = Solver::new(kernels::heat1d())
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 8 })
         .threads(2)
-        .run_1d(&grid, STEPS);
+        .compile()
+        .unwrap()
+        .run_1d(&grid, STEPS)
+        .unwrap();
     // Interior agreement; the folded Dirichlet band differs near edges.
     let band = 2 * STEPS;
     let diff = stencil_lab::grid::max_abs_diff(

@@ -18,7 +18,10 @@ fn diffusion_conserves_mass_1d() {
     ] {
         let out = Solver::new(kernels::heat1d())
             .method(method)
-            .run_1d(&g, 200);
+            .compile()
+            .unwrap()
+            .run_1d(&g, 200)
+            .unwrap();
         let mass: f64 = out.as_slice().iter().sum();
         assert!(
             (mass - mass0).abs() < 1e-9,
@@ -36,7 +39,10 @@ fn maximum_principle_2d() {
             .method(method)
             .tiling(Tiling::Tessellate { time_block: 4 })
             .threads(4)
-            .run_2d(&g, 60);
+            .compile()
+            .unwrap()
+            .run_2d(&g, 60)
+            .unwrap();
         for v in out.to_dense() {
             assert!(
                 (-1e-12..=1.0 + 1e-12).contains(&v),
@@ -56,7 +62,10 @@ fn symmetry_preserved_1d() {
     });
     let out = Solver::new(kernels::heat1d())
         .method(Method::Folded { m: 2 })
-        .run_1d(&g, 100);
+        .compile()
+        .unwrap()
+        .run_1d(&g, 100)
+        .unwrap();
     for i in 0..n {
         assert!((out[i] - out[n - 1 - i]).abs() < 1e-12, "asymmetry at {i}");
     }
@@ -71,7 +80,10 @@ fn long_run_stability() {
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 25 })
         .threads(8)
-        .run_1d(&g, 2000);
+        .compile()
+        .unwrap()
+        .run_1d(&g, 2000)
+        .unwrap();
     for &v in out.as_slice() {
         assert!(v.is_finite());
         assert!(v <= max0 + 1e-9);
@@ -88,7 +100,10 @@ fn impulse_response_is_binomial_1d() {
     let g = Grid1D::from_fn(n, |i| if i == n / 2 { 1.0 } else { 0.0 });
     let out = Solver::new(kernels::heat1d())
         .method(Method::TransposeLayout)
-        .run_1d(&g, t);
+        .compile()
+        .unwrap()
+        .run_1d(&g, t)
+        .unwrap();
     // binomial coefficients C(2t, k)
     let mut c = vec![0.0f64; 2 * t + 1];
     c[0] = 1.0;

@@ -1,0 +1,492 @@
+//! Integration: the compile-once/run-many `Plan` API.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Typed error surface** — every invalid method × tiling ×
+//!    dimension combination returns the right [`PlanError`] variant from
+//!    `compile()`; no configuration reachable through the public API
+//!    panics.
+//! 2. **Plan reuse** — a single compiled plan produces identical results
+//!    across repeated runs while reusing its thread pool and its folded
+//!    kernel (no per-run re-planning).
+//! 3. **Leftover steps** — the `t % m` tessellate tail goes through the
+//!    same range-step kernels as the tiled body, in all three
+//!    dimensions.
+
+use stencil_lab::core::kernels;
+use stencil_lab::grid::max_abs_diff;
+use stencil_lab::{
+    Domain, Grid1D, Grid2D, Grid3D, Method, Pattern, PlanError, PoolHandle, Solver, Tiling, Width,
+};
+
+// ---------------------------------------------------------------------
+// 1. error surface
+// ---------------------------------------------------------------------
+
+fn compile_err(s: Solver) -> PlanError {
+    s.compile().expect_err("configuration must be rejected")
+}
+
+#[test]
+fn dlt_rejects_tessellate_in_every_dimension() {
+    for p in [kernels::heat1d(), kernels::heat2d(), kernels::heat3d()] {
+        let err = compile_err(
+            Solver::new(p)
+                .method(Method::Dlt)
+                .tiling(Tiling::Tessellate { time_block: 4 }),
+        );
+        assert!(
+            matches!(
+                err,
+                PlanError::IncompatibleMethodTiling {
+                    method: Method::Dlt,
+                    tiling: Tiling::Tessellate { .. },
+                }
+            ),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn split_rejects_everything_but_dlt() {
+    for p in [kernels::heat1d(), kernels::heat2d(), kernels::heat3d()] {
+        for m in [
+            Method::Scalar,
+            Method::MultipleLoads,
+            Method::DataReorg,
+            Method::TransposeLayout,
+            Method::Folded { m: 2 },
+        ] {
+            let err = compile_err(
+                Solver::new(p.clone())
+                    .method(m)
+                    .tiling(Tiling::Split { time_block: 4 }),
+            );
+            assert!(
+                matches!(
+                    err,
+                    PlanError::IncompatibleMethodTiling {
+                        tiling: Tiling::Split { .. },
+                        ..
+                    }
+                ),
+                "{m:?}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spatial_rejects_register_methods_and_dlt() {
+    for m in [
+        Method::Dlt,
+        Method::TransposeLayout,
+        Method::Folded { m: 2 },
+    ] {
+        let err = compile_err(
+            Solver::new(kernels::heat2d())
+                .method(m)
+                .tiling(Tiling::Spatial { block: (8, 8) }),
+        );
+        assert!(
+            matches!(err, PlanError::IncompatibleMethodTiling { .. }),
+            "{m:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn spatial_is_not_available_in_1d() {
+    let err = compile_err(Solver::new(kernels::heat1d()).tiling(Tiling::Spatial { block: (8, 8) }));
+    assert!(
+        matches!(
+            err,
+            PlanError::UnsupportedDimension {
+                pattern_dims: 1,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn block_free_dlt_is_1d_only() {
+    for p in [kernels::heat2d(), kernels::heat3d()] {
+        let dims = p.dims();
+        let err = compile_err(Solver::new(p).method(Method::Dlt));
+        assert!(
+            matches!(
+                err,
+                PlanError::UnsupportedDimension { pattern_dims, .. } if pattern_dims == dims
+            ),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn zero_fold_factor_is_invalid() {
+    let err = compile_err(Solver::new(kernels::heat1d()).method(Method::Folded { m: 0 }));
+    assert!(matches!(err, PlanError::InvalidFold { m: 0, .. }), "{err}");
+}
+
+#[test]
+fn oversized_fold_radius_is_invalid() {
+    // 1D: d1p5 has radius 2; m = 3 folds to radius 6 > 4 lanes
+    let err = compile_err(
+        Solver::new(kernels::d1p5())
+            .method(Method::Folded { m: 3 })
+            .width(Width::W4),
+    );
+    assert!(
+        matches!(
+            err,
+            PlanError::InvalidFold {
+                m: 3,
+                folded_radius: 6,
+                max_radius: 4,
+            }
+        ),
+        "{err}"
+    );
+    // 3D: the register kernel is bounded to folded radius 2
+    let err = compile_err(Solver::new(kernels::heat3d()).method(Method::Folded { m: 3 }));
+    assert!(
+        matches!(
+            err,
+            PlanError::InvalidFold {
+                m: 3,
+                folded_radius: 3,
+                max_radius: 2,
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn degenerate_tiling_parameters_are_invalid() {
+    let err =
+        compile_err(Solver::new(kernels::heat1d()).tiling(Tiling::Tessellate { time_block: 0 }));
+    assert!(matches!(err, PlanError::InvalidTiling { .. }), "{err}");
+    let err = compile_err(
+        Solver::new(kernels::heat1d())
+            .method(Method::Dlt)
+            .tiling(Tiling::Split { time_block: 0 }),
+    );
+    assert!(matches!(err, PlanError::InvalidTiling { .. }), "{err}");
+    let err = compile_err(Solver::new(kernels::heat2d()).tiling(Tiling::Spatial { block: (0, 8) }));
+    assert!(matches!(err, PlanError::InvalidTiling { .. }), "{err}");
+}
+
+#[test]
+fn dlt_rejects_ragged_grids_with_a_typed_error() {
+    let plan = Solver::new(kernels::heat1d())
+        .method(Method::Dlt)
+        .width(Width::W4)
+        .compile()
+        .unwrap();
+    let ragged = Grid1D::from_fn(1023, |i| i as f64);
+    assert!(matches!(
+        plan.run_1d(&ragged, 2),
+        Err(PlanError::MisalignedDomain {
+            extent: 1023,
+            lanes: 4,
+        })
+    ));
+    // aligned grids run fine on the very same plan
+    let aligned = Grid1D::from_fn(1024, |i| (i % 13) as f64);
+    assert!(plan.run_1d(&aligned, 2).is_ok());
+}
+
+#[test]
+fn dlt_rejects_grids_shorter_than_the_lifted_radius() {
+    // aligned (4 % 4 == 0) but the lifted row has 1 point < radius 2
+    let plan = Solver::new(kernels::d1p5())
+        .method(Method::Dlt)
+        .width(Width::W4)
+        .compile()
+        .unwrap();
+    let tiny = Grid1D::from_fn(4, |i| i as f64);
+    assert!(matches!(
+        plan.run_1d(&tiny, 1),
+        Err(PlanError::DomainTooSmall { extent: 4, min: 8 })
+    ));
+}
+
+#[test]
+fn run_rejects_wrong_dimensionality() {
+    let plan = Solver::new(kernels::heat1d()).compile().unwrap();
+    let g2 = Grid2D::from_fn(16, 16, |_, _| 0.0);
+    let g3 = Grid3D::from_fn(8, 8, 8, |_, _, _| 0.0);
+    assert!(matches!(
+        plan.run_2d(&g2, 1),
+        Err(PlanError::DimensionMismatch {
+            pattern_dims: 1,
+            domain_dims: 2,
+        })
+    ));
+    assert!(matches!(
+        plan.run_3d(&g3, 1),
+        Err(PlanError::DimensionMismatch {
+            pattern_dims: 1,
+            domain_dims: 3,
+        })
+    ));
+    let plan2 = Solver::new(kernels::heat2d()).compile().unwrap();
+    let g1 = Grid1D::from_fn(64, |_| 0.0);
+    assert!(matches!(
+        plan2.run_1d(&g1, 1),
+        Err(PlanError::DimensionMismatch { .. })
+    ));
+}
+
+#[test]
+fn no_configuration_panics_through_the_public_api() {
+    // sweep the whole configuration space: compile() either returns a
+    // plan that runs, or a typed error — never a panic
+    let patterns: [Pattern; 3] = [kernels::heat1d(), kernels::heat2d(), kernels::heat3d()];
+    let methods = [
+        Method::Scalar,
+        Method::MultipleLoads,
+        Method::DataReorg,
+        Method::Dlt,
+        Method::TransposeLayout,
+        Method::Folded { m: 1 },
+        Method::Folded { m: 2 },
+        Method::Folded { m: 9 },
+        Method::Auto,
+    ];
+    let tilings = [
+        Tiling::None,
+        Tiling::Tessellate { time_block: 3 },
+        Tiling::Split { time_block: 2 },
+        Tiling::Spatial { block: (8, 8) },
+    ];
+    let g1 = Grid1D::from_fn(128, |i| (i % 7) as f64);
+    let g2 = Grid2D::from_fn(32, 36, |y, x| ((y + x) % 5) as f64);
+    let g3 = Grid3D::from_fn(16, 14, 18, |z, y, x| ((z + y + x) % 3) as f64);
+    let (mut ok, mut rejected) = (0usize, 0usize);
+    for p in &patterns {
+        for &m in &methods {
+            for &tl in &tilings {
+                let cfg = Solver::new(p.clone()).method(m).tiling(tl).threads(2);
+                match cfg.compile() {
+                    Ok(plan) => {
+                        ok += 1;
+                        let run_result = match p.dims() {
+                            1 => plan.run_1d(&g1, 4).map(drop),
+                            2 => plan.run_2d(&g2, 4).map(drop),
+                            _ => plan.run_3d(&g3, 4).map(drop),
+                        };
+                        // a compiled plan may still reject a ragged grid
+                        // (DLT alignment) — but only with a typed error
+                        match run_result {
+                            Ok(()) => {}
+                            Err(PlanError::MisalignedDomain { .. }) => {}
+                            Err(e) => panic!("unexpected run error for {m:?}/{tl:?}: {e}"),
+                        }
+                    }
+                    Err(_) => rejected += 1,
+                }
+            }
+        }
+    }
+    assert_eq!(
+        ok + rejected,
+        patterns.len() * methods.len() * tilings.len()
+    );
+    assert!(ok > 0 && rejected > 0);
+}
+
+// ---------------------------------------------------------------------
+// 2. plan reuse
+// ---------------------------------------------------------------------
+
+#[test]
+fn compiled_plan_is_reused_across_runs() {
+    let plan = Solver::new(kernels::box2d9p())
+        .method(Method::Folded { m: 2 })
+        .tiling(Tiling::Tessellate { time_block: 3 })
+        .threads(4)
+        .compile()
+        .unwrap();
+
+    // the derived artifacts exist before any run and are owned by the plan
+    assert_eq!(plan.method(), Method::Folded { m: 2 });
+    assert_eq!(plan.m(), 2);
+    assert_eq!(plan.effective_radius(), 2);
+    let folded_before: *const Pattern = plan.folded();
+    let pool_before = plan.pool().clone();
+
+    let g = Grid2D::from_fn(64, 72, |y, x| ((y * 13 + x * 7) % 97) as f64);
+    let first = plan.run_2d(&g, 10).unwrap();
+    for _ in 0..2 {
+        let again = plan.run_2d(&g, 10).unwrap();
+        // bit-identical: same kernel plan, same schedule, no re-planning
+        assert_eq!(first.to_dense(), again.to_dense());
+    }
+
+    // the folded pattern Λ and the thread pool are the same objects the
+    // plan was compiled with — nothing was rebuilt per run
+    assert!(std::ptr::eq(folded_before, plan.folded() as *const Pattern));
+    assert!(PoolHandle::ptr_eq(&pool_before, plan.pool()));
+    assert_eq!(plan.pool().threads(), 4);
+
+    // and the result matches the one-shot reference semantics
+    let want = Solver::new(kernels::box2d9p())
+        .method(Method::Folded { m: 2 })
+        .compile()
+        .unwrap()
+        .run_2d(&g, 10)
+        .unwrap();
+    assert!(max_abs_diff(&want.to_dense(), &first.to_dense()) < 1e-10);
+}
+
+#[test]
+fn plans_can_share_one_pool() {
+    let pool = PoolHandle::new(3);
+    let a = Solver::new(kernels::heat1d())
+        .tiling(Tiling::Tessellate { time_block: 4 })
+        .pool(pool.clone())
+        .compile()
+        .unwrap();
+    let b = Solver::new(kernels::heat2d())
+        .tiling(Tiling::Tessellate { time_block: 2 })
+        .pool(pool.clone())
+        .compile()
+        .unwrap();
+    assert!(PoolHandle::ptr_eq(a.pool(), b.pool()));
+    assert!(PoolHandle::ptr_eq(a.pool(), &pool));
+    // both plans run fine on the shared workers, repeatedly
+    let g1 = Grid1D::from_fn(512, |i| (i % 11) as f64);
+    let g2 = Grid2D::from_fn(40, 44, |y, x| ((y + x) % 7) as f64);
+    for _ in 0..3 {
+        a.run_1d(&g1, 6).unwrap();
+        b.run_2d(&g2, 4).unwrap();
+    }
+}
+
+#[test]
+fn dimension_generic_run() {
+    fn advance<D: Domain>(plan: &stencil_lab::Plan, state: &D, t: usize) -> D {
+        plan.run(state, t).expect("matching dimensionality")
+    }
+    let p1 = Solver::new(kernels::heat1d()).compile().unwrap();
+    let p2 = Solver::new(kernels::heat2d()).compile().unwrap();
+    let p3 = Solver::new(kernels::heat3d()).compile().unwrap();
+    let g1 = advance(&p1, &Grid1D::from_fn(64, |i| i as f64), 2);
+    let g2 = advance(&p2, &Grid2D::from_fn(16, 16, |y, x| (y + x) as f64), 2);
+    let g3 = advance(
+        &p3,
+        &Grid3D::from_fn(8, 8, 8, |z, y, x| (z + y + x) as f64),
+        2,
+    );
+    assert_eq!(g1.len(), 64);
+    assert_eq!(g2.to_dense().len(), 256);
+    assert_eq!(g3.to_dense().len(), 512);
+}
+
+// ---------------------------------------------------------------------
+// 3. leftover (t % m) steps through the tiled range kernels
+// ---------------------------------------------------------------------
+
+fn scalar_ref_1d(p: &Pattern, g: &Grid1D, t: usize) -> Grid1D {
+    Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_1d(g, t)
+        .unwrap()
+}
+
+#[test]
+fn tessellate_leftover_steps_1d() {
+    let p = kernels::heat1d();
+    let g = Grid1D::from_fn(1024, |i| ((i * 29) % 71) as f64);
+    let plan = Solver::new(p.clone())
+        .method(Method::Folded { m: 2 })
+        .tiling(Tiling::Tessellate { time_block: 4 })
+        .threads(3)
+        .compile()
+        .unwrap();
+    for t in [13usize, 15] {
+        // odd: one unfolded tail step
+        let want = scalar_ref_1d(&p, &g, t);
+        let got = plan.run_1d(&g, t).unwrap();
+        let band = 2 * t;
+        assert!(
+            max_abs_diff(
+                &want.as_slice()[band..1024 - band],
+                &got.as_slice()[band..1024 - band]
+            ) < 1e-11,
+            "t={t}"
+        );
+    }
+}
+
+#[test]
+fn tessellate_leftover_steps_2d() {
+    let p = kernels::box2d9p();
+    let g = Grid2D::from_fn(72, 80, |y, x| ((y * 3 + x * 19) % 101) as f64);
+    let t = 9; // m = 2 -> 4 folded rounds + 1 tail step
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_2d(&g, t)
+        .unwrap();
+    let got = Solver::new(p)
+        .method(Method::Folded { m: 2 })
+        .tiling(Tiling::Tessellate { time_block: 2 })
+        .threads(4)
+        .compile()
+        .unwrap()
+        .run_2d(&g, t)
+        .unwrap();
+    let (wd, gd) = (want.to_dense(), got.to_dense());
+    let (ny, nx) = (72, 80);
+    let band = 2 * t;
+    let mut err = 0.0f64;
+    for y in band..ny - band {
+        for x in band..nx - band {
+            err = err.max((wd[y * nx + x] - gd[y * nx + x]).abs());
+        }
+    }
+    assert!(err < 1e-10, "interior err = {err}");
+}
+
+#[test]
+fn tessellate_leftover_steps_3d() {
+    let p = kernels::heat3d();
+    let g = Grid3D::from_fn(28, 26, 30, |z, y, x| ((z * 3 + y * 7 + x * 11) % 53) as f64);
+    let t = 5; // m = 2 -> 2 folded rounds + 1 tail step
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_3d(&g, t)
+        .unwrap();
+    let got = Solver::new(p)
+        .method(Method::Folded { m: 2 })
+        .tiling(Tiling::Tessellate { time_block: 2 })
+        .threads(4)
+        .compile()
+        .unwrap()
+        .run_3d(&g, t)
+        .unwrap();
+    let (wd, gd) = (want.to_dense(), got.to_dense());
+    let (nz, ny, nx) = (28, 26, 30);
+    let band = 2 * t;
+    let mut err = 0.0f64;
+    for z in band..nz - band {
+        for y in band..ny - band {
+            for x in band..nx - band {
+                err = err.max((wd[(z * ny + y) * nx + x] - gd[(z * ny + y) * nx + x]).abs());
+            }
+        }
+    }
+    assert!(err < 1e-10, "interior err = {err}");
+}

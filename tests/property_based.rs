@@ -33,8 +33,8 @@ proptest! {
             let h = (i as u64).wrapping_mul(seed.wrapping_add(1)).wrapping_mul(0x9E3779B97F4A7C15);
             (h % 1000) as f64 / 1000.0
         });
-        let two = Solver::new(p).method(Method::Scalar).run_1d(&g, 2);
-        let one = Solver::new(f).method(Method::Scalar).run_1d(&g, 1);
+        let two = Solver::new(p).method(Method::Scalar).compile().unwrap().run_1d(&g, 2).unwrap();
+        let one = Solver::new(f).method(Method::Scalar).compile().unwrap().run_1d(&g, 1).unwrap();
         // interior only: the folded Dirichlet band is wider
         for i in 4..n - 4 {
             prop_assert!((two[i] - one[i]).abs() < 1e-9, "i={}", i);
@@ -74,9 +74,9 @@ proptest! {
     fn executors_agree_on_random_taps(taps in taps3(), n in 32usize..300, t in 1usize..6) {
         let p = Pattern::new_1d(&taps);
         let g = Grid1D::from_fn(n, |i| ((i * 37 + 11) % 101) as f64 * 0.01);
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+        let want = Solver::new(p.clone()).method(Method::Scalar).compile().unwrap().run_1d(&g, t).unwrap();
         for method in [Method::MultipleLoads, Method::DataReorg, Method::TransposeLayout] {
-            let got = Solver::new(p.clone()).method(method).run_1d(&g, t);
+            let got = Solver::new(p.clone()).method(method).compile().unwrap().run_1d(&g, t).unwrap();
             prop_assert!(
                 max_abs_diff(want.as_slice(), got.as_slice()) < 1e-10,
                 "{:?}", method

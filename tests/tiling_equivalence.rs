@@ -13,14 +13,22 @@ fn tessellation_1d_across_thread_counts() {
     let p = kernels::heat1d();
     let g = Grid1D::from_fn(2048, |i| ((i * 97) % 61) as f64);
     let t = 40;
-    let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_1d(&g, t)
+        .unwrap();
     for threads in [1usize, 2, 7, 16] {
         for tb in [1usize, 3, 8, 32] {
             let got = Solver::new(p.clone())
                 .method(Method::MultipleLoads)
                 .tiling(Tiling::Tessellate { time_block: tb })
                 .threads(threads)
-                .run_1d(&g, t);
+                .compile()
+                .unwrap()
+                .run_1d(&g, t)
+                .unwrap();
             assert!(
                 max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
                 "threads={threads} tb={tb}"
@@ -37,13 +45,19 @@ fn tessellation_1d_folded_register_kernel() {
     // reference: block-free folded (identical m=2 semantics)
     let want = Solver::new(p.clone())
         .method(Method::Folded { m: 2 })
-        .run_1d(&g, t);
+        .compile()
+        .unwrap()
+        .run_1d(&g, t)
+        .unwrap();
     for threads in [1usize, 4, 12] {
         let got = Solver::new(p.clone())
             .method(Method::Folded { m: 2 })
             .tiling(Tiling::Tessellate { time_block: 6 })
             .threads(threads)
-            .run_1d(&g, t);
+            .compile()
+            .unwrap()
+            .run_1d(&g, t)
+            .unwrap();
         assert!(
             max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
             "threads={threads}"
@@ -56,13 +70,21 @@ fn split_tiling_sdsl_1d() {
     for p in [kernels::heat1d(), kernels::d1p5()] {
         let g = Grid1D::from_fn(1536, |i| ((i * 41) % 83) as f64 * 0.1);
         let t = 30;
-        let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_1d(&g, t)
+            .unwrap();
         for threads in [1usize, 6] {
             let got = Solver::new(p.clone())
                 .method(Method::Dlt)
                 .tiling(Tiling::Split { time_block: 5 })
                 .threads(threads)
-                .run_1d(&g, t);
+                .compile()
+                .unwrap()
+                .run_1d(&g, t)
+                .unwrap();
             assert!(
                 max_abs_diff(want.as_slice(), got.as_slice()) < TOL,
                 "threads={threads} pts={}",
@@ -77,7 +99,12 @@ fn tessellation_2d_all_methods() {
     let p = kernels::box2d9p();
     let g = Grid2D::from_fn(96, 88, |y, x| ((y * 3 + x * 19) % 101) as f64);
     let t = 18;
-    let want = Solver::new(p.clone()).method(Method::Scalar).run_2d(&g, t);
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_2d(&g, t)
+        .unwrap();
     for (method, label) in [
         (Method::MultipleLoads, "tess+multiload"),
         (Method::TransposeLayout, "tess+register"),
@@ -86,7 +113,10 @@ fn tessellation_2d_all_methods() {
             .method(method)
             .tiling(Tiling::Tessellate { time_block: 4 })
             .threads(8)
-            .run_2d(&g, t);
+            .compile()
+            .unwrap()
+            .run_2d(&g, t)
+            .unwrap();
         assert!(
             max_abs_diff(&want.to_dense(), &got.to_dense()) < TOL,
             "{label}"
@@ -101,12 +131,18 @@ fn tessellation_2d_folded_vs_blockfree_folded() {
         let t = 12;
         let want = Solver::new(p.clone())
             .method(Method::Folded { m: 2 })
-            .run_2d(&g, t);
+            .compile()
+            .unwrap()
+            .run_2d(&g, t)
+            .unwrap();
         let got = Solver::new(p.clone())
             .method(Method::Folded { m: 2 })
             .tiling(Tiling::Tessellate { time_block: 3 })
             .threads(6)
-            .run_2d(&g, t);
+            .compile()
+            .unwrap()
+            .run_2d(&g, t)
+            .unwrap();
         assert!(
             max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-10,
             "pts={}",
@@ -121,24 +157,36 @@ fn sdsl_hybrid_2d_and_3d() {
     let g2 = Grid2D::from_fn(60, 64, |y, x| ((y + 3 * x) % 43) as f64);
     let want2 = Solver::new(p2.clone())
         .method(Method::Scalar)
-        .run_2d(&g2, 12);
+        .compile()
+        .unwrap()
+        .run_2d(&g2, 12)
+        .unwrap();
     let got2 = Solver::new(p2)
         .method(Method::Dlt)
         .tiling(Tiling::Split { time_block: 4 })
         .threads(4)
-        .run_2d(&g2, 12);
+        .compile()
+        .unwrap()
+        .run_2d(&g2, 12)
+        .unwrap();
     assert!(max_abs_diff(&want2.to_dense(), &got2.to_dense()) < TOL);
 
     let p3 = kernels::box3d27p();
     let g3 = Grid3D::from_fn(20, 18, 24, |z, y, x| ((z * 9 + y * 5 + x) % 29) as f64);
     let want3 = Solver::new(p3.clone())
         .method(Method::Scalar)
-        .run_3d(&g3, 6);
+        .compile()
+        .unwrap()
+        .run_3d(&g3, 6)
+        .unwrap();
     let got3 = Solver::new(p3)
         .method(Method::Dlt)
         .tiling(Tiling::Split { time_block: 3 })
         .threads(4)
-        .run_3d(&g3, 6);
+        .compile()
+        .unwrap()
+        .run_3d(&g3, 6)
+        .unwrap();
     assert!(max_abs_diff(&want3.to_dense(), &got3.to_dense()) < TOL);
 }
 
@@ -149,12 +197,18 @@ fn tessellation_3d_folded() {
     let t = 8;
     let want = Solver::new(p.clone())
         .method(Method::Folded { m: 2 })
-        .run_3d(&g, t);
+        .compile()
+        .unwrap()
+        .run_3d(&g, t)
+        .unwrap();
     let got = Solver::new(p)
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 2 })
         .threads(8)
-        .run_3d(&g, t);
+        .compile()
+        .unwrap()
+        .run_3d(&g, t)
+        .unwrap();
     assert!(max_abs_diff(&want.to_dense(), &got.to_dense()) < 1e-10);
 }
 
@@ -162,12 +216,20 @@ fn tessellation_3d_folded() {
 fn spatial_blocking_matches() {
     let p = kernels::box2d9p();
     let g = Grid2D::from_fn(70, 66, |y, x| ((y * 23 + x) % 37) as f64);
-    let want = Solver::new(p.clone()).method(Method::Scalar).run_2d(&g, 9);
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_2d(&g, 9)
+        .unwrap();
     let got = Solver::new(p)
         .method(Method::MultipleLoads)
         .tiling(Tiling::Spatial { block: (16, 32) })
         .threads(5)
-        .run_2d(&g, 9);
+        .compile()
+        .unwrap()
+        .run_2d(&g, 9)
+        .unwrap();
     assert!(max_abs_diff(&want.to_dense(), &got.to_dense()) < TOL);
 }
 
@@ -177,12 +239,20 @@ fn odd_step_counts_and_leftovers() {
     let p = kernels::heat1d();
     let g = Grid1D::from_fn(768, |i| ((i * 29) % 71) as f64);
     let t = 13; // 6 folded + 1 plain
-    let want = Solver::new(p.clone()).method(Method::Scalar).run_1d(&g, t);
+    let want = Solver::new(p.clone())
+        .method(Method::Scalar)
+        .compile()
+        .unwrap()
+        .run_1d(&g, t)
+        .unwrap();
     let got = Solver::new(p)
         .method(Method::Folded { m: 2 })
         .tiling(Tiling::Tessellate { time_block: 4 })
         .threads(3)
-        .run_1d(&g, t);
+        .compile()
+        .unwrap()
+        .run_1d(&g, t)
+        .unwrap();
     // interior agreement (folded widens the frozen band)
     let n = 768;
     let band = 2 * t;
