@@ -8,12 +8,18 @@ use stencil_runtime::PoolHandle;
 
 fn main() {
     let args = Args::parse();
-    let sizes = Sizes::from_flags(args.paper, args.quick);
+    let mut sizes = Sizes::from_flags(args.paper, args.quick);
+    sizes.tuned = args.tuned;
+    if args.tuned {
+        // route every cell's tiling through the per-host plan cache
+        stencil_tune::install();
+    }
     let threads = args.threads();
     println!(
-        "Fig. 9 — multicore cache-blocking, {} threads ({})",
+        "Fig. 9 — multicore cache-blocking, {} threads ({}{})",
         threads,
-        stencil_simd::backend_summary()
+        stencil_simd::backend_summary(),
+        if args.tuned { ", tuned tiling" } else { "" }
     );
 
     // one worker pool for the whole figure; every cell's plan shares it

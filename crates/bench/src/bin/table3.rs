@@ -7,7 +7,13 @@ use stencil_runtime::PoolHandle;
 
 fn main() {
     let args = Args::parse();
-    let sizes = Sizes::from_flags(args.paper, args.quick);
+    let mut sizes = Sizes::from_flags(args.paper, args.quick);
+    sizes.tuned = args.tuned;
+    if args.tuned {
+        // both the 1-core baseline and the full-core cells resolve
+        // their tiling from the per-host plan cache
+        stencil_tune::install();
+    }
     let threads = args.threads();
     println!("Table 3 — speedup over single core at {threads} cores");
 

@@ -13,6 +13,9 @@ pub struct Args {
     pub threads: Option<usize>,
     /// Restrict to benchmarks whose name contains this substring.
     pub filter: Option<String>,
+    /// Resolve tiling parameters through the measured tuner (per-host
+    /// cache) instead of the hand-set `Sizes` time blocks.
+    pub tuned: bool,
 }
 
 impl Args {
@@ -24,6 +27,7 @@ impl Args {
             json: None,
             threads: None,
             filter: None,
+            tuned: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -36,10 +40,11 @@ impl Args {
                     out.threads = it.next().and_then(|v| v.parse().ok());
                 }
                 "--filter" => out.filter = it.next(),
+                "--tuned" => out.tuned = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--paper] [--quick|--smoke] [--json PATH] [--threads N] \
-                         [--filter NAME]"
+                         [--filter NAME] [--tuned]"
                     );
                     std::process::exit(0);
                 }
@@ -80,6 +85,7 @@ mod tests {
             json: None,
             threads: None,
             filter: Some("heat".into()),
+            tuned: false,
         };
         assert!(a.wants("1D-Heat"));
         assert!(a.wants("3D-Heat"));

@@ -13,6 +13,7 @@
 //! | `table3` | Table 3 — speedup over single core |
 //! | `costmodel` | §3.2 collects & profitability indices (90/25/9, 3.6/10, 2.25) |
 //! | `ablation` | folding factor, time-block, scheduling and transpose-scheme ablations |
+//! | `tune` | pre-warm the per-host tuning cache (Table-1 kernels), chosen-vs-model report |
 //!
 //! Default problem sizes are scaled to finish on a laptop; pass `--paper`
 //! for the Table-1 sizes and `--quick` for CI smoke runs. All binaries

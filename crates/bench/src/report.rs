@@ -114,69 +114,69 @@ impl Table {
         println!("{}", self.render());
     }
 
-    /// Serialize (possibly several tables) to a pretty-printed JSON file.
+    /// Serialize (possibly several tables) to a pretty-printed JSON
+    /// file, stamped with the measuring host's fingerprint (hostname,
+    /// ISA build, hardware threads) so committed baselines stay
+    /// attributable to the machine that produced them.
+    ///
+    /// Writer and reader are the same implementation
+    /// (`stencil_tune::json`), so the dumps the tuner subsystem parses
+    /// can never drift from what the harness emits.
     pub fn dump_json(tables: &[&Table], path: &str) -> std::io::Result<()> {
-        let mut s = String::from("[");
-        for (i, t) in tables.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str("\n  {\n");
-            s.push_str(&format!("    \"title\": {},\n", json_string(&t.title)));
-            s.push_str(&format!("    \"unit\": {},\n", json_string(&t.unit)));
-            s.push_str("    \"cells\": [");
-            for (j, c) in t.cells.iter().enumerate() {
-                if j > 0 {
-                    s.push(',');
-                }
-                s.push_str(&format!(
-                    "\n      {{ \"row\": {}, \"col\": {}, \"value\": {} }}",
-                    json_string(&c.row),
-                    json_string(&c.col),
-                    json_number(c.value)
-                ));
-            }
-            if !t.cells.is_empty() {
-                s.push_str("\n    ");
-            }
-            s.push_str("]\n  }");
-        }
-        s.push_str("\n]\n");
-        std::fs::write(path, s)
-    }
-}
-
-/// JSON string literal with the escapes RFC 8259 requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// JSON number (or `null`); non-finite values also map to `null`.
-fn json_number(v: Option<f64>) -> String {
-    match v {
-        Some(x) if x.is_finite() => {
-            // Ensure a decimal point so the value parses back as a float.
-            if x == x.trunc() && x.abs() < 1e15 {
-                format!("{x:.1}")
-            } else {
-                format!("{x}")
-            }
-        }
-        _ => "null".to_string(),
+        use stencil_tune::json::Value;
+        let host = stencil_tune::host::HostFingerprint::detect();
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let doc = obj(vec![
+            (
+                "host",
+                obj(vec![
+                    ("hostname", Value::Str(host.hostname)),
+                    ("isa", Value::Str(host.isa)),
+                    ("backend", Value::Str(stencil_simd::backend_summary())),
+                    ("threads", Value::Num(host.threads as f64)),
+                ]),
+            ),
+            (
+                "tables",
+                Value::Arr(
+                    tables
+                        .iter()
+                        .map(|t| {
+                            obj(vec![
+                                ("title", Value::Str(t.title.clone())),
+                                ("unit", Value::Str(t.unit.clone())),
+                                (
+                                    "cells",
+                                    Value::Arr(
+                                        t.cells
+                                            .iter()
+                                            .map(|c| {
+                                                obj(vec![
+                                                    ("row", Value::Str(c.row.clone())),
+                                                    ("col", Value::Str(c.col.clone())),
+                                                    (
+                                                        "value",
+                                                        match c.value {
+                                                            Some(v) if v.is_finite() => {
+                                                                Value::Num(v)
+                                                            }
+                                                            _ => Value::Null,
+                                                        },
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, doc.pretty())
     }
 }
 
@@ -209,5 +209,15 @@ mod tests {
         let s = std::fs::read_to_string(&path).unwrap();
         assert!(s.contains("\"title\": \"j\""));
         let _ = std::fs::remove_file(path);
+        // the dump is valid JSON and attributable: host metadata rides
+        // along with every table dump (checked with the tune crate's
+        // parser so writer and reader stay in agreement)
+        let doc = stencil_tune::json::parse(&s).unwrap();
+        let host = doc.get("host").expect("host stanza");
+        assert!(host.get("hostname").unwrap().as_str().is_some());
+        assert!(host.get("isa").unwrap().as_str().is_some());
+        assert!(host.get("threads").unwrap().as_num().unwrap() >= 1.0);
+        let tables = doc.get("tables").unwrap().as_arr().unwrap();
+        assert_eq!(tables[0].get("title").unwrap().as_str(), Some("j"));
     }
 }

@@ -12,7 +12,7 @@ use crate::workload;
 use std::time::Duration;
 use stencil_core::exec::{apop, life};
 use stencil_core::tile::tessellate;
-use stencil_core::{kernels, Method, Pattern, Plan, Solver, Tiling, Width};
+use stencil_core::{kernels, Method, Pattern, Plan, Solver, Tiling, Tuning, Width};
 use stencil_grid::{Grid2D, PingPong};
 use stencil_runtime::PoolHandle;
 use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
@@ -163,6 +163,12 @@ pub struct Sizes {
     /// Timed repetitions per cell, sharing one compiled plan; the best
     /// time is reported.
     pub reps: usize,
+    /// Resolve the tiling of linear cells through the measured tuner
+    /// (`Tiling::Auto` + [`Tuning::Measured`], method and width still
+    /// pinned per cell) instead of the hand-set `tb*` fields. Requires
+    /// an installed tuner (`stencil_tune::install()`); the `--tuned`
+    /// flag on `fig9`/`table3` sets both up.
+    pub tuned: bool,
 }
 
 impl Sizes {
@@ -179,6 +185,7 @@ impl Sizes {
             tb2: 12,
             tb3: 6,
             reps: 2,
+            tuned: false,
         }
     }
 
@@ -196,6 +203,7 @@ impl Sizes {
             tb2: 4,
             tb3: 3,
             reps: 2,
+            tuned: false,
         }
     }
 
@@ -212,6 +220,7 @@ impl Sizes {
             tb2: 50,
             tb3: 10,
             reps: 1,
+            tuned: false,
         }
     }
 
@@ -251,11 +260,27 @@ pub fn run_one(
         linear => {
             let p = linear.pattern().unwrap();
             let (sm, st) = method_config(method, sizes, linear.dims())?;
+            // under --tuned, the hand-set time block gives way to the
+            // measured tuner (method and width stay pinned — the figure
+            // compares methods, the tuner only picks their tiling); the
+            // domain hint keys the cache by this run's shape class
+            let hint: Vec<usize> = match linear.dims() {
+                1 => vec![sizes.n1],
+                2 => vec![sizes.n2.0, sizes.n2.1],
+                _ => vec![sizes.n3.0, sizes.n3.1, sizes.n3.2],
+            };
+            let (tiling, tuning) = if sizes.tuned {
+                (Tiling::Auto, Tuning::Measured)
+            } else {
+                (st, Tuning::Static)
+            };
             // compile once; every repetition reuses the folded kernel
             // and the shared pool
             let plan = Solver::new(p)
                 .method(sm)
-                .tiling(st)
+                .tiling(tiling)
+                .tuning(tuning)
+                .domain_hint(&hint)
                 .width(if method == MethodId::Our2W8 {
                     Width::W8
                 } else {

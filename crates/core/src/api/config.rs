@@ -39,6 +39,13 @@ pub enum Method {
 pub enum Tiling {
     /// Whole-grid Jacobi sweeps (the "block-free" rows of Fig. 8).
     None,
+    /// Let the library choose the tiling and its parameters.
+    /// [`Solver::compile`] resolves this through the configured
+    /// [`Tuning`] mode: statically via
+    /// [`crate::tune::auto_tiling`], or empirically via the installed
+    /// measured tuner. Query the choice with [`Plan::tiling`], which
+    /// never reports `Auto`.
+    Auto,
     /// Tessellate tiling (Yuan) with `time_block` inner steps per round.
     Tessellate {
         /// Inner (possibly folded) steps per round.
@@ -87,6 +94,37 @@ impl Width {
     }
 }
 
+/// How [`Solver::compile`] resolves [`Method::Auto`] and
+/// [`Tiling::Auto`].
+///
+/// The paper's §3.2 cost model is a machine-independent instruction
+/// count; real machines diverge from it (cache sizes, AVX-512
+/// downclocking, core counts), so the measured modes route the choice
+/// through an installed [`crate::tune::MeasuredTuner`] — normally the
+/// `stencil-tune` crate's probing autotuner with its persistent
+/// per-host plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tuning {
+    /// Resolve analytically from the §3.2 cost model
+    /// ([`crate::tune::auto_method`] / [`crate::tune::auto_tiling`]),
+    /// with no probe runs. The default, and the fallback every other
+    /// mode degrades to when there is nothing to tune.
+    #[default]
+    Static,
+    /// Probe candidate configurations empirically (short timed sweeps on
+    /// small representative domains) and persist the winner in the
+    /// per-host tuning cache; cached hosts skip the probes entirely.
+    /// Requires an installed tuner ([`PlanError::TunerUnavailable`]
+    /// otherwise).
+    Measured,
+    /// Use only previously persisted measurements: a warm cache resolves
+    /// without a single probe run, a cold one is a typed
+    /// [`PlanError::TuneCacheMiss`] instead of a silent re-probe.
+    /// Deterministic by construction — suited to latency-sensitive
+    /// `compile()` calls and reproducible benchmarking.
+    CacheOnly,
+}
+
 /// Stencil solver *configuration* — a cheap, cloneable builder.
 ///
 /// Nothing is derived and no threads are spawned until
@@ -100,6 +138,8 @@ pub struct Solver {
     pub(crate) width: Width,
     pub(crate) threads: usize,
     pub(crate) pool: Option<PoolHandle>,
+    pub(crate) tuning: Tuning,
+    pub(crate) domain_hint: Option<Vec<usize>>,
 }
 
 impl Solver {
@@ -113,6 +153,8 @@ impl Solver {
             width: Width::native_max(),
             threads: 1,
             pool: None,
+            tuning: Tuning::Static,
+            domain_hint: None,
         }
     }
 
@@ -160,9 +202,38 @@ impl Solver {
         self
     }
 
+    /// Select how [`Method::Auto`] and [`Tiling::Auto`] are resolved
+    /// (default: [`Tuning::Static`], the §3.2 cost model).
+    ///
+    /// The measured modes consult the installed
+    /// [`crate::tune::MeasuredTuner`] — install one with
+    /// `stencil_tune::install()` (or [`crate::tune::install_tuner`]) —
+    /// and only act when something is actually left to tune; a fully
+    /// concrete configuration compiles identically under every mode.
+    pub fn tuning(mut self, t: Tuning) -> Self {
+        self.tuning = t;
+        self
+    }
+
+    /// Hint the domain extents the compiled plan will mostly run on
+    /// (e.g. `&[ny, nx]` for 2D). The measured tuner probes on a small
+    /// representative domain of the same *shape class* and keys its
+    /// per-host cache by that class, so plans tuned for L1-resident
+    /// grids and for memory-bound grids are cached separately. Purely
+    /// advisory: plans still run on any compatible grid.
+    pub fn domain_hint(mut self, extents: &[usize]) -> Self {
+        self.domain_hint = Some(extents.to_vec());
+        self
+    }
+
     /// The configured pattern.
     pub fn pattern(&self) -> &Pattern {
         &self.pattern
+    }
+
+    /// The configured tuning mode.
+    pub fn tuning_mode(&self) -> Tuning {
+        self.tuning
     }
 
     /// Validate the configuration and derive everything the runs will

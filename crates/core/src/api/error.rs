@@ -1,6 +1,6 @@
 //! Typed validation errors for [`Solver::compile`](super::Solver::compile).
 
-use super::config::{Method, Tiling};
+use super::config::{Method, Tiling, Tuning};
 use std::fmt;
 
 /// Why a [`Solver`](super::Solver) configuration cannot be compiled into
@@ -86,6 +86,29 @@ pub enum PlanError {
         /// Register budget.
         max: usize,
     },
+    /// A measured [`Tuning`] mode was requested, the configuration
+    /// leaves something to tune ([`Method::Auto`] or
+    /// [`super::Tiling::Auto`]), but no
+    /// [`crate::tune::MeasuredTuner`] is installed. Install one
+    /// (`stencil_tune::install()`) or use [`Tuning::Static`].
+    TunerUnavailable {
+        /// The tuning mode that needed a tuner.
+        mode: Tuning,
+    },
+    /// [`Tuning::CacheOnly`] found no persisted measurement for this
+    /// host × configuration; warm the cache first with
+    /// [`Tuning::Measured`] (or `stencil-bench tune`).
+    TuneCacheMiss {
+        /// The per-host cache key that missed.
+        key: String,
+    },
+    /// The measured tuner ran but could not produce a decision (e.g.
+    /// every candidate configuration failed to compile, or the probe
+    /// harness rejected the pattern).
+    TuningFailed {
+        /// Human-readable cause, from the tuner.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -158,6 +181,19 @@ impl fmt::Display for PlanError {
                 "the m = {m} fold needs {counterparts} fresh counterparts, exceeding the \
                  register pipeline's budget of {max}"
             ),
+            PlanError::TunerUnavailable { mode } => write!(
+                f,
+                "{mode:?} tuning was requested but no measured tuner is installed; call \
+                 stencil_tune::install() first, or compile with Tuning::Static"
+            ),
+            PlanError::TuneCacheMiss { key } => write!(
+                f,
+                "Tuning::CacheOnly found no persisted measurement for {key:?}; warm the \
+                 per-host cache with Tuning::Measured or `stencil-bench tune`"
+            ),
+            PlanError::TuningFailed { reason } => {
+                write!(f, "measured tuning failed: {reason}")
+            }
         }
     }
 }
@@ -191,6 +227,22 @@ mod tests {
             max_radius: 0,
         };
         assert!(e.to_string().contains("m must be >= 1"));
+    }
+
+    #[test]
+    fn display_tuning_failures() {
+        let e = PlanError::TunerUnavailable {
+            mode: Tuning::Measured,
+        };
+        assert!(e.to_string().contains("Tuning::Static"), "{e}");
+        let e = PlanError::TuneCacheMiss {
+            key: "host|avx2|k".into(),
+        };
+        assert!(e.to_string().contains("host|avx2|k"), "{e}");
+        let e = PlanError::TuningFailed {
+            reason: "no candidate compiled".into(),
+        };
+        assert!(e.to_string().contains("no candidate compiled"), "{e}");
     }
 
     #[test]

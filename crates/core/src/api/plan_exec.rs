@@ -1,7 +1,7 @@
 //! Compiled execution plans: validation, derived artifacts, and the
 //! dimension-dispatched run paths.
 
-use super::config::{Method, Solver, Tiling, Width};
+use super::config::{Method, Solver, Tiling, Tuning, Width};
 use super::error::PlanError;
 use crate::exec::folded::{self, FoldedKernel, MAX_R, MAX_R3};
 use crate::exec::{dlt, multiload, reorg, scalar, xlayout};
@@ -97,11 +97,60 @@ impl Plan {
     pub(crate) fn compile(cfg: &Solver) -> Result<Plan, PlanError> {
         let p = &cfg.pattern;
         let dims = p.dims();
-        let width = cfg.width;
-        let tiling = cfg.tiling;
-        let method = match cfg.method {
-            Method::Auto => crate::tune::auto_method(p, width, tiling),
-            m => m,
+        let threads = cfg
+            .pool
+            .as_ref()
+            .map(|h| h.threads())
+            .unwrap_or(cfg.threads);
+
+        // Resolve Method::Auto / Tiling::Auto first. The measured modes
+        // route through the installed tuner; Static (and measured modes
+        // with nothing left to tune) resolve from the §3.2 cost model.
+        let auto_parts = matches!(cfg.method, Method::Auto) || matches!(cfg.tiling, Tiling::Auto);
+        let (method, tiling, width) = if auto_parts && cfg.tuning != Tuning::Static {
+            let tuner = crate::tune::installed_tuner()
+                .ok_or(PlanError::TunerUnavailable { mode: cfg.tuning })?;
+            let req = crate::tune::TuneRequest {
+                pattern: p,
+                width: cfg.width,
+                threads,
+                method: match cfg.method {
+                    Method::Auto => None,
+                    m => Some(m),
+                },
+                tiling: match cfg.tiling {
+                    Tiling::Auto => None,
+                    t => Some(t),
+                },
+                domain_hint: cfg.domain_hint.as_deref(),
+                mode: cfg.tuning,
+            };
+            let d = tuner.tune(&req).map_err(|e| match e {
+                crate::tune::TuneFailure::CacheMiss { key } => PlanError::TuneCacheMiss { key },
+                crate::tune::TuneFailure::Failed { reason } => PlanError::TuningFailed { reason },
+            })?;
+            // A decision must be concrete; if a (buggy or foreign)
+            // tuner leaks an Auto through, resolve the remnant
+            // statically so no Plan ever carries Auto.
+            let method = match d.method {
+                Method::Auto => crate::tune::auto_method(p, d.width, d.tiling),
+                m => m,
+            };
+            let tiling = match d.tiling {
+                Tiling::Auto => crate::tune::auto_tiling(dims, method, threads),
+                t => t,
+            };
+            (method, tiling, d.width)
+        } else {
+            let method = match cfg.method {
+                Method::Auto => crate::tune::auto_method(p, cfg.width, cfg.tiling),
+                m => m,
+            };
+            let tiling = match cfg.tiling {
+                Tiling::Auto => crate::tune::auto_tiling(dims, method, threads),
+                t => t,
+            };
+            (method, tiling, cfg.width)
         };
 
         // Degenerate tiling parameters.
@@ -403,11 +452,12 @@ impl Plan {
             Tiling::Split { time_block } => {
                 split::sweep_1d::<V>(&self.pool, grid, p, time_block, t)
             }
-            // Spatial blocking is rejected for 1D at compile time; this
-            // defensive fallback keeps the match total without a panic in
-            // release builds, and flags validation drift in debug ones.
-            Tiling::Spatial { .. } => {
-                debug_assert!(false, "1D spatial blocking is rejected by compile()");
+            // Spatial blocking is rejected for 1D at compile time and
+            // Tiling::Auto is resolved there; this defensive fallback
+            // keeps the match total without a panic in release builds,
+            // and flags validation drift in debug ones.
+            Tiling::Spatial { .. } | Tiling::Auto => {
+                debug_assert!(false, "unresolved/invalid 1D tiling must not reach exec");
                 let mut pp = PingPong::new(grid.clone());
                 scalar::sweep_1d(&mut pp, p, t);
                 pp.into_current()
@@ -530,6 +580,13 @@ impl Plan {
             }
             Tiling::Split { time_block } => {
                 split::sweep_2d::<V>(&self.pool, grid, p, time_block, t)
+            }
+            // compile() resolves Auto; keep the match total (see exec_1d)
+            Tiling::Auto => {
+                debug_assert!(false, "Tiling::Auto must be resolved by compile()");
+                let mut pp = PingPong::new(grid.clone());
+                scalar::sweep_2d(&mut pp, p, t);
+                pp.into_current()
             }
             Tiling::Spatial { block } => {
                 let mut pp = PingPong::new(grid.clone());
@@ -672,6 +729,13 @@ impl Plan {
             }
             Tiling::Split { time_block } => {
                 split::sweep_3d::<V>(&self.pool, grid, p, time_block, t)
+            }
+            // compile() resolves Auto; keep the match total (see exec_1d)
+            Tiling::Auto => {
+                debug_assert!(false, "Tiling::Auto must be resolved by compile()");
+                let mut pp = PingPong::new(grid.clone());
+                scalar::sweep_3d(&mut pp, p, t);
+                pp.into_current()
             }
             Tiling::Spatial { block } => {
                 let mut pp = PingPong::new(grid.clone());

@@ -3,24 +3,32 @@
 //! efforts are required in automatic tuning and this will be done
 //! separately", §4.1).
 //!
-//! Two layers:
+//! Three layers:
 //!
-//! * [`auto_method`] — the compile-time resolver behind
-//!   [`Method::Auto`]: picks a vectorization method from the op-collect
-//!   cost model (§3.2) and the register pipeline's radius bounds, with
-//!   no probe runs.
-//! * [`tune_time_block_1d`]/[`tune_time_block_2d`] — measured probes
-//!   over the tessellation *time block* (the parameter Table 1
+//! * [`auto_method`] / [`auto_tiling`] — the compile-time static
+//!   resolvers behind [`Method::Auto`] and [`Tiling::Auto`]: pick a
+//!   vectorization method and tiling from the op-collect cost model
+//!   (§3.2) and the register pipeline's radius bounds, with no probe
+//!   runs. This is the [`Tuning::Static`](crate::Tuning) path and the
+//!   fallback for everything else.
+//! * The [`MeasuredTuner`] hook — the seam the measured
+//!   [`Tuning`] modes route through. The `stencil-tune`
+//!   crate installs its probing autotuner here ([`install_tuner`]);
+//!   `stencil-core` itself stays free of probing and persistence so the
+//!   dependency edge points outward (tune → core, never back).
+//! * [`tune_time_block_1d`]/[`tune_time_block_2d`] — standalone measured
+//!   probes over the tessellation *time block* (the parameter Table 1
 //!   hand-tunes). Each candidate configuration is compiled **once** into
 //!   a [`crate::Plan`] and reused across the warm-up and both probe
 //!   passes, so tuning itself follows the plan-once/run-many discipline.
 
 use crate::api::plan_exec::fold_radius_cap;
-use crate::api::{Method, Tiling, Width};
+use crate::api::{Method, Tiling, Tuning, Width};
 use crate::cost;
 use crate::pattern::Pattern;
 use crate::plan::FoldPlan;
 use crate::Solver;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use stencil_grid::{Grid1D, Grid2D};
 use stencil_runtime::PoolHandle;
@@ -44,7 +52,9 @@ pub fn auto_method(p: &Pattern, width: Width, tiling: Tiling) -> Method {
     match tiling {
         Tiling::Split { .. } => return Method::Dlt,
         Tiling::Spatial { .. } => return Method::MultipleLoads,
-        Tiling::None | Tiling::Tessellate { .. } => {}
+        // Auto tiling resolves to None/Tessellate afterwards (see
+        // auto_tiling), both of which admit every register method.
+        Tiling::None | Tiling::Tessellate { .. } | Tiling::Auto => {}
     }
     let dims = p.dims();
     let cap = fold_radius_cap(dims, width);
@@ -63,6 +73,132 @@ pub fn auto_method(p: &Pattern, width: Width, tiling: Tiling) -> Method {
     } else {
         Method::MultipleLoads
     }
+}
+
+/// Default tessellation/split time block for `dims`-dimensional
+/// patterns — the static seed the measured tuner searches around
+/// (roughly the ratios of the paper's Table-1 hand-tuned values,
+/// scaled to the harness's default domains).
+pub fn default_time_block(dims: usize) -> usize {
+    match dims {
+        1 => 32,
+        2 => 8,
+        _ => 4,
+    }
+}
+
+/// Resolve [`Tiling::Auto`] without probe runs: DLT must pair with
+/// split tiling (the SDSL configuration); any other method gets
+/// tessellate tiling with the [`default_time_block`] when worker
+/// threads are available, and plain block-free sweeps single-threaded
+/// (where tiling overhead cannot be amortized across cores).
+pub fn auto_tiling(dims: usize, method: Method, threads: usize) -> Tiling {
+    match method {
+        Method::Dlt => Tiling::Split {
+            time_block: default_time_block(dims),
+        },
+        _ if threads > 1 => Tiling::Tessellate {
+            time_block: default_time_block(dims),
+        },
+        _ => Tiling::None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The measured-tuning hook.
+// ---------------------------------------------------------------------
+
+/// What [`Solver::compile`] asks an installed [`MeasuredTuner`] to
+/// decide. Fields that the user fixed in the configuration arrive as
+/// `Some(..)` and must be honored; `None` means "tune this".
+#[derive(Debug, Clone)]
+pub struct TuneRequest<'a> {
+    /// The stencil pattern being compiled.
+    pub pattern: &'a Pattern,
+    /// The configured vector width (the tuner may probe narrower widths
+    /// too — e.g. AVX-512 downclocking can make 4 lanes beat 8 — but
+    /// must never widen beyond it).
+    pub width: Width,
+    /// Worker threads the compiled plan will run with.
+    pub threads: usize,
+    /// `Some` when the method was fixed by the user, `None` for
+    /// [`Method::Auto`].
+    pub method: Option<Method>,
+    /// `Some` when the tiling was fixed by the user, `None` for
+    /// [`Tiling::Auto`].
+    pub tiling: Option<Tiling>,
+    /// The extents from [`Solver::domain_hint`], if any.
+    pub domain_hint: Option<&'a [usize]>,
+    /// The requested mode — [`Tuning::Measured`] may probe,
+    /// [`Tuning::CacheOnly`] must not.
+    pub mode: Tuning,
+}
+
+/// A tuner's answer: the concrete configuration to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneDecision {
+    /// Chosen vectorization method (never [`Method::Auto`]).
+    pub method: Method,
+    /// Chosen tiling (never [`Tiling::Auto`]).
+    pub tiling: Tiling,
+    /// Chosen vector width (≤ the requested width).
+    pub width: Width,
+    /// True when the decision came from the persistent cache without
+    /// running a probe.
+    pub from_cache: bool,
+}
+
+/// Why a tuner could not decide; mapped onto the typed
+/// [`PlanError`](crate::PlanError) tuning variants by
+/// [`Solver::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneFailure {
+    /// [`Tuning::CacheOnly`] and the per-host cache has no entry under
+    /// this key.
+    CacheMiss {
+        /// The cache key that missed.
+        key: String,
+    },
+    /// The tuner ran but produced no decision (every candidate failed
+    /// to compile, probe harness error, ...).
+    Failed {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// A measured autotuner [`Solver::compile`] can route
+/// [`Tuning::Measured`]/[`Tuning::CacheOnly`] resolutions through.
+///
+/// Implementations must be cheap to call on a cache hit — `compile()`
+/// consults the tuner on **every** measured compile, and the
+/// compile-once/run-many contract only holds if warm lookups are
+/// microseconds. `stencil-tune`'s `AutoTuner` is the canonical
+/// implementation.
+pub trait MeasuredTuner: Send + Sync {
+    /// Decide a concrete (method, tiling, width) for `req`, probing if
+    /// the mode allows it.
+    fn tune(&self, req: &TuneRequest<'_>) -> Result<TuneDecision, TuneFailure>;
+}
+
+static TUNER: OnceLock<&'static dyn MeasuredTuner> = OnceLock::new();
+
+/// Install the process-wide measured tuner (first installation wins,
+/// like `log::set_logger`). Returns `false` when a tuner was already
+/// installed — the existing one stays active, so libraries can call
+/// this defensively.
+///
+/// The `'static` borrow keeps the registry allocation-free and makes
+/// the ownership story explicit: the tuner must outlive every compile
+/// (leak a `Box` for dynamically created tuners, as
+/// `stencil_tune::install()` does).
+pub fn install_tuner(t: &'static dyn MeasuredTuner) -> bool {
+    TUNER.set(t).is_ok()
+}
+
+/// The installed measured tuner, if any.
+pub fn installed_tuner() -> Option<&'static dyn MeasuredTuner> {
+    TUNER.get().copied()
 }
 
 /// Outcome of a tuning run.
@@ -313,6 +449,56 @@ mod tests {
             .compile()
             .unwrap();
         assert_ne!(plan.method(), Method::Auto);
+    }
+
+    #[test]
+    fn auto_tiling_pairs_dlt_with_split_and_threads_with_tessellate() {
+        assert!(matches!(
+            auto_tiling(1, Method::Dlt, 1),
+            Tiling::Split { .. }
+        ));
+        assert!(matches!(
+            auto_tiling(2, Method::Folded { m: 2 }, 8),
+            Tiling::Tessellate { .. }
+        ));
+        assert_eq!(auto_tiling(2, Method::MultipleLoads, 1), Tiling::None);
+        // the resolved pair always compiles
+        for threads in [1, 4] {
+            let plan = Solver::new(kernels::heat2d())
+                .method(Method::Auto)
+                .tiling(Tiling::Auto)
+                .threads(threads)
+                .compile()
+                .unwrap();
+            assert_ne!(plan.method(), Method::Auto);
+            assert_ne!(plan.tiling(), Tiling::Auto);
+        }
+    }
+
+    #[test]
+    fn measured_without_tuner_is_a_typed_error() {
+        // core never installs a tuner itself, so inside this crate the
+        // measured modes must surface TunerUnavailable (the facade's
+        // stencil-tune crate is what installs one)
+        let err = Solver::new(kernels::heat1d())
+            .method(Method::Auto)
+            .tuning(Tuning::Measured)
+            .compile()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::PlanError::TunerUnavailable {
+                mode: Tuning::Measured
+            }
+        ));
+        // ...but a fully concrete configuration has nothing to tune and
+        // compiles under any mode
+        let plan = Solver::new(kernels::heat1d())
+            .method(Method::MultipleLoads)
+            .tuning(Tuning::Measured)
+            .compile()
+            .unwrap();
+        assert_eq!(plan.method(), Method::MultipleLoads);
     }
 
     #[test]

@@ -236,6 +236,28 @@ impl PoolHandle {
         Self(Arc::new(ThreadPool::new(threads)))
     }
 
+    /// A process-wide shared pool of `threads` workers: the first call
+    /// per thread count spawns the pool, every later call clones the
+    /// same handle. Repeated short-lived consumers — the autotuner's
+    /// probe sessions, benchmark cells, ad-hoc plans — amortize one set
+    /// of worker threads instead of respawning per use.
+    ///
+    /// Shared pools live for the rest of the process (at most one per
+    /// distinct thread count). Callers that need a private pool — e.g.
+    /// plans that must run concurrently with each other — should use
+    /// [`PoolHandle::new`].
+    pub fn shared(threads: usize) -> Self {
+        static REGISTRY: Mutex<Vec<(usize, PoolHandle)>> = Mutex::new(Vec::new());
+        let threads = threads.max(1);
+        let mut reg = REGISTRY.lock();
+        if let Some((_, h)) = reg.iter().find(|(n, _)| *n == threads) {
+            return h.clone();
+        }
+        let h = PoolHandle::new(threads);
+        reg.push((threads, h.clone()));
+        h
+    }
+
     /// True when both handles point at the same worker pool.
     pub fn ptr_eq(a: &Self, b: &Self) -> bool {
         Arc::ptr_eq(&a.0, &b.0)
@@ -452,6 +474,25 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(count.load(Ordering::SeqCst), 2 * 50 * 3);
+    }
+
+    #[test]
+    fn shared_registry_returns_one_pool_per_thread_count() {
+        let a = PoolHandle::shared(3);
+        let b = PoolHandle::shared(3);
+        let c = PoolHandle::shared(2);
+        assert!(PoolHandle::ptr_eq(&a, &b));
+        assert!(!PoolHandle::ptr_eq(&a, &c));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(c.threads(), 2);
+        // clamps like PoolHandle::new and still deduplicates
+        let z = PoolHandle::shared(0);
+        assert!(PoolHandle::ptr_eq(&z, &PoolHandle::shared(1)));
+        let hits = AtomicUsize::new(0);
+        b.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 
     #[test]

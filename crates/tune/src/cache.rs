@@ -1,0 +1,516 @@
+//! The persistent per-host plan cache.
+//!
+//! One JSON file (see [`crate::json`]) holding every decision the
+//! probing tuner has measured on this machine. Entries are keyed by
+//! `hostname | ISA build | thread count | vector width | pattern
+//! signature | domain shape class | fixed-parameter constraints`, so a
+//! measurement never leaks across machines, ISA builds, pool sizes or
+//! problem classes — a key mismatch is simply a miss, which forces a
+//! re-probe on the new host.
+//!
+//! A corrupt or unreadable file is treated as an empty cache (the tuner
+//! degrades to fresh probing, and `Tuning::Static` stays available as
+//! the no-probe fallback); it is overwritten wholesale on the next
+//! save, never partially edited.
+
+use crate::host::HostFingerprint;
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use stencil_core::{Method, Pattern, Tiling, Width};
+
+/// Current cache file schema version; bump on incompatible change
+/// (older files are discarded, not migrated — they are measurements,
+/// not state).
+pub const CACHE_VERSION: f64 = 1.0;
+
+/// One persisted tuning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Full cache key (see module docs for the components).
+    pub key: String,
+    /// Winning method.
+    pub method: Method,
+    /// Winning tiling.
+    pub tiling: Tiling,
+    /// Winning width.
+    pub width: Width,
+    /// Measured throughput of the winner, in grid-point updates/sec.
+    pub rate: f64,
+    /// What the §3.2 cost model would have chosen, for
+    /// chosen-vs-model reporting (`stencil-bench tune`).
+    pub model_method: Method,
+    /// Candidates actually probed before the budget closed the search.
+    pub probes: usize,
+    /// Wall time the probe search spent, in milliseconds.
+    pub spent_ms: f64,
+}
+
+/// In-memory image of the cache file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuneCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl TuneCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of persisted decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no decision is persisted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a decision.
+    pub fn get(&self, key: &str) -> Option<&CacheEntry> {
+        self.entries.get(key)
+    }
+
+    /// Insert (or replace) a decision.
+    pub fn put(&mut self, entry: CacheEntry) {
+        self.entries.insert(entry.key.clone(), entry);
+    }
+
+    /// Adopt every entry of `other` under a key this cache does not
+    /// already hold (existing entries win). Used before a save to fold
+    /// in decisions other processes persisted since this image was
+    /// loaded, so a full-image write never erases them.
+    pub fn merge_missing_from(&mut self, other: TuneCache) {
+        for (k, e) in other.entries {
+            self.entries.entry(k).or_insert(e);
+        }
+    }
+
+    /// Load from `path`. `Ok(None)` when the file does not exist;
+    /// `Err` when it exists but cannot be read or parsed (the caller
+    /// decides whether to degrade to an empty cache).
+    pub fn load(path: &Path) -> Result<Option<TuneCache>, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("unreadable cache file {path:?}: {e}")),
+        };
+        let doc = json::parse(&text).map_err(|e| format!("corrupt cache file {path:?}: {e}"))?;
+        Self::from_json(&doc)
+            .map(Some)
+            .ok_or_else(|| format!("corrupt cache file {path:?}: unexpected schema"))
+    }
+
+    /// Serialize to `path`, creating parent directories as needed. The
+    /// write is atomic (temp file + rename) so a concurrent reader can
+    /// never observe a truncated file and misclassify it as corrupt.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json().pretty())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// The cache as a JSON document.
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self
+            .entries
+            .values()
+            .map(|e| {
+                let mut m = BTreeMap::new();
+                m.insert("key".into(), Value::Str(e.key.clone()));
+                m.insert("method".into(), Value::Str(method_str(e.method)));
+                m.insert("tiling".into(), Value::Str(tiling_str(e.tiling)));
+                m.insert("width".into(), Value::Num(e.width.lanes() as f64));
+                m.insert("rate".into(), Value::Num(e.rate));
+                m.insert(
+                    "model_method".into(),
+                    Value::Str(method_str(e.model_method)),
+                );
+                m.insert("probes".into(), Value::Num(e.probes as f64));
+                m.insert("spent_ms".into(), Value::Num(e.spent_ms));
+                Value::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("version".into(), Value::Num(CACHE_VERSION));
+        root.insert("entries".into(), Value::Arr(entries));
+        Value::Obj(root)
+    }
+
+    /// Rebuild from a JSON document (`None` on schema mismatch).
+    ///
+    /// Entries whose decision decodes to `Method::Auto`/`Tiling::Auto`
+    /// are semantically corrupt — a decision must be concrete — and are
+    /// dropped (forcing a re-probe under that key) rather than allowed
+    /// to leak an unresolved `Auto` into a `TuneDecision`.
+    pub fn from_json(doc: &Value) -> Option<TuneCache> {
+        if doc.get("version")?.as_num()? != CACHE_VERSION {
+            return None;
+        }
+        let mut cache = TuneCache::new();
+        for e in doc.get("entries")?.as_arr()? {
+            let method = parse_method(e.get("method")?.as_str()?)?;
+            let tiling = parse_tiling(e.get("tiling")?.as_str()?)?;
+            if method == Method::Auto || tiling == Tiling::Auto {
+                continue;
+            }
+            cache.put(CacheEntry {
+                key: e.get("key")?.as_str()?.to_string(),
+                method,
+                tiling,
+                width: parse_width(e.get("width")?.as_num()? as usize)?,
+                rate: e.get("rate")?.as_num()?,
+                model_method: parse_method(e.get("model_method")?.as_str()?)?,
+                probes: e.get("probes")?.as_num()? as usize,
+                spent_ms: e.get("spent_ms")?.as_num()?,
+            });
+        }
+        Some(cache)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Keys.
+// ---------------------------------------------------------------------
+
+/// Stable signature of a stencil pattern: dimensionality, radius, point
+/// count and an FNV-1a hash of the exact weights, so two patterns with
+/// the same shape but different coefficients never share a tuning
+/// decision.
+pub fn pattern_signature(p: &Pattern) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    mix(&(p.dims() as u64).to_le_bytes());
+    mix(&(p.radius() as u64).to_le_bytes());
+    for w in p.weights() {
+        mix(&w.to_bits().to_le_bytes());
+    }
+    format!("d{}r{}p{}-{:016x}", p.dims(), p.radius(), p.points(), h)
+}
+
+/// Bucket the hinted domain extents into a coarse shape class; plans
+/// tuned for cache-resident grids and memory-bound grids cache
+/// separately (the whole point of Fig. 8's storage-level ladder).
+/// `None` (no hint) maps to the medium class the probe domains default
+/// to.
+pub fn shape_class(hint: Option<&[usize]>) -> &'static str {
+    let Some(extents) = hint else { return "medium" };
+    let points: usize = extents.iter().copied().filter(|&e| e > 0).product();
+    match points {
+        0..=16_384 => "tiny",
+        16_385..=262_144 => "small",
+        262_145..=4_194_304 => "medium",
+        _ => "large",
+    }
+}
+
+/// Build the full cache key for a tuning request.
+pub fn cache_key(
+    host: &HostFingerprint,
+    p: &Pattern,
+    width: Width,
+    threads: usize,
+    fixed_method: Option<Method>,
+    fixed_tiling: Option<Tiling>,
+    hint: Option<&[usize]>,
+) -> String {
+    format!(
+        "{}|t{}|w{}|{}|{}|m={}|ti={}",
+        host.key_prefix(),
+        threads,
+        width.lanes(),
+        pattern_signature(p),
+        shape_class(hint),
+        fixed_method.map(method_str).unwrap_or_else(|| "*".into()),
+        fixed_tiling.map(tiling_str).unwrap_or_else(|| "*".into()),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Compact string encodings for the enums (JSON-friendly, greppable).
+// ---------------------------------------------------------------------
+
+/// Encode a method as a short stable token (`folded:2`, `xlayout`, ...).
+pub fn method_str(m: Method) -> String {
+    match m {
+        Method::Scalar => "scalar".into(),
+        Method::MultipleLoads => "multiload".into(),
+        Method::DataReorg => "reorg".into(),
+        Method::Dlt => "dlt".into(),
+        Method::TransposeLayout => "xlayout".into(),
+        Method::Folded { m } => format!("folded:{m}"),
+        Method::Auto => "auto".into(),
+    }
+}
+
+/// Decode [`method_str`].
+pub fn parse_method(s: &str) -> Option<Method> {
+    Some(match s {
+        "scalar" => Method::Scalar,
+        "multiload" => Method::MultipleLoads,
+        "reorg" => Method::DataReorg,
+        "dlt" => Method::Dlt,
+        "xlayout" => Method::TransposeLayout,
+        "auto" => Method::Auto,
+        _ => Method::Folded {
+            m: s.strip_prefix("folded:")?.parse().ok()?,
+        },
+    })
+}
+
+/// Encode a tiling as a short stable token (`tess:8`, `spatial:8x64`, ...).
+pub fn tiling_str(t: Tiling) -> String {
+    match t {
+        Tiling::None => "none".into(),
+        Tiling::Auto => "auto".into(),
+        Tiling::Tessellate { time_block } => format!("tess:{time_block}"),
+        Tiling::Split { time_block } => format!("split:{time_block}"),
+        Tiling::Spatial { block: (a, b) } => format!("spatial:{a}x{b}"),
+    }
+}
+
+/// Decode [`tiling_str`].
+pub fn parse_tiling(s: &str) -> Option<Tiling> {
+    if s == "none" {
+        return Some(Tiling::None);
+    }
+    if s == "auto" {
+        return Some(Tiling::Auto);
+    }
+    if let Some(tb) = s.strip_prefix("tess:") {
+        return Some(Tiling::Tessellate {
+            time_block: tb.parse().ok()?,
+        });
+    }
+    if let Some(tb) = s.strip_prefix("split:") {
+        return Some(Tiling::Split {
+            time_block: tb.parse().ok()?,
+        });
+    }
+    let (a, b) = s.strip_prefix("spatial:")?.split_once('x')?;
+    Some(Tiling::Spatial {
+        block: (a.parse().ok()?, b.parse().ok()?),
+    })
+}
+
+/// Decode a lane count back into a [`Width`].
+pub fn parse_width(lanes: usize) -> Option<Width> {
+    Some(match lanes {
+        1 => Width::W1,
+        4 => Width::W4,
+        8 => Width::W8,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    fn host(name: &str, isa: &str) -> HostFingerprint {
+        HostFingerprint {
+            hostname: name.into(),
+            isa: isa.into(),
+            threads: 8,
+        }
+    }
+
+    fn sample_entry(key: &str) -> CacheEntry {
+        CacheEntry {
+            key: key.into(),
+            method: Method::Folded { m: 2 },
+            tiling: Tiling::Tessellate { time_block: 16 },
+            width: Width::W4,
+            rate: 1.25e9,
+            model_method: Method::Folded { m: 2 },
+            probes: 7,
+            spent_ms: 41.5,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json_text() {
+        let mut cache = TuneCache::new();
+        cache.put(sample_entry("h|avx2-w4|t8|w4|d1r1p3-aa|medium|m=*|ti=*"));
+        cache.put(CacheEntry {
+            key: "other".into(),
+            method: Method::Dlt,
+            tiling: Tiling::Split { time_block: 8 },
+            width: Width::W8,
+            model_method: Method::TransposeLayout,
+            ..sample_entry("other")
+        });
+        let text = cache.to_json().pretty();
+        let back = TuneCache::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cache);
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let path = std::env::temp_dir().join("stencil-tune-test/roundtrip/cache.json");
+        let _ = std::fs::remove_file(&path);
+        let mut cache = TuneCache::new();
+        cache.put(sample_entry("k1"));
+        cache.save(&path).unwrap();
+        let back = TuneCache::load(&path).unwrap().unwrap();
+        assert_eq!(back, cache);
+        assert_eq!(back.get("k1").unwrap().probes, 7);
+        let _ = std::fs::remove_file(&path);
+        // a missing file is Ok(None), not an error
+        assert_eq!(TuneCache::load(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_described_error() {
+        let path = std::env::temp_dir().join("stencil-tune-test-corrupt.json");
+        std::fs::write(&path, "{ this is not json").unwrap();
+        let err = TuneCache::load(&path).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        // valid JSON, wrong schema
+        std::fs::write(&path, "[1, 2, 3]").unwrap();
+        assert!(TuneCache::load(&path).unwrap_err().contains("schema"));
+        // wrong version is also a schema mismatch (None from from_json)
+        std::fs::write(&path, "{\"version\": 99.0, \"entries\": []}").unwrap();
+        assert!(TuneCache::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn auto_entries_are_semantic_corruption_and_dropped() {
+        // a decision must be concrete: hand-merged or future-schema
+        // entries carrying "auto" must not round-trip into the cache
+        let text = r#"{
+  "version": 1.0,
+  "entries": [
+    { "key": "bad-method", "method": "auto", "tiling": "none", "width": 4.0,
+      "rate": 1.0, "model_method": "scalar", "probes": 1.0, "spent_ms": 1.0 },
+    { "key": "bad-tiling", "method": "scalar", "tiling": "auto", "width": 4.0,
+      "rate": 1.0, "model_method": "scalar", "probes": 1.0, "spent_ms": 1.0 },
+    { "key": "good", "method": "scalar", "tiling": "none", "width": 4.0,
+      "rate": 1.0, "model_method": "scalar", "probes": 1.0, "spent_ms": 1.0 }
+  ]
+}"#;
+        let cache = TuneCache::from_json(&crate::json::parse(text).unwrap()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("good").is_some());
+        assert!(cache.get("bad-method").is_none());
+        assert!(cache.get("bad-tiling").is_none());
+    }
+
+    #[test]
+    fn merge_keeps_own_entries_and_adopts_foreign_ones() {
+        let mut ours = TuneCache::new();
+        ours.put(CacheEntry {
+            rate: 111.0,
+            ..sample_entry("shared")
+        });
+        ours.put(sample_entry("only-ours"));
+        let mut theirs = TuneCache::new();
+        theirs.put(CacheEntry {
+            rate: 999.0,
+            ..sample_entry("shared")
+        });
+        theirs.put(sample_entry("only-theirs"));
+        ours.merge_missing_from(theirs);
+        assert_eq!(ours.len(), 3);
+        // conflict: our decision wins
+        assert_eq!(ours.get("shared").unwrap().rate, 111.0);
+        assert!(ours.get("only-theirs").is_some());
+    }
+
+    #[test]
+    fn keys_differ_across_host_isa_pattern_and_class() {
+        let p = kernels::heat1d();
+        let base = cache_key(&host("a", "avx2-w4"), &p, Width::W4, 8, None, None, None);
+        let other_host = cache_key(&host("b", "avx2-w4"), &p, Width::W4, 8, None, None, None);
+        let other_isa = cache_key(&host("a", "avx512f-w8"), &p, Width::W4, 8, None, None, None);
+        let other_pat = cache_key(
+            &host("a", "avx2-w4"),
+            &kernels::d1p5(),
+            Width::W4,
+            8,
+            None,
+            None,
+            None,
+        );
+        let other_class = cache_key(
+            &host("a", "avx2-w4"),
+            &p,
+            Width::W4,
+            8,
+            None,
+            None,
+            Some(&[1024]),
+        );
+        for k in [&other_host, &other_isa, &other_pat, &other_class] {
+            assert_ne!(&base, k);
+        }
+        // same request, same key (determinism)
+        assert_eq!(
+            base,
+            cache_key(&host("a", "avx2-w4"), &p, Width::W4, 8, None, None, None)
+        );
+    }
+
+    #[test]
+    fn signature_tracks_weights_not_just_shape() {
+        let a = pattern_signature(&Pattern::new_1d(&[0.25, 0.5, 0.25]));
+        let b = pattern_signature(&Pattern::new_1d(&[0.2, 0.6, 0.2]));
+        assert_ne!(a, b);
+        assert!(a.starts_with("d1r1p3-"));
+    }
+
+    #[test]
+    fn shape_classes_bucket_by_points() {
+        assert_eq!(shape_class(None), "medium");
+        assert_eq!(shape_class(Some(&[4096])), "tiny");
+        assert_eq!(shape_class(Some(&[256, 256])), "small");
+        assert_eq!(shape_class(Some(&[1024, 1024])), "medium");
+        assert_eq!(shape_class(Some(&[400, 400, 400])), "large");
+    }
+
+    #[test]
+    fn enum_encodings_round_trip() {
+        for m in [
+            Method::Scalar,
+            Method::MultipleLoads,
+            Method::DataReorg,
+            Method::Dlt,
+            Method::TransposeLayout,
+            Method::Folded { m: 3 },
+            Method::Auto,
+        ] {
+            assert_eq!(parse_method(&method_str(m)), Some(m));
+        }
+        for t in [
+            Tiling::None,
+            Tiling::Auto,
+            Tiling::Tessellate { time_block: 12 },
+            Tiling::Split { time_block: 5 },
+            Tiling::Spatial { block: (8, 64) },
+        ] {
+            assert_eq!(parse_tiling(&tiling_str(t)), Some(t));
+        }
+        for w in [Width::W1, Width::W4, Width::W8] {
+            assert_eq!(parse_width(w.lanes()), Some(w));
+        }
+        assert_eq!(parse_method("folded:x"), None);
+        assert_eq!(parse_tiling("spatial:8"), None);
+        assert_eq!(parse_width(3), None);
+    }
+}

@@ -1,0 +1,479 @@
+//! # stencil-tune
+//!
+//! Measured autotuning for `stencil-core` plans — the paper's declared
+//! future work ("significant efforts are required in automatic tuning",
+//! §4.1), built as a subsystem:
+//!
+//! * [`candidates`] — a search space seeded by the §3.2 op-collect cost
+//!   model: the top-K predicted methods plus neighborhood moves over
+//!   time blocks, widths and spatial tiles.
+//! * [`probe`] — short timed sweeps of each candidate on small
+//!   representative domains, compile-once/run-many, all probes sharing
+//!   one process-wide worker pool, bounded by a wall-clock budget.
+//! * [`cache`] — a persistent per-host plan cache (hand-rolled JSON,
+//!   keyed by hostname × ISA build × threads × pattern signature ×
+//!   domain shape class), so a host probes once and every later
+//!   `compile()` is a warm lookup.
+//! * [`AutoTuner`] — ties the three together and implements
+//!   `stencil-core`'s [`MeasuredTuner`] hook.
+//!
+//! ## Usage
+//!
+//! ```no_run
+//! use stencil_core::{kernels, Method, Solver, Tiling, Tuning};
+//!
+//! stencil_tune::install(); // once per process
+//!
+//! let plan = Solver::new(kernels::heat2d())
+//!     .method(Method::Auto)
+//!     .tiling(Tiling::Auto)
+//!     .threads(8)
+//!     .tuning(Tuning::Measured) // probe (or reuse this host's cache)
+//!     .compile()
+//!     .unwrap();
+//! assert_ne!(plan.method(), Method::Auto);
+//! ```
+//!
+//! The first measured compile probes for ~1 s and persists the winner;
+//! every later compile of the same problem class on this host — in this
+//! process or any other — resolves from the cache without a single
+//! probe run. [`Tuning::CacheOnly`] makes that determinism a contract.
+//!
+//! ## Environment
+//!
+//! * `STENCIL_TUNE_CACHE` — cache file path (default
+//!   `$XDG_CACHE_HOME/stencil-tune/plans.json`, falling back to
+//!   `$HOME/.cache/...`, then the system temp dir).
+//! * `STENCIL_TUNE_BUDGET_MS` — probe budget per tuning request in
+//!   milliseconds (default 1000).
+
+// Offset-indexed loops are the domain idiom here (windows, tiles, taps);
+// iterators would hide the math.
+#![allow(clippy::needless_range_loop)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod candidates;
+pub mod host;
+pub mod json;
+pub mod probe;
+
+use cache::{CacheEntry, TuneCache};
+use host::HostFingerprint;
+use probe::{Budget, ProbeDomain};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use stencil_core::tune::{MeasuredTuner, TuneDecision, TuneFailure, TuneRequest};
+use stencil_core::Tuning;
+
+pub use stencil_core::tune::{install_tuner, installed_tuner};
+
+/// The probing autotuner: cost-model-seeded candidate search, budgeted
+/// probes, persistent per-host cache. Implements [`MeasuredTuner`], so
+/// installing it (see [`install`]) routes every
+/// [`Tuning::Measured`]/[`Tuning::CacheOnly`] `compile()` through it.
+pub struct AutoTuner {
+    cache_path: PathBuf,
+    budget: Budget,
+    top_k: usize,
+    hostd: HostFingerprint,
+    /// Lazily loaded cache image (`None` until first use). A corrupt
+    /// file loads as an empty cache — the degradation contract: bad
+    /// persistence never breaks compilation, it only costs a re-probe
+    /// (and `Tuning::Static` never reads the file at all).
+    state: Mutex<Option<TuneCache>>,
+    probes: AtomicU64,
+}
+
+impl AutoTuner {
+    /// Tuner with explicit cache path (see [`AutoTuner::from_env`] for
+    /// the default resolution).
+    pub fn with_cache_path(path: impl Into<PathBuf>) -> Self {
+        Self {
+            cache_path: path.into(),
+            budget: Budget::default(),
+            top_k: 3,
+            hostd: HostFingerprint::detect(),
+            state: Mutex::new(None),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Tuner configured from the environment (`STENCIL_TUNE_CACHE`,
+    /// `STENCIL_TUNE_BUDGET_MS`).
+    pub fn from_env() -> Self {
+        let mut t = Self::with_cache_path(default_cache_path());
+        if let Some(ms) = std::env::var("STENCIL_TUNE_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            t.budget = Budget::from_millis(ms);
+        }
+        t
+    }
+
+    /// Override the probe budget.
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Override how many cost-model-ranked methods enter the search.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k.max(1);
+        self
+    }
+
+    /// Override the host fingerprint (tests use this to simulate a
+    /// foreign cache).
+    pub fn with_host(mut self, hostd: HostFingerprint) -> Self {
+        self.hostd = hostd;
+        self
+    }
+
+    /// The cache file this tuner reads and writes.
+    pub fn cache_path(&self) -> &Path {
+        &self.cache_path
+    }
+
+    /// Timed probe sweeps run so far (warm-ups and runoffs included).
+    /// Flat across cache hits — the determinism tests pin that.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// The persisted entry a request would resolve to, if any — the
+    /// full measurement record (winner, rate, the cost model's pick,
+    /// probe spend), not just the decision. `stencil-bench tune` uses
+    /// this for its chosen-vs-model report.
+    pub fn lookup(&self, req: &TuneRequest<'_>) -> Option<CacheEntry> {
+        let key = self.key_for(req);
+        self.with_cache(|c| c.get(&key).cloned())
+    }
+
+    /// Run `f` against the lazily-loaded cache image.
+    fn with_cache<R>(&self, f: impl FnOnce(&mut TuneCache) -> R) -> R {
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.is_none() {
+            *guard = Some(match TuneCache::load(&self.cache_path) {
+                Ok(Some(c)) => c,
+                Ok(None) => TuneCache::new(),
+                Err(reason) => {
+                    // corrupt/unreadable: degrade to an empty cache and
+                    // say so once; the next save overwrites the file
+                    eprintln!("stencil-tune: {reason}; starting with an empty cache");
+                    TuneCache::new()
+                }
+            });
+        }
+        f(guard.as_mut().expect("just initialized"))
+    }
+
+    fn key_for(&self, req: &TuneRequest<'_>) -> String {
+        cache::cache_key(
+            &self.hostd,
+            req.pattern,
+            req.width,
+            req.threads,
+            req.method,
+            req.tiling,
+            req.domain_hint,
+        )
+    }
+}
+
+impl MeasuredTuner for AutoTuner {
+    fn tune(&self, req: &TuneRequest<'_>) -> Result<TuneDecision, TuneFailure> {
+        let key = self.key_for(req);
+        if let Some(hit) = self.with_cache(|c| c.get(&key).cloned()) {
+            return Ok(TuneDecision {
+                method: hit.method,
+                tiling: hit.tiling,
+                width: hit.width,
+                from_cache: true,
+            });
+        }
+        if req.mode == Tuning::CacheOnly {
+            return Err(TuneFailure::CacheMiss { key });
+        }
+
+        let cands = candidates::generate(
+            req.pattern,
+            req.width,
+            req.threads,
+            req.method,
+            req.tiling,
+            self.top_k,
+        );
+        if cands.is_empty() {
+            return Err(TuneFailure::Failed {
+                reason: format!("no candidate configurations for key {key:?}"),
+            });
+        }
+        let class = cache::shape_class(req.domain_hint);
+        let domain = ProbeDomain::build(req.pattern, class);
+        let report = probe::run(
+            req.pattern,
+            &cands,
+            req.threads,
+            &domain,
+            &self.budget,
+            &self.probes,
+        );
+        let Some(best) = report.best() else {
+            return Err(TuneFailure::Failed {
+                reason: format!(
+                    "every candidate failed to compile or run ({} skipped) for key {key:?}",
+                    report.skipped
+                ),
+            });
+        };
+
+        let entry = CacheEntry {
+            key: key.clone(),
+            method: best.candidate.method,
+            tiling: best.candidate.tiling,
+            width: best.candidate.width,
+            rate: best.rate,
+            model_method: candidates::model_choice(req.pattern, req.width, req.tiling),
+            probes: report.outcomes.len(),
+            spent_ms: report.spent.as_secs_f64() * 1e3,
+        };
+        let decision = TuneDecision {
+            method: entry.method,
+            tiling: entry.tiling,
+            width: entry.width,
+            from_cache: false,
+        };
+        self.with_cache(|c| {
+            c.put(entry);
+            // fold in decisions other processes persisted since our
+            // lazy load — the full-image write below must not erase
+            // them (our own entries win on key conflict)
+            if let Ok(Some(disk)) = TuneCache::load(&self.cache_path) {
+                c.merge_missing_from(disk);
+            }
+            // persistence is best-effort: a read-only cache dir costs
+            // re-probes in later processes, never a failed compile
+            if let Err(e) = c.save(&self.cache_path) {
+                eprintln!("stencil-tune: could not persist {:?}: {e}", self.cache_path);
+            }
+        });
+        Ok(decision)
+    }
+}
+
+/// Default cache location: `$STENCIL_TUNE_CACHE`, else
+/// `$XDG_CACHE_HOME/stencil-tune/plans.json`, else
+/// `$HOME/.cache/stencil-tune/plans.json`, else the system temp dir.
+pub fn default_cache_path() -> PathBuf {
+    if let Ok(p) = std::env::var("STENCIL_TUNE_CACHE") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    let base = std::env::var("XDG_CACHE_HOME")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::var("HOME")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(|h| Path::new(&h).join(".cache"))
+        })
+        .unwrap_or_else(std::env::temp_dir);
+    base.join("stencil-tune").join("plans.json")
+}
+
+/// Install the process-wide [`AutoTuner`] (configured from the
+/// environment) as the measured tuner behind
+/// [`Tuning::Measured`]/[`Tuning::CacheOnly`], and return it.
+///
+/// Idempotent: later calls return the same instance. If a *different*
+/// [`MeasuredTuner`] was installed first via
+/// [`stencil_core::tune::install_tuner`], that one stays active for
+/// `compile()` (first installation wins) — the returned `AutoTuner` is
+/// then only reachable directly.
+pub fn install() -> &'static AutoTuner {
+    static INSTALLED: OnceLock<&'static AutoTuner> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let t: &'static AutoTuner = Box::leak(Box::new(AutoTuner::from_env()));
+        stencil_core::tune::install_tuner(t);
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, Method, Tiling, Width};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "stencil-tune-lib-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    fn req<'a>(
+        p: &'a stencil_core::Pattern,
+        mode: Tuning,
+        hint: Option<&'a [usize]>,
+    ) -> TuneRequest<'a> {
+        TuneRequest {
+            pattern: p,
+            width: Width::W4,
+            threads: 2,
+            method: None,
+            tiling: None,
+            domain_hint: hint,
+            mode,
+        }
+    }
+
+    #[test]
+    fn measured_probes_persist_then_hit() {
+        let path = temp_path("persist");
+        let _ = std::fs::remove_file(&path);
+        let tuner = AutoTuner::with_cache_path(&path).budget(Budget::from_millis(150));
+        let p = kernels::heat1d();
+
+        let d1 = tuner.tune(&req(&p, Tuning::Measured, None)).unwrap();
+        assert!(!d1.from_cache);
+        assert_ne!(d1.method, Method::Auto);
+        assert_ne!(d1.tiling, Tiling::Auto);
+        let probes_after_first = tuner.probe_count();
+        assert!(probes_after_first > 0);
+        assert!(path.exists(), "cache must be persisted");
+
+        // same request: cache hit, identical decision, zero new probes
+        let d2 = tuner.tune(&req(&p, Tuning::Measured, None)).unwrap();
+        assert!(d2.from_cache);
+        assert_eq!(
+            (d2.method, d2.tiling, d2.width),
+            (d1.method, d1.tiling, d1.width)
+        );
+        assert_eq!(tuner.probe_count(), probes_after_first);
+
+        // a fresh tuner instance reads the same decision from disk
+        let cold = AutoTuner::with_cache_path(&path);
+        let d3 = cold.tune(&req(&p, Tuning::CacheOnly, None)).unwrap();
+        assert!(d3.from_cache);
+        assert_eq!(d3.method, d1.method);
+        assert_eq!(cold.probe_count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_only_misses_are_typed() {
+        let path = temp_path("miss");
+        let _ = std::fs::remove_file(&path);
+        let tuner = AutoTuner::with_cache_path(&path);
+        let p = kernels::heat2d();
+        match tuner.tune(&req(&p, Tuning::CacheOnly, None)) {
+            Err(TuneFailure::CacheMiss { key }) => assert!(key.contains("d2r1p5")),
+            other => panic!("expected CacheMiss, got {other:?}"),
+        }
+        assert_eq!(tuner.probe_count(), 0, "CacheOnly must never probe");
+    }
+
+    #[test]
+    fn foreign_host_cache_forces_reprobe() {
+        let path = temp_path("foreign");
+        let _ = std::fs::remove_file(&path);
+        let p = kernels::heat1d();
+        // warm the cache under a fake fingerprint...
+        let foreign = AutoTuner::with_cache_path(&path)
+            .budget(Budget::from_millis(100))
+            .with_host(HostFingerprint {
+                hostname: "some-other-box".into(),
+                isa: "avx512f-w8".into(),
+                threads: 64,
+            });
+        foreign.tune(&req(&p, Tuning::Measured, None)).unwrap();
+        // ...then read it back as the real host: the entry must not match
+        let local = AutoTuner::with_cache_path(&path).budget(Budget::from_millis(100));
+        match local.tune(&req(&p, Tuning::CacheOnly, None)) {
+            Err(TuneFailure::CacheMiss { .. }) => {}
+            other => panic!("foreign entries must not be reused: {other:?}"),
+        }
+        let d = local.tune(&req(&p, Tuning::Measured, None)).unwrap();
+        assert!(!d.from_cache, "must re-probe on this host");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_probing() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{{{ not json").unwrap();
+        let tuner = AutoTuner::with_cache_path(&path).budget(Budget::from_millis(100));
+        let p = kernels::heat1d();
+        let d = tuner.tune(&req(&p, Tuning::Measured, None)).unwrap();
+        assert!(!d.from_cache);
+        // and the corrupt file was replaced by a valid one
+        let reloaded = TuneCache::load(&path).unwrap().unwrap();
+        assert_eq!(reloaded.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_tuner_saves_do_not_erase_each_other() {
+        // simulates two processes sharing one cache file: an instance
+        // that loaded its image early must not clobber entries another
+        // instance persisted in the meantime
+        let path = temp_path("merge");
+        let _ = std::fs::remove_file(&path);
+        let budget = Budget::from_millis(60);
+        let p1 = kernels::heat1d();
+        let p2 = kernels::heat2d();
+        let p3 = kernels::d1p5();
+
+        let a = AutoTuner::with_cache_path(&path).budget(budget);
+        a.tune(&req(&p1, Tuning::Measured, None)).unwrap(); // A: loads empty, saves {p1}
+        let b = AutoTuner::with_cache_path(&path).budget(budget);
+        b.tune(&req(&p2, Tuning::Measured, None)).unwrap(); // B: saves {p1, p2}
+        a.tune(&req(&p3, Tuning::Measured, None)).unwrap(); // A's image predates p2
+        let on_disk = TuneCache::load(&path).unwrap().unwrap();
+        assert_eq!(on_disk.len(), 3, "A's save must not erase B's entry");
+        // and a cold reader resolves all three without probing
+        let c = AutoTuner::with_cache_path(&path);
+        for p in [&p1, &p2, &p3] {
+            assert!(c.tune(&req(p, Tuning::CacheOnly, None)).unwrap().from_cache);
+        }
+        assert_eq!(c.probe_count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fixed_axes_are_honored_in_decisions() {
+        let path = temp_path("fixed");
+        let _ = std::fs::remove_file(&path);
+        let tuner = AutoTuner::with_cache_path(&path).budget(Budget::from_millis(100));
+        let p = kernels::heat2d();
+        let mut r = req(&p, Tuning::Measured, None);
+        r.method = Some(Method::TransposeLayout);
+        let d = tuner.tune(&r).unwrap();
+        assert_eq!(d.method, Method::TransposeLayout);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_classes_cache_separately() {
+        let path = temp_path("classes");
+        let _ = std::fs::remove_file(&path);
+        let tuner = AutoTuner::with_cache_path(&path).budget(Budget::from_millis(80));
+        let p = kernels::heat1d();
+        let tiny: &[usize] = &[2048];
+        tuner.tune(&req(&p, Tuning::Measured, Some(tiny))).unwrap();
+        // the large class was never probed, so CacheOnly misses it
+        let large: &[usize] = &[8_000_000];
+        match tuner.tune(&req(&p, Tuning::CacheOnly, Some(large))) {
+            Err(TuneFailure::CacheMiss { .. }) => {}
+            other => panic!("distinct shape classes must not share entries: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`runtime`] — thread pool and parallel-for (no external deps).
 //! * [`core`] — patterns, folding matrices, counterpart planning,
 //!   executors, tiling, and the high-level [`Solver`]/[`Plan`] facade.
+//! * [`tune`] — the measured autotuner behind [`Tuning::Measured`]:
+//!   cost-model-seeded probe search with a persistent per-host plan
+//!   cache (call [`install_tuner`] once per process to enable it).
 //!
 //! ## Quickstart
 //!
@@ -55,9 +58,11 @@ pub use stencil_core as core;
 pub use stencil_grid as grid;
 pub use stencil_runtime as runtime;
 pub use stencil_simd as simd;
+pub use stencil_tune as tune;
 
 pub use stencil_core::{
-    Domain, FoldPlan, Method, Pattern, Plan, PlanError, Shape, Solver, Tiling, Width,
+    Domain, FoldPlan, Method, Pattern, Plan, PlanError, Shape, Solver, Tiling, Tuning, Width,
 };
 pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
 pub use stencil_runtime::{PoolHandle, ThreadPool};
+pub use stencil_tune::{install as install_tuner, AutoTuner};

@@ -2,10 +2,12 @@
 //! as the scalar reference, for every linear benchmark kernel, across
 //! widths — the core correctness claim behind the performance numbers.
 
+use std::sync::OnceLock;
 use stencil_lab::core::api::Width;
 use stencil_lab::core::kernels;
 use stencil_lab::grid::max_abs_diff;
-use stencil_lab::{Grid1D, Grid2D, Grid3D, Method, Pattern, Solver};
+use stencil_lab::tune::probe::Budget;
+use stencil_lab::{AutoTuner, Grid1D, Grid2D, Grid3D, Method, Pattern, Solver, Tiling, Tuning};
 
 const TOL: f64 = 1e-11;
 
@@ -202,6 +204,85 @@ fn three_dimensional_methods_agree() {
             "folded pts={}",
             p.points()
         );
+    }
+}
+
+/// Install a private-cache tuner once for this test binary.
+fn tuner_ready() {
+    static T: OnceLock<()> = OnceLock::new();
+    T.get_or_init(|| {
+        let path = std::env::temp_dir().join(format!(
+            "stencil-cross-exec-tune-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let t: &'static AutoTuner = Box::leak(Box::new(
+            AutoTuner::with_cache_path(path).budget(Budget::from_millis(120)),
+        ));
+        stencil_lab::core::tune::install_tuner(t);
+    });
+}
+
+#[test]
+fn three_dimensional_tuned_and_static_selection_agree() {
+    // heat3d / box3d27p end-to-end through Plan::run_3d with the full
+    // auto pipeline, under both the cost model (Static) and the
+    // measured tuner — whatever either selects must reproduce the
+    // scalar reference field away from the Dirichlet band a folded
+    // choice widens
+    tuner_ready();
+    for p in [kernels::heat3d(), kernels::box3d27p()] {
+        let (nz, ny, nx) = (20, 22, 26);
+        let g = grid3(nz, ny, nx);
+        let t = 4;
+        let want = Solver::new(p.clone())
+            .method(Method::Scalar)
+            .compile()
+            .unwrap()
+            .run_3d(&g, t)
+            .unwrap();
+        for tuning in [Tuning::Static, Tuning::Measured] {
+            let plan = Solver::new(p.clone())
+                .method(Method::Auto)
+                .tiling(Tiling::Auto)
+                .threads(2)
+                .tuning(tuning)
+                .domain_hint(&[nz, ny, nx])
+                .compile()
+                .unwrap();
+            assert_ne!(plan.method(), Method::Auto, "{tuning:?}");
+            assert_ne!(plan.tiling(), Tiling::Auto, "{tuning:?}");
+            assert_eq!(plan.dims(), 3);
+            let got = plan.run_3d(&g, t).unwrap();
+            let band = plan.m() * p.radius() * t;
+            assert!(band * 2 < nz, "interior must be nonempty");
+            let mut worst = 0.0f64;
+            for z in band..nz - band {
+                for y in band..ny - band {
+                    let (a, b) = (want.row(z, y), got.row(z, y));
+                    for x in band..nx - band {
+                        worst = worst.max((a[x] - b[x]).abs());
+                    }
+                }
+            }
+            assert!(
+                worst < 1e-10,
+                "{tuning:?} {:?} pts={} worst={worst:e}",
+                plan.method(),
+                p.points()
+            );
+        }
+        // the measured decision is now cached: CacheOnly must resolve
+        // it deterministically for the same shape class
+        let cached = Solver::new(p.clone())
+            .method(Method::Auto)
+            .tiling(Tiling::Auto)
+            .threads(2)
+            .tuning(Tuning::CacheOnly)
+            .domain_hint(&[nz, ny, nx])
+            .compile()
+            .unwrap();
+        assert_ne!(cached.method(), Method::Auto);
     }
 }
 
