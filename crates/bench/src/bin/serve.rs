@@ -1,0 +1,210 @@
+//! `stencil-bench serve`: drive the stencil job service with a
+//! synthetic mixed-pattern workload — closed-loop clients submitting a
+//! heat2d / box2d9p / star3d mix — and report serving throughput, the
+//! latency distribution and the registry/batching/sharding counters.
+//!
+//! The service is warmed from a manifest before the clock starts, so
+//! the measured window contains zero plan compiles (and, when a warmed
+//! tune cache backs `--tuned`, zero probe runs — the warm-start
+//! contract). `--smoke` shrinks domains and job counts for CI;
+//! `--json` dumps the host-stamped `BENCH_serve.json` baseline.
+
+use std::sync::Mutex;
+use std::time::Instant;
+use stencil_bench::{Args, Table};
+use stencil_core::{kernels, Pattern, Tuning};
+use stencil_grid::{Grid2D, Grid3D};
+use stencil_serve::{JobDomain, JobSpec, Manifest, ServeConfig, ShardPolicy, StencilService};
+
+struct Mix {
+    name: &'static str,
+    pattern: Pattern,
+    extents: Vec<usize>,
+    steps: usize,
+}
+
+fn mixes(args: &Args) -> Vec<Mix> {
+    // smoke: tiny CI sizes; default: laptop-scale; paper: large domains
+    let (d2, d3, s2, s3) = if args.quick {
+        (192, 24, 8, 4)
+    } else if args.paper {
+        (2048, 128, 24, 8)
+    } else {
+        (768, 64, 16, 6)
+    };
+    vec![
+        Mix {
+            name: "heat2d",
+            pattern: kernels::heat2d(),
+            extents: vec![d2, d2],
+            steps: s2,
+        },
+        Mix {
+            name: "box2d9p",
+            pattern: kernels::box2d9p(),
+            extents: vec![d2, d2],
+            steps: s2 / 2,
+        },
+        Mix {
+            name: "star3d",
+            pattern: kernels::heat3d(),
+            extents: vec![d3, d3, d3],
+            steps: s3,
+        },
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.threads();
+    let clients = if args.quick { 2 } else { 4 };
+    let jobs_per_client = if args.quick { 6 } else { 16 };
+    let mixes: Vec<Mix> = mixes(&args)
+        .into_iter()
+        .filter(|m| args.wants(m.name))
+        .collect();
+    if mixes.is_empty() {
+        eprintln!("--filter matched no workload");
+        std::process::exit(2);
+    }
+    let tuning = if args.tuned {
+        // measured plans from the per-host cache; cold keys degrade to
+        // the static model with a warning on the stats surface
+        stencil_tune::install();
+        Tuning::CacheOnly
+    } else {
+        Tuning::Static
+    };
+
+    println!(
+        "stencil-bench serve — {clients} closed-loop clients x {jobs_per_client} jobs, \
+         {threads} pool threads ({})",
+        stencil_simd::backend_summary()
+    );
+
+    let service = StencilService::start(ServeConfig {
+        threads,
+        workers: 2,
+        queue_capacity: 4 * clients,
+        batch_max: 8,
+        tuning,
+        // low shard floor so even the smoke sizes exercise the
+        // slab path end to end
+        shard: ShardPolicy {
+            min_points: 1 << 15,
+            max_shards: threads.max(2),
+            min_slab: 16,
+        },
+    });
+    let mut manifest = Manifest::new(tuning);
+    for m in &mixes {
+        manifest.push_kernel(m.name, Some(&m.extents));
+    }
+    let warm = service.warm(&manifest);
+    let warm_stats = service.stats();
+    println!(
+        "warm start: {} plan(s), {} cold fallback(s), {} failure(s), {} probe sweep(s) so far",
+        warm.loaded,
+        warm.fallbacks,
+        warm.failed.len(),
+        warm_stats.tuner_probes,
+    );
+    for w in &warm_stats.warnings {
+        println!("  warning: {w}");
+    }
+
+    // (name, jobs, point-steps, latency µs) per kernel — collected by
+    // the clients as tickets resolve
+    let per_kernel: Mutex<Vec<(String, u64, f64, f64)>> =
+        Mutex::new(mixes.iter().map(|m| (m.name.into(), 0, 0.0, 0.0)).collect());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let (service, mixes, per_kernel) = (&service, &mixes, &per_kernel);
+            scope.spawn(move || {
+                for round in 0..jobs_per_client {
+                    let m = &mixes[(client + round) % mixes.len()];
+                    let seed = (client * 31 + round * 7) as f64;
+                    let domain = match m.extents.len() {
+                        2 => JobDomain::D2(Grid2D::from_fn(m.extents[0], m.extents[1], |y, x| {
+                            ((y * 13 + x * 5) as f64 + seed) % 17.0
+                        })),
+                        _ => JobDomain::D3(Grid3D::from_fn(
+                            m.extents[0],
+                            m.extents[1],
+                            m.extents[2],
+                            |z, y, x| ((z * 11 + y * 5 + x * 3) as f64 + seed) % 13.0,
+                        )),
+                    };
+                    let spec = JobSpec::new(m.pattern.clone(), domain, m.steps);
+                    let points = spec.domain.points();
+                    // closed loop: submit (blocking on backpressure),
+                    // wait, repeat
+                    let result = service
+                        .submit(spec)
+                        .expect("in-manifest jobs are accepted")
+                        .wait()
+                        .expect("jobs execute");
+                    let mut agg = per_kernel.lock().unwrap();
+                    let row = agg
+                        .iter_mut()
+                        .find(|(n, ..)| n == m.name)
+                        .expect("row pre-seeded");
+                    row.1 += 1;
+                    row.2 += (points * m.steps) as f64;
+                    row.3 += result.latency.as_micros() as f64;
+                }
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+
+    let mut through = Table::new("serve throughput", "per kernel");
+    for (name, jobs, ptsteps, lat_us) in per_kernel.into_inner().unwrap() {
+        through.put(&name, "jobs", Some(jobs as f64));
+        through.put(&name, "Mpts-steps/s", Some(ptsteps / wall_s / 1e6));
+        through.put(
+            &name,
+            "mean_latency_ms",
+            (jobs > 0).then(|| lat_us / jobs as f64 / 1e3),
+        );
+    }
+    let total_jobs = stats.jobs_completed;
+    let mut svc = Table::new("serve service counters", "mixed");
+    svc.put("service", "jobs_per_s", Some(total_jobs as f64 / wall_s));
+    svc.put("service", "p50_ms", Some(stats.p50_us as f64 / 1e3));
+    svc.put("service", "p99_ms", Some(stats.p99_us as f64 / 1e3));
+    svc.put("service", "plan_hit_ratio", Some(stats.hit_ratio()));
+    svc.put("service", "warm_loaded", Some(stats.warm_loaded as f64));
+    svc.put(
+        "service",
+        "cold_fallbacks",
+        Some(stats.cold_fallbacks as f64),
+    );
+    svc.put("service", "batches", Some(stats.batches as f64));
+    svc.put("service", "batched_jobs", Some(stats.batched_jobs as f64));
+    svc.put("service", "max_batch", Some(stats.max_batch as f64));
+    svc.put("service", "sharded_jobs", Some(stats.sharded_jobs as f64));
+    svc.put(
+        "service",
+        "shards_executed",
+        Some(stats.shards_executed as f64),
+    );
+    svc.put("service", "jobs_rejected", Some(stats.jobs_rejected as f64));
+    svc.put("service", "jobs_failed", Some(stats.jobs_failed as f64));
+    svc.put("service", "tuner_probes", Some(stats.tuner_probes as f64));
+    through.print();
+    svc.print();
+    assert_eq!(
+        total_jobs as usize,
+        clients * jobs_per_client,
+        "every submitted job must complete"
+    );
+    assert_eq!(stats.jobs_failed, 0, "no job may fail");
+
+    if let Some(path) = &args.json {
+        Table::dump_json(&[&through, &svc], path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

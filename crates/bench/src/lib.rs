@@ -14,6 +14,8 @@
 //! | `costmodel` | §3.2 collects & profitability indices (90/25/9, 3.6/10, 2.25) |
 //! | `ablation` | folding factor, time-block, scheduling and transpose-scheme ablations |
 //! | `tune` | pre-warm the per-host tuning cache (Table-1 kernels), chosen-vs-model report |
+//! | `serve` | drive the `stencil-serve` job service with a mixed closed-loop workload |
+//! | `compare` | perf regression gate: fresh `--json` dumps vs committed baselines |
 //!
 //! Default problem sizes are scaled to finish on a laptop; pass `--paper`
 //! for the Table-1 sizes and `--quick` for CI smoke runs. All binaries

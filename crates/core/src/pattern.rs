@@ -58,6 +58,33 @@ impl Pattern {
         self.dims
     }
 
+    /// Stable signature of this pattern: dimensionality, radius, point
+    /// count and an FNV-1a hash of the exact weights, so two patterns
+    /// with the same shape but different coefficients never collide.
+    /// Used as a key component by the per-host tuning cache and the
+    /// serving plan registry (e.g. `d2r1p5-1a2b...`).
+    pub fn signature(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(&(self.dims as u64).to_le_bytes());
+        mix(&(self.radius as u64).to_le_bytes());
+        for w in &self.w {
+            mix(&w.to_bits().to_le_bytes());
+        }
+        format!(
+            "d{}r{}p{}-{:016x}",
+            self.dims,
+            self.radius,
+            self.points(),
+            h
+        )
+    }
+
     /// Radius `r`.
     #[inline(always)]
     pub fn radius(&self) -> usize {

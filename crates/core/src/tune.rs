@@ -22,7 +22,6 @@
 //!   a [`crate::Plan`] and reused across the warm-up and both probe
 //!   passes, so tuning itself follows the plan-once/run-many discipline.
 
-use crate::api::plan_exec::fold_radius_cap;
 use crate::api::{Method, Tiling, Tuning, Width};
 use crate::cost;
 use crate::pattern::Pattern;
@@ -72,6 +71,31 @@ pub fn auto_method(p: &Pattern, width: Width, tiling: Tiling) -> Method {
         Method::TransposeLayout
     } else {
         Method::MultipleLoads
+    }
+}
+
+/// Largest folded radius `m * r` the register pipeline supports for a
+/// pattern of dimensionality `dims` at vector width `width` — public
+/// wrapper around the bound [`Solver::compile`] enforces, so candidate
+/// generators (the measured tuner's `Folded { m: 3 }` probes) can
+/// skip configurations compilation would reject.
+pub fn fold_radius_cap(dims: usize, width: Width) -> usize {
+    crate::api::plan_exec::fold_radius_cap(dims, width)
+}
+
+/// Bucket hinted domain extents into a coarse shape class: plans tuned
+/// for cache-resident grids and for memory-bound grids must never share
+/// a cache entry or a registry slot (the point of Fig. 8's storage-level
+/// ladder). `None` (no hint) maps to the medium class the measured
+/// tuner's probe domains default to.
+pub fn shape_class(hint: Option<&[usize]>) -> &'static str {
+    let Some(extents) = hint else { return "medium" };
+    let points: usize = extents.iter().copied().filter(|&e| e > 0).product();
+    match points {
+        0..=16_384 => "tiny",
+        16_385..=262_144 => "small",
+        262_145..=4_194_304 => "medium",
+        _ => "large",
     }
 }
 

@@ -34,7 +34,7 @@ pub mod pool;
 pub mod sync;
 
 pub use parallel::{chunk_ranges, parallel_for, parallel_for_static};
-pub use pool::{PoolHandle, ThreadPool};
+pub use pool::{purge_shared, PoolHandle, ThreadPool};
 
 /// Number of hardware threads (fallback 1).
 pub fn available_parallelism() -> usize {

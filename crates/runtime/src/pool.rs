@@ -242,14 +242,13 @@ impl PoolHandle {
     /// probe sessions, benchmark cells, ad-hoc plans — amortize one set
     /// of worker threads instead of respawning per use.
     ///
-    /// Shared pools live for the rest of the process (at most one per
-    /// distinct thread count). Callers that need a private pool — e.g.
-    /// plans that must run concurrently with each other — should use
-    /// [`PoolHandle::new`].
+    /// Shared pools live until [`purge_shared`] releases the unused
+    /// ones (at most one per distinct thread count). Callers that need
+    /// a private pool — e.g. plans that must run concurrently with each
+    /// other — should use [`PoolHandle::new`].
     pub fn shared(threads: usize) -> Self {
-        static REGISTRY: Mutex<Vec<(usize, PoolHandle)>> = Mutex::new(Vec::new());
         let threads = threads.max(1);
-        let mut reg = REGISTRY.lock();
+        let mut reg = SHARED_POOLS.lock();
         if let Some((_, h)) = reg.iter().find(|(n, _)| *n == threads) {
             return h.clone();
         }
@@ -262,6 +261,46 @@ impl PoolHandle {
     pub fn ptr_eq(a: &Self, b: &Self) -> bool {
         Arc::ptr_eq(&a.0, &b.0)
     }
+
+    /// Number of live handles to this pool, this one included (the
+    /// shared registry's own clone counts). Lets a long-running service
+    /// report how many plans still pin a pool before deciding to
+    /// [`purge_shared`].
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+/// Registry behind [`PoolHandle::shared`].
+static SHARED_POOLS: Mutex<Vec<(usize, PoolHandle)>> = Mutex::new(Vec::new());
+
+/// Release every shared pool no handle outside the registry still
+/// uses, joining its worker threads; returns how many pools were torn
+/// down. The shutdown hook for long-running services: after the last
+/// plan that pinned a shared pool is dropped, `purge_shared` reclaims
+/// the idle OS threads instead of leaking them for the rest of the
+/// process. Pools that are still referenced stay registered, and a
+/// later [`PoolHandle::shared`] call simply respawns a purged size.
+pub fn purge_shared() -> usize {
+    // Drop outside the lock: ThreadPool::drop joins worker threads, and
+    // holding the registry lock across a join would stall every
+    // concurrent shared() caller behind thread teardown.
+    let purged: Vec<PoolHandle> = {
+        let mut reg = SHARED_POOLS.lock();
+        let mut out = Vec::new();
+        reg.retain(|(_, h)| {
+            if h.strong_count() == 1 {
+                out.push(h.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    };
+    let n = purged.len();
+    drop(purged);
+    n
 }
 
 impl From<ThreadPool> for PoolHandle {
@@ -493,6 +532,37 @@ mod tests {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn purge_releases_only_unreferenced_shared_pools() {
+        // distinct thread counts so parallel tests' shared pools are
+        // not disturbed mid-assertion
+        let held = PoolHandle::shared(7);
+        {
+            let dropped = PoolHandle::shared(9);
+            assert_eq!(dropped.threads(), 9);
+        }
+        // `held` is pinned outside the registry (count 2: us + registry),
+        // the 9-thread pool is pinned only by the registry
+        assert!(held.strong_count() >= 2);
+        let released = purge_shared();
+        assert!(released >= 1, "the unreferenced 9-thread pool must go");
+        // the held pool survived the purge and still works
+        let again = PoolHandle::shared(7);
+        assert!(PoolHandle::ptr_eq(&held, &again));
+        let hits = AtomicUsize::new(0);
+        held.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 7);
+        // a purged size respawns fresh on the next request
+        let respawned = PoolHandle::shared(9);
+        assert_eq!(respawned.threads(), 9);
+        drop(held);
+        drop(again);
+        drop(respawned);
+        purge_shared();
     }
 
     #[test]

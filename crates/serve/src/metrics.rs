@@ -1,0 +1,428 @@
+//! The service's stats surface: lock-free counters, a log-bucketed
+//! latency histogram, and a JSON export through the same hand-rolled
+//! writer the tuning cache and the benchmark dumps use
+//! ([`stencil_tune::json`]), so one parser covers every artifact the
+//! project emits.
+//!
+//! Everything on the hot path is an atomic increment; the only lock is
+//! around the (rare, capped) operator warning list. A [`StatsSnapshot`]
+//! is a plain-data copy taken at a point in time — cheap enough to poll
+//! from a metrics scraper loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use stencil_runtime::sync::Mutex;
+use stencil_tune::json::Value;
+
+/// Number of log2 latency buckets (bucket `i` counts samples with
+/// `floor(log2(us)) == i`; 63 covers every representable duration).
+const BUCKETS: usize = 64;
+
+/// Most operator warnings retained before older ones are dropped — the
+/// list is a diagnostic surface, not a log sink.
+const MAX_WARNINGS: usize = 64;
+
+/// Log2-bucketed latency histogram over microseconds.
+///
+/// Quantiles are read as the upper bound of the bucket the rank falls
+/// in — at most 2x off, which is the right fidelity for a p99 gauge
+/// that must cost one atomic add per sample.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds: upper bound of
+    /// the bucket holding that rank, 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        // rank against the buckets actually scanned, not the separate
+        // `count` counter: under concurrent record()s (all Relaxed) the
+        // counter can run ahead of a bucket increment, and a rank no
+        // bucket covers would return a nonsense sentinel
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        unreachable!("rank <= total, so some scanned bucket covers it")
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// Live counters of a running service. Shared (`Arc`) between the
+/// submission side, the executor workers, and the registry.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs refused by backpressure (`try_submit` on a full queue).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs completed successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed at execution.
+    pub jobs_failed: AtomicU64,
+    /// Current queue depth gauge.
+    pub queue_depth: AtomicU64,
+    /// Registry lookups resolved by an already-compiled plan.
+    pub plan_hits: AtomicU64,
+    /// Registry lookups that had to compile.
+    pub plan_misses: AtomicU64,
+    /// Plans compiled during manifest warm-up.
+    pub warm_loaded: AtomicU64,
+    /// Warm-up or submit compiles that fell back from a measured
+    /// tuning mode to the static cost model (cold tune cache / no
+    /// tuner) — each one also pushes a warning line.
+    pub cold_fallbacks: AtomicU64,
+    /// Cold keys later upgraded to their real (measured) plan after the
+    /// tune cache was re-warmed while the service was running.
+    pub cold_recoveries: AtomicU64,
+    /// Same-plan batches drained from the queue (a batch of one still
+    /// counts).
+    pub batches: AtomicU64,
+    /// Jobs that rode in a batch of two or more.
+    pub batched_jobs: AtomicU64,
+    /// Largest batch drained so far.
+    pub max_batch: AtomicU64,
+    /// Jobs executed through the domain sharder.
+    pub sharded_jobs: AtomicU64,
+    /// Sub-domain slabs executed in total.
+    pub shards_executed: AtomicU64,
+    /// End-to-end job latency (submit to completion, queue wait
+    /// included).
+    pub latency: LatencyHistogram,
+    warnings: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a one-line operator warning (cold starts, corrupt tune
+    /// cache, foreign-ISA invalidation, ...). Capped: past the
+    /// retention limit the oldest lines are dropped.
+    pub fn warn(&self, line: impl Into<String>) {
+        let mut w = self.warnings.lock();
+        if w.len() >= MAX_WARNINGS {
+            w.remove(0);
+        }
+        w.push(line.into());
+    }
+
+    /// Record a drained batch of `n` same-plan jobs.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if n > 1 {
+            self.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter (plus the installed tuner's
+    /// probe counter — a read-only gauge; tuner *warnings* are drained
+    /// onto the stats surface by the registry's warm-up, the one place
+    /// a bad cache first becomes visible, so concurrent services never
+    /// steal each other's lines).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let warnings = self.warnings.lock().clone();
+        let ld = Ordering::Relaxed;
+        StatsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(ld),
+            jobs_rejected: self.jobs_rejected.load(ld),
+            jobs_completed: self.jobs_completed.load(ld),
+            jobs_failed: self.jobs_failed.load(ld),
+            queue_depth: self.queue_depth.load(ld),
+            plan_hits: self.plan_hits.load(ld),
+            plan_misses: self.plan_misses.load(ld),
+            warm_loaded: self.warm_loaded.load(ld),
+            cold_fallbacks: self.cold_fallbacks.load(ld),
+            cold_recoveries: self.cold_recoveries.load(ld),
+            batches: self.batches.load(ld),
+            batched_jobs: self.batched_jobs.load(ld),
+            max_batch: self.max_batch.load(ld),
+            sharded_jobs: self.sharded_jobs.load(ld),
+            shards_executed: self.shards_executed.load(ld),
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+            mean_us: self.latency.mean_us(),
+            tuner_probes: stencil_tune::installed_auto()
+                .map(|t| t.probe_count())
+                .unwrap_or(0),
+            warnings,
+        }
+    }
+}
+
+/// Plain-data copy of [`ServeStats`] at a point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs refused by backpressure.
+    pub jobs_rejected: u64,
+    /// Jobs completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that failed at execution.
+    pub jobs_failed: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Registry hits.
+    pub plan_hits: u64,
+    /// Registry misses (compiles).
+    pub plan_misses: u64,
+    /// Plans compiled by manifest warm-up.
+    pub warm_loaded: u64,
+    /// CacheOnly → Static cold-start fallbacks.
+    pub cold_fallbacks: u64,
+    /// Cold keys upgraded to their measured plan at runtime.
+    pub cold_recoveries: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Jobs that rode in multi-job batches.
+    pub batched_jobs: u64,
+    /// Largest batch.
+    pub max_batch: u64,
+    /// Jobs run sharded.
+    pub sharded_jobs: u64,
+    /// Total slabs executed.
+    pub shards_executed: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: u64,
+    /// Mean end-to-end latency, microseconds.
+    pub mean_us: f64,
+    /// Probe sweeps the installed measured tuner has run process-wide
+    /// (0 when none is installed). Flat across a warm-started service
+    /// — the "zero probe runs" contract made observable.
+    pub tuner_probes: u64,
+    /// Operator warnings accumulated so far (oldest dropped past a
+    /// cap).
+    pub warnings: Vec<String>,
+}
+
+impl StatsSnapshot {
+    /// Registry hit ratio in `[0, 1]` (1.0 when there were no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// Serialize through the project's hand-rolled JSON writer.
+    pub fn to_json(&self) -> Value {
+        let mut m = std::collections::BTreeMap::new();
+        let mut num = |k: &str, v: f64| {
+            m.insert(k.to_string(), Value::Num(v));
+        };
+        num("jobs_submitted", self.jobs_submitted as f64);
+        num("jobs_rejected", self.jobs_rejected as f64);
+        num("jobs_completed", self.jobs_completed as f64);
+        num("jobs_failed", self.jobs_failed as f64);
+        num("queue_depth", self.queue_depth as f64);
+        num("plan_hits", self.plan_hits as f64);
+        num("plan_misses", self.plan_misses as f64);
+        num("plan_hit_ratio", self.hit_ratio());
+        num("warm_loaded", self.warm_loaded as f64);
+        num("cold_fallbacks", self.cold_fallbacks as f64);
+        num("cold_recoveries", self.cold_recoveries as f64);
+        num("batches", self.batches as f64);
+        num("batched_jobs", self.batched_jobs as f64);
+        num("max_batch", self.max_batch as f64);
+        num("sharded_jobs", self.sharded_jobs as f64);
+        num("shards_executed", self.shards_executed as f64);
+        num("p50_us", self.p50_us as f64);
+        num("p99_us", self.p99_us as f64);
+        num("mean_us", self.mean_us);
+        num("tuner_probes", self.tuner_probes as f64);
+        m.insert(
+            "warnings".to_string(),
+            Value::Arr(self.warnings.iter().cloned().map(Value::Str).collect()),
+        );
+        Value::Obj(m)
+    }
+
+    /// Rebuild a snapshot from its [`StatsSnapshot::to_json`] document
+    /// (`None` on schema mismatch) — lets tests and dashboards
+    /// round-trip the dump through the shared parser.
+    pub fn from_json(doc: &Value) -> Option<Self> {
+        let n = |k: &str| doc.get(k).and_then(Value::as_num);
+        // counters must be non-negative integers: a saturating `as`
+        // cast would silently repair corrupt documents instead of
+        // rejecting them
+        let u = |k: &str| {
+            n(k).filter(|&v| v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64)
+                .map(|v| v as u64)
+        };
+        Some(Self {
+            jobs_submitted: u("jobs_submitted")?,
+            jobs_rejected: u("jobs_rejected")?,
+            jobs_completed: u("jobs_completed")?,
+            jobs_failed: u("jobs_failed")?,
+            queue_depth: u("queue_depth")?,
+            plan_hits: u("plan_hits")?,
+            plan_misses: u("plan_misses")?,
+            warm_loaded: u("warm_loaded")?,
+            cold_fallbacks: u("cold_fallbacks")?,
+            cold_recoveries: u("cold_recoveries")?,
+            batches: u("batches")?,
+            batched_jobs: u("batched_jobs")?,
+            max_batch: u("max_batch")?,
+            sharded_jobs: u("sharded_jobs")?,
+            shards_executed: u("shards_executed")?,
+            p50_us: u("p50_us")?,
+            p99_us: u("p99_us")?,
+            mean_us: n("mean_us")?,
+            tuner_probes: u("tuner_probes")?,
+            warnings: doc
+                .get("warnings")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_us(0.5);
+        assert!((16..=64).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 4096, "p99={p99}");
+        assert!(h.mean_us() > 0.0);
+        // empty histogram is all zeros
+        let e = LatencyHistogram::default();
+        assert_eq!(e.quantile_us(0.99), 0);
+        assert_eq!(e.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = ServeStats::new();
+        s.jobs_submitted.store(7, Ordering::Relaxed);
+        s.plan_hits.store(3, Ordering::Relaxed);
+        s.plan_misses.store(1, Ordering::Relaxed);
+        s.warn("cold start: cache miss under key \"x|y\"");
+        s.latency.record(Duration::from_micros(300));
+        let snap = s.snapshot();
+        let text = snap.to_json().pretty();
+        let back = StatsSnapshot::from_json(&stencil_tune::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        assert!((back.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(back.warnings.len(), 1);
+    }
+
+    #[test]
+    fn from_json_rejects_non_integer_counters() {
+        let base = ServeStats::new().snapshot().to_json();
+        let corrupt = |field: &str, v: f64| {
+            let mut doc = base.clone();
+            if let Value::Obj(m) = &mut doc {
+                m.insert(field.to_string(), Value::Num(v));
+            }
+            StatsSnapshot::from_json(&doc)
+        };
+        assert!(StatsSnapshot::from_json(&base).is_some());
+        // negative and fractional counters are corruption, not values
+        // to be silently saturated
+        assert!(corrupt("jobs_submitted", -3.0).is_none());
+        assert!(corrupt("p99_us", 2.5).is_none());
+        assert!(corrupt("batches", 1e300).is_none());
+    }
+
+    #[test]
+    fn warning_list_is_capped() {
+        let s = ServeStats::new();
+        for i in 0..(MAX_WARNINGS + 10) {
+            s.warn(format!("w{i}"));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.warnings.len(), MAX_WARNINGS);
+        assert_eq!(
+            snap.warnings.last().unwrap(),
+            &format!("w{}", MAX_WARNINGS + 9)
+        );
+    }
+
+    #[test]
+    fn batch_counters_track_sizes() {
+        let s = ServeStats::new();
+        s.record_batch(1);
+        s.record_batch(4);
+        s.record_batch(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batched_jobs, 6);
+        assert_eq!(snap.max_batch, 4);
+    }
+}

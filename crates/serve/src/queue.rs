@@ -1,0 +1,235 @@
+//! Bounded MPMC job queue with blocking backpressure and same-key batch
+//! draining.
+//!
+//! Built on the runtime's poison-free `Mutex`/`Condvar` (the same
+//! primitives as the worker pool) rather than channels: the service
+//! needs three things channels don't give together — a hard capacity
+//! that *blocks* producers (closed-loop backpressure), a non-blocking
+//! `try_push` that reports fullness (load shedding), and batch pops
+//! that pull every queued job sharing a plan with the head job, so the
+//! executor amortizes pool wakeups and keeps one folded kernel hot
+//! across consecutive runs.
+
+use std::collections::VecDeque;
+use stencil_runtime::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue. The rejected item rides along so the
+/// caller can complete its ticket with an error instead of losing it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// `try_push` on a queue at capacity (backpressure signal).
+    Full(T),
+    /// The queue was closed; no further work is accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the queue is full — the backpressure
+    /// path: a closed-loop client stalls here until an executor drains
+    /// room. Fails only once the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut st);
+        }
+    }
+
+    /// Enqueue without blocking: a full queue is an immediate
+    /// [`PushError::Full`] (load shedding for callers that would rather
+    /// reject than wait).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue one item, blocking while the queue is empty. `None` when
+    /// the queue is closed and drained — the executor's shutdown
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        self.pop_batch(1, |_, _| false).map(|mut b| {
+            debug_assert_eq!(b.len(), 1);
+            b.pop().expect("batch of one")
+        })
+    }
+
+    /// Dequeue the head item plus up to `max - 1` later items that
+    /// `same(head, item)` — the batch the executor runs back-to-back.
+    /// Skipped items keep their order. Blocks while empty; `None` when
+    /// closed and drained.
+    pub fn pop_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(head) = st.items.pop_front() {
+                let mut batch = Vec::with_capacity(max.min(8));
+                batch.push(head);
+                if max > 1 {
+                    let mut i = 0;
+                    while i < st.items.len() && batch.len() < max {
+                        if same(&batch[0], &st.items[i]) {
+                            let item = st.items.remove(i).expect("index checked");
+                            batch.push(item);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                drop(st);
+                // every removal frees capacity; wake all queued pushers
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Close the queue: every queued item is still served, further
+    /// pushes fail, and blocked consumers wake to observe the drain.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = Bounded::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let q = Bounded::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert!(matches!(q.push("b"), Err(PushError::Closed("b"))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn batch_pop_groups_same_key_preserving_other_order() {
+        let q = Bounded::new(16);
+        for (key, n) in [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("a", 5)] {
+            q.push((key, n)).unwrap();
+        }
+        let batch = q.pop_batch(8, |h, x| h.0 == x.0).unwrap();
+        assert_eq!(batch, vec![("a", 1), ("a", 3), ("a", 5)]);
+        // the skipped items kept their relative order
+        assert_eq!(q.pop(), Some(("b", 2)));
+        assert_eq!(q.pop(), Some(("c", 4)));
+        // max bounds the batch
+        for n in 0..5 {
+            q.push(("k", n)).unwrap();
+        }
+        let b2 = q.pop_batch(3, |h, x| h.0 == x.0).unwrap();
+        assert_eq!(b2.len(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn blocking_push_applies_backpressure_until_a_pop() {
+        let q = Arc::new(Bounded::new(1));
+        q.push(0usize).unwrap();
+        let stalled = Arc::new(AtomicUsize::new(0));
+        let (q2, s2) = (Arc::clone(&q), Arc::clone(&stalled));
+        let producer = std::thread::spawn(move || {
+            // must block: capacity 1 and the slot is taken
+            q2.push(1).unwrap();
+            s2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(stalled.load(Ordering::SeqCst), 0, "push must have blocked");
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(stalled.load(Ordering::SeqCst), 1);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn consumers_wake_on_close() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,827 @@
+//! The long-running job service: bounded submission queue, executor
+//! workers over one shared pool, same-plan batching, policy-driven
+//! domain sharding, graceful shutdown.
+//!
+//! ```
+//! use stencil_serve::{JobDomain, JobSpec, ServeConfig, StencilService};
+//! use stencil_core::kernels;
+//! use stencil_grid::Grid1D;
+//!
+//! let service = StencilService::start(ServeConfig {
+//!     threads: 2,
+//!     workers: 1,
+//!     ..ServeConfig::default()
+//! });
+//! let grid = Grid1D::from_fn(4096, |i| if i == 2048 { 1.0 } else { 0.0 });
+//! let ticket = service
+//!     .submit(JobSpec::new(kernels::heat1d(), JobDomain::D1(grid), 100))
+//!     .unwrap();
+//! let result = ticket.wait().unwrap();
+//! let mass: f64 = match &result.output {
+//!     JobDomain::D1(g) => g.as_slice().iter().sum(),
+//!     _ => unreachable!(),
+//! };
+//! assert!((mass - 1.0).abs() < 1e-9);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.jobs_completed, 1);
+//! ```
+
+use crate::metrics::{ServeStats, StatsSnapshot};
+use crate::queue::{Bounded, PushError};
+use crate::registry::{PlanRegistry, PlanShape, WarmReport};
+use crate::shard::{self, ShardPolicy};
+use crate::Manifest;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stencil_core::{Pattern, Plan, PlanError, Tuning};
+use stencil_grid::{Grid1D, Grid2D, Grid3D};
+use stencil_runtime::sync::{Condvar, Mutex};
+
+/// A job's input (and its result's output) domain.
+#[derive(Debug, Clone)]
+pub enum JobDomain {
+    /// 1D grid.
+    D1(Grid1D),
+    /// 2D grid.
+    D2(Grid2D),
+    /// 3D grid.
+    D3(Grid3D),
+}
+
+impl JobDomain {
+    /// Total grid points.
+    pub fn points(&self) -> usize {
+        match self {
+            JobDomain::D1(g) => g.len(),
+            JobDomain::D2(g) => g.ny() * g.nx(),
+            JobDomain::D3(g) => g.nz() * g.ny() * g.nx(),
+        }
+    }
+
+    /// The extents, outermost first.
+    pub fn extents(&self) -> Vec<usize> {
+        match self {
+            JobDomain::D1(g) => vec![g.len()],
+            JobDomain::D2(g) => vec![g.ny(), g.nx()],
+            JobDomain::D3(g) => vec![g.nz(), g.ny(), g.nx()],
+        }
+    }
+}
+
+/// A unit of work: advance `domain` by `steps` applications of
+/// `pattern`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The stencil to apply.
+    pub pattern: Pattern,
+    /// Input state.
+    pub domain: JobDomain,
+    /// Time steps to advance.
+    pub steps: usize,
+    /// Per-job tuning override (`None` = the service default).
+    pub tuning: Option<Tuning>,
+}
+
+impl JobSpec {
+    /// Job with the service's default tuning mode.
+    pub fn new(pattern: Pattern, domain: JobDomain, steps: usize) -> Self {
+        Self {
+            pattern,
+            domain,
+            steps,
+            tuning: None,
+        }
+    }
+}
+
+/// A completed job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The advanced domain.
+    pub output: JobDomain,
+    /// Slabs the job was executed as (1 = unsharded).
+    pub shards: usize,
+    /// True when the job rode a multi-job batch.
+    pub batched: bool,
+    /// End-to-end latency, submission to completion.
+    pub latency: Duration,
+}
+
+/// Why a job was refused or failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// `try_submit` on a full queue — the backpressure signal; retry
+    /// later or use the blocking `submit`.
+    Backpressure {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is shutting down; no further jobs are accepted.
+    ShuttingDown,
+    /// Plan compilation or execution failed.
+    Plan(PlanError),
+    /// The executor dropped the job without completing it (worker
+    /// panic) — should not happen; surfaced instead of hanging the
+    /// waiter.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backpressure { capacity } => write!(
+                f,
+                "submission queue is full ({capacity} jobs): backpressure — retry or block"
+            ),
+            ServeError::ShuttingDown => write!(f, "the service is shutting down"),
+            ServeError::Plan(e) => write!(f, "plan error: {e}"),
+            ServeError::WorkerLost => write!(f, "the executor dropped this job"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool threads unsharded runs parallelize over.
+    pub threads: usize,
+    /// Executor worker threads draining the queue.
+    pub workers: usize,
+    /// Submission queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Most same-plan jobs drained per batch.
+    pub batch_max: usize,
+    /// Default tuning mode for plan compilation.
+    pub tuning: Tuning,
+    /// When and how much to shard large 2D/3D jobs.
+    pub shard: ShardPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: stencil_runtime::available_parallelism(),
+            workers: 2,
+            queue_capacity: 64,
+            batch_max: 8,
+            tuning: Tuning::Static,
+            shard: ShardPolicy::default(),
+        }
+    }
+}
+
+/// One-slot promise the waiter blocks on. `completed` records that a
+/// result was *delivered* (even if already consumed by `try_take`), so
+/// the executor's drop-completion can tell "never finished" apart from
+/// "finished and collected".
+struct TicketState {
+    result: Option<Result<JobResult, ServeError>>,
+    completed: bool,
+}
+
+struct TicketCell {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(TicketState {
+                result: None,
+                completed: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, r: Result<JobResult, ServeError>) {
+        let mut st = self.state.lock();
+        st.result = Some(r);
+        st.completed = true;
+        drop(st);
+        self.done.notify_all();
+    }
+}
+
+/// The executor's side of a ticket. Completion-on-drop: if the job is
+/// dropped without an explicit [`TicketHandle::complete`] — a worker
+/// panic unwinding the batch, a queue discarded mid-drain — the waiter
+/// is woken with [`ServeError::WorkerLost`] instead of parking forever
+/// (a plain `Arc` drop would never notify the condvar). A ticket that
+/// did complete is left alone even when `try_take` already consumed
+/// the result — the `completed` flag, not slot emptiness, is the
+/// authority.
+struct TicketHandle(Arc<TicketCell>);
+
+impl TicketHandle {
+    fn complete(&self, r: Result<JobResult, ServeError>) {
+        self.0.complete(r);
+    }
+}
+
+impl Drop for TicketHandle {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        if !st.completed {
+            st.result = Some(Err(ServeError::WorkerLost));
+            st.completed = true;
+            drop(st);
+            self.0.done.notify_all();
+        }
+    }
+}
+
+/// Handle to a submitted job; [`JobTicket::wait`] blocks until the
+/// executor completes it.
+pub struct JobTicket {
+    cell: Arc<TicketCell>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("done", &self.cell.state.lock().completed)
+            .finish()
+    }
+}
+
+impl JobTicket {
+    /// Block until the job completes. A job whose executor died
+    /// resolves to [`ServeError::WorkerLost`] (the executor side
+    /// completes on drop), so this never parks forever — including
+    /// after a [`JobTicket::try_take`] already consumed the result
+    /// (which returns `WorkerLost` here rather than blocking).
+    pub fn wait(self) -> Result<JobResult, ServeError> {
+        let mut st = self.cell.state.lock();
+        loop {
+            if let Some(r) = st.result.take() {
+                return r;
+            }
+            if st.completed {
+                // delivered but consumed by an earlier try_take
+                return Err(ServeError::WorkerLost);
+            }
+            // belt and braces alongside TicketHandle's drop-complete:
+            // if the executor's handle is somehow gone without filling
+            // the slot, fail fast instead of waiting
+            if Arc::strong_count(&self.cell) == 1 {
+                return Err(ServeError::WorkerLost);
+            }
+            self.cell.done.wait(&mut st);
+        }
+    }
+
+    /// The result if already available (non-blocking, consumes it).
+    pub fn try_take(&self) -> Option<Result<JobResult, ServeError>> {
+        self.cell.state.lock().result.take()
+    }
+}
+
+struct Job {
+    key: String,
+    plan: Arc<Plan>,
+    /// Slabs this job will execute as (1 = unsharded), decided at
+    /// submission so batching groups by identical execution shape.
+    shards: usize,
+    domain: JobDomain,
+    steps: usize,
+    ticket: TicketHandle,
+    submitted: Instant,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    registry: PlanRegistry,
+    queue: Bounded<Job>,
+    stats: Arc<ServeStats>,
+    closing: AtomicBool,
+}
+
+/// The tuning-aware stencil job service (see the crate docs for the
+/// architecture).
+pub struct StencilService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl StencilService {
+    /// Start a service: spawns the executor workers and the shared
+    /// worker pool. No plans are compiled yet — call
+    /// [`StencilService::warm`] with a manifest to pre-compile the
+    /// expected patterns.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let stats = Arc::new(ServeStats::new());
+        let inner = Arc::new(Inner {
+            registry: PlanRegistry::new(cfg.threads, cfg.shard, Arc::clone(&stats)),
+            queue: Bounded::new(cfg.queue_capacity),
+            stats,
+            closing: AtomicBool::new(false),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("stencil-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn executor worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Pre-compile every pattern a manifest declares (warm-at-startup;
+    /// see [`PlanRegistry::warm`] for the cold-start semantics).
+    pub fn warm(&self, manifest: &Manifest) -> WarmReport {
+        self.inner.registry.warm(manifest)
+    }
+
+    /// The plan registry (for introspection; plans register through
+    /// submission automatically).
+    pub fn registry(&self) -> &PlanRegistry {
+        &self.inner.registry
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner
+            .stats
+            .queue_depth
+            .store(self.inner.queue.len() as u64, Ordering::Relaxed);
+        self.inner.stats.snapshot()
+    }
+
+    /// Submit a job, blocking while the queue is full (closed-loop
+    /// backpressure). Plan resolution happens here, so an invalid
+    /// pattern/configuration fails synchronously with a typed error.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
+        self.enqueue(spec, true)
+    }
+
+    /// Submit without blocking: a full queue returns
+    /// [`ServeError::Backpressure`] immediately (load shedding).
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
+        self.enqueue(spec, false)
+    }
+
+    /// The execution decision for a spec: registry key, compiled plan
+    /// and shard count. Large 2D/3D jobs route to the block-free
+    /// registry shape (the only one the register pipelines shard
+    /// bit-exactly); everything else gets the pooled tiled plan.
+    fn resolve(&self, spec: &JobSpec) -> Result<(String, Arc<Plan>, usize), ServeError> {
+        let inner = &self.inner;
+        let extents = spec.domain.extents();
+        if spec.pattern.dims() != extents.len() {
+            return Err(ServeError::Plan(PlanError::DimensionMismatch {
+                pattern_dims: spec.pattern.dims(),
+                domain_dims: extents.len(),
+            }));
+        }
+        let tuning = spec.tuning.unwrap_or(inner.cfg.tuning);
+        let halo = spec.steps * spec.pattern.radius();
+        let want_shards = if spec.pattern.dims() >= 2 {
+            inner
+                .cfg
+                .shard
+                .shards_for(spec.domain.points(), extents[0], halo)
+        } else {
+            1
+        };
+        let shape = if want_shards > 1 {
+            PlanShape::BlockFree
+        } else {
+            PlanShape::Pooled
+        };
+        let (key, plan) = inner
+            .registry
+            .entry_for(&spec.pattern, Some(&extents), tuning, shape)?;
+        let shards = if want_shards > 1 && shard::shardable(&plan) {
+            want_shards
+        } else {
+            1
+        };
+        Ok((key, plan, shards))
+    }
+
+    /// The plan (and shard count) a spec would execute with — the same
+    /// decision [`StencilService::submit`] makes, exposed for
+    /// introspection and tests.
+    pub fn plan_for(&self, spec: &JobSpec) -> Result<(Arc<Plan>, usize), ServeError> {
+        let (_, plan, shards) = self.resolve(spec)?;
+        Ok((plan, shards))
+    }
+
+    fn enqueue(&self, spec: JobSpec, block: bool) -> Result<JobTicket, ServeError> {
+        let inner = &self.inner;
+        if inner.closing.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (key, plan, shards) = self.resolve(&spec)?;
+        let ticket = TicketCell::new();
+        let job = Job {
+            key,
+            plan,
+            shards,
+            domain: spec.domain,
+            steps: spec.steps,
+            ticket: TicketHandle(Arc::clone(&ticket)),
+            submitted: Instant::now(),
+        };
+        let pushed = if block {
+            inner.queue.push(job)
+        } else {
+            inner.queue.try_push(job)
+        };
+        match pushed {
+            Ok(()) => {
+                inner.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .queue_depth
+                    .store(inner.queue.len() as u64, Ordering::Relaxed);
+                Ok(JobTicket { cell: ticket })
+            }
+            Err(PushError::Full(_)) => {
+                inner.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Backpressure {
+                    capacity: inner.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting jobs, drain the queue, join
+    /// the workers, release the shared pool if nothing else pins it,
+    /// and return the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.inner.closing.store(true, Ordering::Release);
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let stats = self.inner.stats.snapshot();
+        // the registry (and its plans, each pinning the shared pool)
+        // lives inside `inner`: it must be dropped *before* the purge,
+        // or the pool's worker threads survive as unreclaimable —
+        // callers that cloned plan Arcs out keep the pool alive, which
+        // is the documented contract
+        drop(self);
+        stencil_runtime::purge_shared();
+        stats
+    }
+}
+
+impl Drop for StencilService {
+    fn drop(&mut self) {
+        self.inner.closing.store(true, Ordering::Release);
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(batch) = inner
+        .queue
+        .pop_batch(inner.cfg.batch_max, |a, b| a.key == b.key)
+    {
+        inner
+            .stats
+            .queue_depth
+            .store(inner.queue.len() as u64, Ordering::Relaxed);
+        inner.stats.record_batch(batch.len());
+        let batched = batch.len() > 1;
+        for job in batch {
+            // a panicking job (the pool re-raises worker-job panics on
+            // this thread) must not kill the executor: the unwinding
+            // drop of the job's TicketHandle resolves its waiter with
+            // WorkerLost, and this worker lives on to serve the rest
+            // of the queue
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(inner, job, batched);
+            }));
+            if outcome.is_err() {
+                inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .warn("a job panicked in the executor; its waiter received WorkerLost");
+            }
+        }
+    }
+}
+
+fn execute(inner: &Inner, job: Job, batched: bool) {
+    let outcome = run_job(inner, &job);
+    let latency = job.submitted.elapsed();
+    inner.stats.latency.record(latency);
+    match outcome {
+        Ok((output, shards)) => {
+            inner.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            if shards > 1 {
+                inner.stats.sharded_jobs.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .shards_executed
+                    .fetch_add(shards as u64, Ordering::Relaxed);
+            }
+            job.ticket.complete(Ok(JobResult {
+                output,
+                shards,
+                batched,
+                latency,
+            }));
+        }
+        Err(e) => {
+            inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            job.ticket.complete(Err(e));
+        }
+    }
+}
+
+fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize), ServeError> {
+    let plan = &job.plan;
+    let shards = job.shards;
+    match &job.domain {
+        JobDomain::D1(g) => Ok((JobDomain::D1(plan.run_1d(g, job.steps)?), 1)),
+        JobDomain::D2(g) => {
+            if shards > 1 {
+                let lanes = inner.registry.lane_plans(&job.key, plan, shards)?;
+                let out = shard::run_sharded_2d(&lanes, g, job.steps, shards)?;
+                Ok((JobDomain::D2(out), shards))
+            } else {
+                Ok((JobDomain::D2(plan.run_2d(g, job.steps)?), 1))
+            }
+        }
+        JobDomain::D3(g) => {
+            if shards > 1 {
+                let lanes = inner.registry.lane_plans(&job.key, plan, shards)?;
+                let out = shard::run_sharded_3d(&lanes, g, job.steps, shards)?;
+                Ok((JobDomain::D3(out), shards))
+            } else {
+                Ok((JobDomain::D3(plan.run_3d(g, job.steps)?), 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            threads: 2,
+            workers: 2,
+            queue_capacity: 8,
+            batch_max: 4,
+            tuning: Tuning::Static,
+            shard: ShardPolicy {
+                min_points: 1 << 30, // effectively off unless a test opts in
+                ..ShardPolicy::default()
+            },
+        }
+    }
+
+    #[test]
+    fn serves_jobs_of_every_dimensionality() {
+        let svc = StencilService::start(small_cfg());
+        let t1 = svc
+            .submit(JobSpec::new(
+                kernels::heat1d(),
+                JobDomain::D1(Grid1D::from_fn(512, |i| (i % 7) as f64)),
+                8,
+            ))
+            .unwrap();
+        let t2 = svc
+            .submit(JobSpec::new(
+                kernels::heat2d(),
+                JobDomain::D2(Grid2D::from_fn(48, 40, |y, x| ((y + x) % 5) as f64)),
+                4,
+            ))
+            .unwrap();
+        let t3 = svc
+            .submit(JobSpec::new(
+                kernels::heat3d(),
+                JobDomain::D3(Grid3D::from_fn(10, 12, 14, |z, y, x| {
+                    ((z + y + x) % 3) as f64
+                })),
+                2,
+            ))
+            .unwrap();
+        for t in [t1, t2, t3] {
+            let r = t.wait().unwrap();
+            assert_eq!(r.shards, 1);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs_completed, 3);
+        assert_eq!(stats.jobs_failed, 0);
+        assert!(stats.p99_us > 0);
+    }
+
+    #[test]
+    fn results_match_a_direct_plan_run() {
+        let svc = StencilService::start(small_cfg());
+        let g = Grid2D::from_fn(40, 36, |y, x| ((y * 3 + x) % 11) as f64);
+        let ticket = svc
+            .submit(JobSpec::new(
+                kernels::box2d9p(),
+                JobDomain::D2(g.clone()),
+                5,
+            ))
+            .unwrap();
+        let served = match ticket.wait().unwrap().output {
+            JobDomain::D2(out) => out,
+            _ => panic!("wrong dimensionality"),
+        };
+        // the service's plan for this spec is the reference
+        let (plan, shards) = svc
+            .plan_for(&JobSpec::new(
+                kernels::box2d9p(),
+                JobDomain::D2(g.clone()),
+                5,
+            ))
+            .unwrap();
+        assert_eq!(shards, 1);
+        let want = plan.run_2d(&g, 5).unwrap();
+        assert_eq!(want.to_dense(), served.to_dense());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_synchronous() {
+        let svc = StencilService::start(small_cfg());
+        let err = svc
+            .submit(JobSpec::new(
+                kernels::heat2d(),
+                JobDomain::D1(Grid1D::zeros(64)),
+                1,
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Plan(PlanError::DimensionMismatch { .. })
+        ));
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs_submitted, 0);
+    }
+
+    #[test]
+    fn sharding_kicks_in_for_large_jobs_and_matches_unsharded() {
+        let mut cfg = small_cfg();
+        cfg.shard = ShardPolicy {
+            min_points: 1,
+            max_shards: 3,
+            min_slab: 4,
+        };
+        let svc = StencilService::start(cfg);
+        let g = Grid2D::from_fn(90, 32, |y, x| ((y * 7 + x * 3) % 13) as f64);
+        let steps = 3;
+        let ticket = svc
+            .submit(JobSpec::new(
+                kernels::heat2d(),
+                JobDomain::D2(g.clone()),
+                steps,
+            ))
+            .unwrap();
+        let r = ticket.wait().unwrap();
+        assert!(r.shards > 1, "expected sharding, got {} shard(s)", r.shards);
+        let served = match r.output {
+            JobDomain::D2(out) => out,
+            _ => panic!("wrong dimensionality"),
+        };
+        let (plan, shards) = svc
+            .plan_for(&JobSpec::new(
+                kernels::heat2d(),
+                JobDomain::D2(g.clone()),
+                steps,
+            ))
+            .unwrap();
+        assert!(shards > 1);
+        let want = plan.run_2d(&g, steps).unwrap();
+        let wb: Vec<u64> = want.to_dense().iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u64> = served.to_dense().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wb, gb, "sharded result must be bit-identical");
+        let stats = svc.shutdown();
+        assert_eq!(stats.sharded_jobs, 1);
+        assert!(stats.shards_executed >= 2);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full() {
+        // one worker, tiny queue, slow-ish jobs: the queue must fill
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..small_cfg()
+        };
+        let svc = StencilService::start(cfg);
+        let spec = || {
+            JobSpec::new(
+                kernels::heat2d(),
+                JobDomain::D2(Grid2D::from_fn(96, 96, |y, x| ((y + x) % 9) as f64)),
+                200,
+            )
+        };
+        let mut tickets = Vec::new();
+        let mut saw_backpressure = false;
+        for _ in 0..32 {
+            match svc.try_submit(spec()) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Backpressure { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_backpressure, "a 2-slot queue must reject eventually");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = svc.shutdown();
+        assert!(stats.jobs_rejected >= 1);
+        assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn same_plan_jobs_batch() {
+        // one worker and a stream of identical-plan jobs: at least one
+        // multi-job batch must form while the worker is busy
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            batch_max: 8,
+            ..small_cfg()
+        };
+        let svc = StencilService::start(cfg);
+        let tickets: Vec<_> = (0..24)
+            .map(|i| {
+                svc.submit(JobSpec::new(
+                    kernels::heat1d(),
+                    JobDomain::D1(Grid1D::from_fn(8192, |j| ((i + j) % 13) as f64)),
+                    64,
+                ))
+                .unwrap()
+            })
+            .collect();
+        let mut any_batched = false;
+        for t in tickets {
+            any_batched |= t.wait().unwrap().batched;
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs_completed, 24);
+        assert!(
+            any_batched && stats.batched_jobs > 0 && stats.max_batch > 1,
+            "expected batching: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_executor_handle_fails_the_waiter_instead_of_hanging() {
+        // simulates a worker panic unwinding a job: the executor-side
+        // handle is dropped without complete(); the parked waiter must
+        // be woken with WorkerLost, not left blocked forever
+        let cell = TicketCell::new();
+        let ticket = JobTicket {
+            cell: Arc::clone(&cell),
+        };
+        let handle = TicketHandle(cell);
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(handle);
+        match waiter.join().unwrap() {
+            Err(ServeError::WorkerLost) => {}
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let svc = StencilService::start(small_cfg());
+        let ticket = svc
+            .submit(JobSpec::new(
+                kernels::heat1d(),
+                JobDomain::D1(Grid1D::from_fn(256, |i| i as f64)),
+                4,
+            ))
+            .unwrap();
+        let stats = svc.shutdown();
+        // the queued job was served before the workers exited
+        assert_eq!(stats.jobs_completed, 1);
+        ticket.wait().unwrap();
+    }
+}

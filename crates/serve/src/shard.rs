@@ -1,0 +1,406 @@
+//! Domain sharding: split a large 2D/3D job into halo-correct
+//! sub-domain slabs along the outermost axis, execute the slabs in
+//! parallel, and stitch the interiors back — **bit-identical** to the
+//! unsharded run.
+//!
+//! ## Why this is exact, not approximate
+//!
+//! Every executor in `stencil-core` advances a cell with fixed
+//! tap-order arithmetic, and treats grid edges as a frozen Dirichlet
+//! band whose influence travels inward at one stencil radius per time
+//! step. A slab that extends `halo = t * r` layers beyond its interior
+//! therefore reproduces the full-domain run exactly on the interior:
+//! after `s` steps only cells within `s * r` of the slab's artificial
+//! edge can differ from the full run, and the halo keeps that
+//! contamination outside the interior for all `t` steps. Folding does
+//! not change the bound — an `m`-step folded macro-step has radius
+//! `m * r` but advances `m` steps, so the budget stays `t * r` total.
+//!
+//! Slabs cut only the outermost axis (`y` in 2D, `z` in 3D): the
+//! innermost extent — which drives vector chunking, alignment and the
+//! DLT lane constraints — is untouched.
+//!
+//! Two executor families need two levels of care:
+//!
+//! * **Row-independent families** (scalar, multiple-loads,
+//!   data-reorganization): a cell's instruction stream depends only on
+//!   its x position, so any slab geometry is bit-exact — these shard
+//!   under every tiling.
+//! * **Register pipelines** (transpose-layout, folded): rows are
+//!   processed in vector-width groups counted from the sweep origin,
+//!   with a scalar remainder at the top. A slab changes the origin, so
+//!   [`slab_bounds`] aligns every slab start to [`SLAB_ALIGN`] rows and
+//!   pads interior slab tops until the processed row count keeps the
+//!   full run's group phase with no mid-grid remainder — which is
+//!   possible for the *block-free* sweep (whose origin is the grid
+//!   edge) but not under tessellate tiling (whose tile origins move
+//!   with the slab extent). Hence [`shardable`]: register plans shard
+//!   only with `Tiling::None`.
+//!
+//! Each slab runs on its own single-thread [`Plan`] (same pattern,
+//! method, tiling and width as the source plan) so the slabs really
+//! execute concurrently — a shared pool would serialize them.
+
+use stencil_core::{Method, Plan, PlanError, Solver, Tiling};
+use stencil_grid::{Grid2D, Grid3D};
+
+/// Slab starts are aligned down to this many outer-axis layers — the
+/// widest vector lane count, so every register pipeline's row grouping
+/// keeps its phase across slab boundaries.
+pub const SLAB_ALIGN: usize = 8;
+
+/// When and how much to shard. The service consults this per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Shard only jobs with at least this many grid points (small
+    /// domains fit a cache and lose more to halo duplication than they
+    /// gain from slab parallelism).
+    pub min_points: usize,
+    /// Upper bound on slabs per job (normally the machine's core
+    /// count).
+    pub max_shards: usize,
+    /// A slab's interior must keep at least this many outer-axis
+    /// layers *and* at least `2 * halo + 1` layers, or the shard count
+    /// is reduced — halo work must never dominate.
+    pub min_slab: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self {
+            min_points: 1 << 20,
+            max_shards: stencil_runtime::available_parallelism(),
+            min_slab: 16,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// How many slabs to cut a domain of `points` total points and
+    /// `outer` outermost-axis extent into, for a run whose halo is
+    /// `halo` layers. Returns 1 (do not shard) when the domain is too
+    /// small or the halo too deep to amortize.
+    pub fn shards_for(&self, points: usize, outer: usize, halo: usize) -> usize {
+        if points < self.min_points || self.max_shards <= 1 {
+            return 1;
+        }
+        let min_interior = self.min_slab.max(2 * halo + 1);
+        (outer / min_interior.max(1)).clamp(1, self.max_shards)
+    }
+}
+
+/// True when `plan` is eligible for bit-exact slab sharding (see the
+/// module docs): 2D/3D, natural layout (no DLT/SDSL), and — for the
+/// register pipelines, whose row grouping is origin-relative — the
+/// block-free sweep only.
+pub fn shardable(plan: &Plan) -> bool {
+    if plan.dims() < 2 {
+        return false;
+    }
+    match plan.method() {
+        Method::Scalar | Method::MultipleLoads | Method::DataReorg => true,
+        Method::TransposeLayout | Method::Folded { .. } => plan.tiling() == Tiling::None,
+        _ => false,
+    }
+}
+
+/// The slab a shard of interior `[lo, hi)` reads: the interior plus a
+/// `halo`-deep apron, the start aligned down to [`SLAB_ALIGN`], and —
+/// for slabs that do not reach the true top edge — the top padded so
+/// the processed row count `(len - 2 * r_eff)` is a multiple of
+/// [`SLAB_ALIGN`] (no mid-grid scalar remainder) and snapped to the
+/// edge when it comes within one alignment unit of it (so the full
+/// run's own top-remainder rows land in an edge slab that reproduces
+/// them exactly).
+pub fn slab_bounds(
+    lo: usize,
+    hi: usize,
+    extent: usize,
+    halo: usize,
+    r_eff: usize,
+) -> (usize, usize) {
+    let mut slab_lo = lo.saturating_sub(halo);
+    slab_lo -= slab_lo % SLAB_ALIGN;
+    let mut slab_hi = (hi + halo).min(extent);
+    if slab_hi < extent {
+        let span = slab_hi - slab_lo;
+        let want = (2 * r_eff) % SLAB_ALIGN;
+        let pad = (want + SLAB_ALIGN - span % SLAB_ALIGN) % SLAB_ALIGN;
+        slab_hi += pad;
+        if slab_hi + SLAB_ALIGN > extent {
+            slab_hi = extent;
+        }
+    }
+    (slab_lo, slab_hi)
+}
+
+/// Compile `lanes` single-thread clones of `plan`'s configuration —
+/// one per concurrent slab, so parallel slab runs never contend for a
+/// pool. The service's registry caches the returned set per plan key.
+pub fn lane_plans(plan: &Plan, lanes: usize) -> Result<Vec<Plan>, PlanError> {
+    (0..lanes.max(1))
+        .map(|_| {
+            Solver::new(plan.pattern().clone())
+                .method(plan.method())
+                .tiling(plan.tiling())
+                .width(plan.width())
+                .threads(1)
+                .compile()
+        })
+        .collect()
+}
+
+/// Split `extent` into `shards` contiguous interior ranges (first
+/// ranges one longer when it does not divide evenly).
+pub fn interior_ranges(extent: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, extent.max(1));
+    let base = extent / shards;
+    let extra = extent % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Per-slab outcome: the interior `[lo, hi)`, the slab origin, and the
+/// slab's advanced grid.
+type SlabResult<G> = Option<Result<(usize, usize, usize, G), PlanError>>;
+
+/// Run `t` steps of `plan` on `grid` as parallel halo slabs and stitch
+/// the result — bit-identical to `plan.run_2d(grid, t)`.
+///
+/// `lanes` supplies one single-thread plan per concurrent slab (see
+/// [`lane_plans`]); the number of slabs executed is
+/// `min(requested shards, lanes.len(), ny)`. With one slab this
+/// degenerates to a plain run on `lanes[0]`.
+pub fn run_sharded_2d(
+    lanes: &[Plan],
+    grid: &Grid2D,
+    t: usize,
+    shards: usize,
+) -> Result<Grid2D, PlanError> {
+    assert!(!lanes.is_empty(), "need at least one lane plan");
+    let ny = grid.ny();
+    let shards = shards.clamp(1, lanes.len()).clamp(1, ny.max(1));
+    let halo = t * lanes[0].pattern().radius();
+    let r_eff = lanes[0].effective_radius();
+    let ranges = interior_ranges(ny, shards);
+    let mut out = Grid2D::zeros(ny, grid.nx());
+    let mut slots: Vec<SlabResult<Grid2D>> = (0..ranges.len()).map(|_| None).collect();
+    let run_slab = |lo: usize, hi: usize, lane: &Plan| {
+        let (slab_lo, slab_hi) = slab_bounds(lo, hi, ny, halo, r_eff);
+        let mut slab = Grid2D::zeros(slab_hi - slab_lo, grid.nx());
+        for y in 0..slab_hi - slab_lo {
+            slab.row_mut(y).copy_from_slice(grid.row(slab_lo + y));
+        }
+        lane.run_2d(&slab, t).map(|done| (lo, hi, slab_lo, done))
+    };
+    std::thread::scope(|scope| {
+        let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
+        // the coordinator runs the last slab itself instead of idling
+        // at the scope barrier: one fewer spawn, no oversubscription
+        let inline = work.next_back();
+        for ((slot, &(lo, hi)), lane) in work {
+            let run_slab = &run_slab;
+            scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
+        }
+        if let Some(((slot, &(lo, hi)), lane)) = inline {
+            *slot = Some(run_slab(lo, hi, lane));
+        }
+    });
+    for slot in slots {
+        let (lo, hi, slab_lo, done) = slot.expect("every slab thread writes its slot")?;
+        for y in lo..hi {
+            out.row_mut(y).copy_from_slice(done.row(y - slab_lo));
+        }
+    }
+    Ok(out)
+}
+
+/// 3D counterpart of [`run_sharded_2d`]: slabs along `z`, bit-identical
+/// to `plan.run_3d(grid, t)`.
+pub fn run_sharded_3d(
+    lanes: &[Plan],
+    grid: &Grid3D,
+    t: usize,
+    shards: usize,
+) -> Result<Grid3D, PlanError> {
+    assert!(!lanes.is_empty(), "need at least one lane plan");
+    let nz = grid.nz();
+    let shards = shards.clamp(1, lanes.len()).clamp(1, nz.max(1));
+    let halo = t * lanes[0].pattern().radius();
+    let r_eff = lanes[0].effective_radius();
+    let ranges = interior_ranges(nz, shards);
+    let mut out = Grid3D::zeros(nz, grid.ny(), grid.nx());
+    let mut slots: Vec<SlabResult<Grid3D>> = (0..ranges.len()).map(|_| None).collect();
+    let run_slab = |lo: usize, hi: usize, lane: &Plan| {
+        let (slab_lo, slab_hi) = slab_bounds(lo, hi, nz, halo, r_eff);
+        let mut slab = Grid3D::zeros(slab_hi - slab_lo, grid.ny(), grid.nx());
+        for z in 0..slab_hi - slab_lo {
+            for y in 0..grid.ny() {
+                slab.row_mut(z, y).copy_from_slice(grid.row(slab_lo + z, y));
+            }
+        }
+        lane.run_3d(&slab, t).map(|done| (lo, hi, slab_lo, done))
+    };
+    std::thread::scope(|scope| {
+        let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
+        // coordinator runs the last slab inline (see run_sharded_2d)
+        let inline = work.next_back();
+        for ((slot, &(lo, hi)), lane) in work {
+            let run_slab = &run_slab;
+            scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
+        }
+        if let Some(((slot, &(lo, hi)), lane)) = inline {
+            *slot = Some(run_slab(lo, hi, lane));
+        }
+    });
+    for slot in slots {
+        let (lo, hi, slab_lo, done) = slot.expect("every slab thread writes its slot")?;
+        for z in lo..hi {
+            for y in 0..grid.ny() {
+                out.row_mut(z, y).copy_from_slice(done.row(z - slab_lo, y));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, Tiling};
+
+    fn bits2d(g: &Grid2D) -> Vec<u64> {
+        g.to_dense().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn bits3d(g: &Grid3D) -> Vec<u64> {
+        g.to_dense().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn interior_ranges_cover_exactly() {
+        assert_eq!(interior_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(interior_ranges(4, 8), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(interior_ranges(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn policy_declines_small_or_halo_dominated_jobs() {
+        let p = ShardPolicy {
+            min_points: 1000,
+            max_shards: 8,
+            min_slab: 4,
+        };
+        assert_eq!(p.shards_for(999, 100, 1), 1, "too few points");
+        assert_eq!(p.shards_for(10_000, 100, 40), 1, "halo swallows the slab");
+        assert!(p.shards_for(10_000, 100, 1) > 1);
+        assert!(p.shards_for(10_000, 100, 1) <= 8);
+    }
+
+    #[test]
+    fn slab_bounds_align_and_pad() {
+        // aligned start, padded top keeping (span - 2 r_eff) % 8 == 0
+        let (lo, hi) = slab_bounds(30, 60, 1000, 6, 2);
+        assert_eq!(lo % SLAB_ALIGN, 0);
+        assert!(lo <= 24 && hi >= 66);
+        assert_eq!((hi - lo - 4) % SLAB_ALIGN, 0);
+        // near the top edge: snapped to it
+        let (_, hi) = slab_bounds(900, 995, 1000, 6, 2);
+        assert_eq!(hi, 1000);
+        // huge halo clips to the whole extent
+        let (lo, hi) = slab_bounds(10, 20, 64, 1000, 1);
+        assert_eq!((lo, hi), (0, 64));
+    }
+
+    #[test]
+    fn sharded_2d_is_bit_identical_across_methods() {
+        // deliberately awkward extent (97 rows: not a lane multiple, so
+        // the full run has a scalar top-remainder the edge slab must
+        // reproduce) across both executor families
+        let g = Grid2D::from_fn(97, 60, |y, x| ((y * 31 + x * 7) % 23) as f64 * 0.5);
+        let t = 5;
+        for (method, tiling, threads) in [
+            (Method::Scalar, Tiling::None, 1),
+            (
+                Method::MultipleLoads,
+                Tiling::Tessellate { time_block: 2 },
+                3,
+            ),
+            (Method::MultipleLoads, Tiling::Spatial { block: (8, 16) }, 2),
+            (Method::TransposeLayout, Tiling::None, 1),
+            (Method::Folded { m: 2 }, Tiling::None, 1),
+        ] {
+            let plan = Solver::new(kernels::box2d9p())
+                .method(method)
+                .tiling(tiling)
+                .threads(threads)
+                .compile()
+                .unwrap();
+            assert!(shardable(&plan), "{method:?}/{tiling:?}");
+            let want = plan.run_2d(&g, t).unwrap();
+            let lanes = lane_plans(&plan, 3).unwrap();
+            for shards in [1, 2, 3] {
+                let got = run_sharded_2d(&lanes, &g, t, shards).unwrap();
+                assert_eq!(
+                    bits2d(&want),
+                    bits2d(&got),
+                    "{method:?}/{tiling:?} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_3d_is_bit_identical() {
+        let g = Grid3D::from_fn(26, 12, 16, |z, y, x| ((z * 5 + y * 3 + x) % 11) as f64);
+        for (method, tiling, threads) in [
+            (
+                Method::MultipleLoads,
+                Tiling::Tessellate { time_block: 2 },
+                2,
+            ),
+            (Method::Folded { m: 2 }, Tiling::None, 1),
+        ] {
+            let plan = Solver::new(kernels::heat3d())
+                .method(method)
+                .tiling(tiling)
+                .threads(threads)
+                .compile()
+                .unwrap();
+            assert!(shardable(&plan), "{method:?}/{tiling:?}");
+            let want = plan.run_3d(&g, 4).unwrap();
+            let lanes = lane_plans(&plan, 2).unwrap();
+            let got = run_sharded_3d(&lanes, &g, 4, 2).unwrap();
+            assert_eq!(bits3d(&want), bits3d(&got), "{method:?}/{tiling:?}");
+        }
+    }
+
+    #[test]
+    fn non_shardable_configurations_are_refused() {
+        // DLT transforms the whole array
+        let plan = Solver::new(kernels::heat2d())
+            .method(Method::Dlt)
+            .tiling(Tiling::Split { time_block: 2 })
+            .compile()
+            .unwrap();
+        assert!(!shardable(&plan));
+        // 1D has no outer axis to cut
+        let plan1d = Solver::new(kernels::heat1d()).compile().unwrap();
+        assert!(!shardable(&plan1d));
+        // register pipelines under tessellate: tile origins move with
+        // the slab extent, so phases cannot be preserved
+        let tess = Solver::new(kernels::heat2d())
+            .method(Method::Folded { m: 2 })
+            .tiling(Tiling::Tessellate { time_block: 2 })
+            .threads(2)
+            .compile()
+            .unwrap();
+        assert!(!shardable(&tess));
+    }
+}

@@ -46,6 +46,24 @@ pub struct CacheEntry {
     pub spent_ms: f64,
 }
 
+/// How a cache image relates to the current host fingerprint — the
+/// breakdown [`TuneCache::health_for`] computes so long-running services
+/// can report *why* a warm start went cold (foreign-ISA entries after a
+/// rebuild, a cache file copied from another machine, ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHealth {
+    /// Entries in the image.
+    pub total: usize,
+    /// Entries this host/build can hit.
+    pub local: usize,
+    /// Entries from this machine but a different ISA build — invalidated
+    /// by the fingerprint (the binary's vector ISA diverged from the
+    /// stamp the measurement was taken under).
+    pub foreign_isa: usize,
+    /// Entries from other machines.
+    pub foreign_host: usize,
+}
+
 /// In-memory image of the cache file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TuneCache {
@@ -71,6 +89,35 @@ impl TuneCache {
     /// Look up a decision.
     pub fn get(&self, key: &str) -> Option<&CacheEntry> {
         self.entries.get(key)
+    }
+
+    /// Iterate over every persisted decision (key order).
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Classify this image's entries against `host`: how many a compile
+    /// on this host/build could actually hit, how many belong to the
+    /// same machine but a different ISA build (stale after a
+    /// rebuild with different target features — the invalidation the
+    /// fingerprint exists for), and how many to other machines
+    /// entirely. The serving layer turns a nonzero foreign count into a
+    /// one-line operator warning instead of a silent cold start.
+    pub fn health_for(&self, host: &HostFingerprint) -> CacheHealth {
+        let local_prefix = format!("{}|", host.key_prefix());
+        let host_prefix = format!("{}|", host.hostname);
+        let mut h = CacheHealth::default();
+        for e in self.entries.values() {
+            h.total += 1;
+            if e.key.starts_with(&local_prefix) {
+                h.local += 1;
+            } else if e.key.starts_with(&host_prefix) {
+                h.foreign_isa += 1;
+            } else {
+                h.foreign_host += 1;
+            }
+        }
+        h
     }
 
     /// Insert (or replace) a decision.
@@ -182,41 +229,18 @@ impl TuneCache {
 // Keys.
 // ---------------------------------------------------------------------
 
-/// Stable signature of a stencil pattern: dimensionality, radius, point
-/// count and an FNV-1a hash of the exact weights, so two patterns with
-/// the same shape but different coefficients never share a tuning
-/// decision.
+/// Stable signature of a stencil pattern — delegates to
+/// [`Pattern::signature`], which is the canonical implementation since
+/// the serving plan registry keys by the same string (kept here as a
+/// free function for cache-key call sites and backward compatibility).
 pub fn pattern_signature(p: &Pattern) -> String {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
-    mix(&(p.dims() as u64).to_le_bytes());
-    mix(&(p.radius() as u64).to_le_bytes());
-    for w in p.weights() {
-        mix(&w.to_bits().to_le_bytes());
-    }
-    format!("d{}r{}p{}-{:016x}", p.dims(), p.radius(), p.points(), h)
+    p.signature()
 }
 
-/// Bucket the hinted domain extents into a coarse shape class; plans
-/// tuned for cache-resident grids and memory-bound grids cache
-/// separately (the whole point of Fig. 8's storage-level ladder).
-/// `None` (no hint) maps to the medium class the probe domains default
-/// to.
-pub fn shape_class(hint: Option<&[usize]>) -> &'static str {
-    let Some(extents) = hint else { return "medium" };
-    let points: usize = extents.iter().copied().filter(|&e| e > 0).product();
-    match points {
-        0..=16_384 => "tiny",
-        16_385..=262_144 => "small",
-        262_145..=4_194_304 => "medium",
-        _ => "large",
-    }
-}
+/// Coarse domain shape class — re-export of
+/// [`stencil_core::tune::shape_class`], the canonical implementation
+/// shared with the serving plan registry.
+pub use stencil_core::tune::shape_class;
 
 /// Build the full cache key for a tuning request.
 pub fn cache_key(

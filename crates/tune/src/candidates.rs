@@ -10,8 +10,8 @@
 //! always measured first and an exhausted budget degrades toward the
 //! cost model's own choice rather than toward noise.
 
-use stencil_core::tune::default_time_block;
-use stencil_core::{cost, kernels, Method, Pattern, Tiling, Width};
+use stencil_core::tune::{default_time_block, fold_radius_cap};
+use stencil_core::{cost, kernels, FoldPlan, Method, Pattern, Tiling, Width};
 
 /// One concrete configuration the probe harness can compile and time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +46,31 @@ pub fn ranked_methods(p: &Pattern) -> Vec<(Method, f64)> {
         out.push((Method::Dlt, 1.05));
     }
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out
+}
+
+/// True when the register pipeline can execute an `m`-step fold of `p`
+/// at `width`: the folded radius fits the pipeline bound and (for
+/// 2D/3D) the counterpart schedule fits the register budget — the same
+/// checks `Solver::compile` enforces, applied up front so the generator
+/// never emits a deeper fold compilation would reject.
+pub fn fold_fits(p: &Pattern, m: usize, width: Width) -> bool {
+    m * p.radius() <= fold_radius_cap(p.dims(), width)
+        && (p.dims() == 1 || FoldPlan::new(p, m).fresh.len() <= stencil_core::exec::folded::MAX_F)
+}
+
+/// Width-aware method ranking: [`ranked_methods`] plus a `Folded { m: 3 }`
+/// probe wherever the register budget allows it at `width`. The m = 3
+/// fold saves more arithmetic than m = 2 whenever its wider counterpart
+/// schedule still fits the registers, but only a probe can tell whether
+/// the extra register pressure pays off on a given host — so it enters
+/// the measured search, never the static resolver.
+pub fn ranked_methods_at(p: &Pattern, width: Width) -> Vec<(Method, f64)> {
+    let mut out = ranked_methods(p);
+    if fold_fits(p, 3, width) {
+        out.push((Method::Folded { m: 3 }, cost::profitability(p, 3)));
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    }
     out
 }
 
@@ -88,7 +113,10 @@ pub fn generate(
         // split tiling admits only DLT (the SDSL configuration) in any
         // dimensionality — the ranked list would offer nothing valid
         (None, Some(Tiling::Split { .. })) => vec![(Method::Dlt, f64::NAN)],
-        (None, _) => ranked_methods(p).into_iter().take(top_k.max(1)).collect(),
+        (None, _) => ranked_methods_at(p, requested_width)
+            .into_iter()
+            .take(top_k.max(1))
+            .collect(),
     };
     // Width is only an open axis on full-auto requests: a caller who
     // pinned the method is comparing configurations (e.g. the fig9
@@ -109,6 +137,14 @@ pub fn generate(
                 continue;
             }
             for &width in &widths {
+                // the width neighborhood can narrow below what a deep
+                // fold needs (m = 3 at 8 lanes does not fit 4): drop
+                // per-width rather than hand the probe a dead compile
+                if let Method::Folded { m } = method {
+                    if !fold_fits(p, m, width) {
+                        continue;
+                    }
+                }
                 out.push(Candidate {
                     method,
                     tiling,
@@ -321,6 +357,37 @@ mod tests {
             .iter()
             .filter(|c| matches!(c.tiling, Tiling::Spatial { .. }))
             .all(|c| c.method == Method::MultipleLoads || c.method == Method::Scalar));
+    }
+
+    #[test]
+    fn folded_m3_enters_the_pool_by_radius_and_width() {
+        let has_m3 = |p: &Pattern, w: Width| {
+            generate(p, w, 4, None, None, 8)
+                .iter()
+                .any(|c| c.method == Method::Folded { m: 3 })
+        };
+        // 1D cap is one radius cell per lane: heat1d (r = 1) folds to
+        // radius 3, which fits 4 and 8 lanes alike...
+        assert!(has_m3(&kernels::heat1d(), Width::W4));
+        assert!(has_m3(&kernels::heat1d(), Width::W8));
+        // ...while d1p5 (r = 2) folds to radius 6 — beyond 4 lanes,
+        // within 8: the candidate must appear and disappear with width.
+        assert!(!has_m3(&kernels::d1p5(), Width::W4));
+        assert!(has_m3(&kernels::d1p5(), Width::W8));
+        // 3D is bounded by the register window (MAX_R3 = 2): even the
+        // radius-1 star cannot fold three steps.
+        assert!(!has_m3(&kernels::heat3d(), Width::W8));
+        // every emitted m = 3 candidate actually compiles
+        for c in generate(&kernels::d1p5(), Width::W8, 4, None, None, 8) {
+            if c.method == (Method::Folded { m: 3 }) {
+                stencil_core::Solver::new(kernels::d1p5())
+                    .method(c.method)
+                    .tiling(c.tiling)
+                    .width(c.width)
+                    .compile()
+                    .unwrap();
+            }
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod host;
 pub mod json;
 pub mod probe;
 
-use cache::{CacheEntry, TuneCache};
+use cache::{CacheEntry, CacheHealth, TuneCache};
 use host::HostFingerprint;
 use probe::{Budget, ProbeDomain};
 use std::path::{Path, PathBuf};
@@ -85,6 +85,10 @@ pub struct AutoTuner {
     /// (and `Tuning::Static` never reads the file at all).
     state: Mutex<Option<TuneCache>>,
     probes: AtomicU64,
+    /// One-line operator warnings accumulated by cache loading (corrupt
+    /// files, foreign-ISA entries). The serving layer drains these into
+    /// its stats surface so cold starts are visible, not silent.
+    warnings: Mutex<Vec<String>>,
 }
 
 impl AutoTuner {
@@ -98,6 +102,7 @@ impl AutoTuner {
             hostd: HostFingerprint::detect(),
             state: Mutex::new(None),
             probes: AtomicU64::new(0),
+            warnings: Mutex::new(Vec::new()),
         }
     }
 
@@ -158,17 +163,64 @@ impl AutoTuner {
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if guard.is_none() {
             *guard = Some(match TuneCache::load(&self.cache_path) {
-                Ok(Some(c)) => c,
+                Ok(Some(c)) => {
+                    // loaded fine, but entries from a different ISA
+                    // build of this machine are dead weight compiles
+                    // can never hit — tell the operator why the warm
+                    // start they expected will re-probe
+                    let h = c.health_for(&self.hostd);
+                    if h.foreign_isa > 0 {
+                        self.warn(format!(
+                            "tune cache {:?}: {} of {} entries were measured under a \
+                             different ISA build than {} — invalidated, compiles under \
+                             those keys re-probe (cold start)",
+                            self.cache_path, h.foreign_isa, h.total, self.hostd.isa
+                        ));
+                    }
+                    c
+                }
                 Ok(None) => TuneCache::new(),
                 Err(reason) => {
                     // corrupt/unreadable: degrade to an empty cache and
-                    // say so once; the next save overwrites the file
+                    // say so once; the next save overwrites the file.
+                    // The warning is also queued for the serving stats
+                    // surface, so operators of long-running services
+                    // see the cold start instead of a silent re-probe.
                     eprintln!("stencil-tune: {reason}; starting with an empty cache");
+                    self.warn(format!(
+                        "{reason}; starting with an empty cache (every compile under this \
+                         host re-probes until the cache is re-warmed)"
+                    ));
                     TuneCache::new()
                 }
             });
         }
         f(guard.as_mut().expect("just initialized"))
+    }
+
+    fn warn(&self, line: String) {
+        self.warnings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(line);
+    }
+
+    /// Drain the one-line warnings cache loading has accumulated
+    /// (corrupt file, foreign-ISA entries). Non-destructive reads are
+    /// deliberately not offered: each warning is meant to be surfaced
+    /// exactly once, by whichever stats sink drains first.
+    pub fn drain_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *self.warnings.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Health of the persisted cache image relative to this host/build
+    /// (forces the lazy load). A service can export these counts so a
+    /// cold start is attributable: `foreign_isa > 0` means the binary
+    /// was rebuilt with different target features since the cache was
+    /// warmed.
+    pub fn cache_health(&self) -> CacheHealth {
+        let hostd = self.hostd.clone();
+        self.with_cache(|c| c.health_for(&hostd))
     }
 
     fn key_for(&self, req: &TuneRequest<'_>) -> String {
@@ -298,12 +350,42 @@ pub fn default_cache_path() -> PathBuf {
 /// `compile()` (first installation wins) — the returned `AutoTuner` is
 /// then only reachable directly.
 pub fn install() -> &'static AutoTuner {
-    static INSTALLED: OnceLock<&'static AutoTuner> = OnceLock::new();
-    INSTALLED.get_or_init(|| {
-        let t: &'static AutoTuner = Box::leak(Box::new(AutoTuner::from_env()));
-        stencil_core::tune::install_tuner(t);
-        t
-    })
+    INSTALLED.get_or_init(|| register(AutoTuner::from_env()))
+}
+
+/// [`install`] with an explicitly configured tuner instead of the
+/// environment-derived one — lets embedders (and tests) pin the cache
+/// path and probe budget without mutating process-wide environment
+/// variables. First installation wins: if a tuner is already active,
+/// `tuner` is dropped and the active one is returned.
+pub fn install_with(tuner: AutoTuner) -> &'static AutoTuner {
+    INSTALLED.get_or_init(move || register(tuner))
+}
+
+fn register(tuner: AutoTuner) -> &'static AutoTuner {
+    let t: &'static AutoTuner = Box::leak(Box::new(tuner));
+    stencil_core::tune::install_tuner(t);
+    t
+}
+
+static INSTALLED: OnceLock<&'static AutoTuner> = OnceLock::new();
+
+/// The [`AutoTuner`] a previous [`install`] call created, if it is the
+/// *active* measured tuner — `None` when nothing was installed yet, or
+/// when a foreign [`MeasuredTuner`] won the first-installation race
+/// (an inactive `AutoTuner`'s probe counter and warnings would
+/// misrepresent what compiles actually do). Long-running services use
+/// this to export the tuner's probe counter and cache warnings on
+/// their stats surface without forcing an installation.
+pub fn installed_auto() -> Option<&'static AutoTuner> {
+    let ours = INSTALLED.get().copied()?;
+    let active = stencil_core::tune::installed_tuner()?;
+    // compare data pointers: `active` is a fat dyn pointer
+    std::ptr::eq(
+        active as *const dyn MeasuredTuner as *const (),
+        ours as *const AutoTuner as *const (),
+    )
+    .then_some(ours)
 }
 
 #[cfg(test)]

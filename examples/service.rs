@@ -1,0 +1,103 @@
+//! Run the stencil job service end to end: declare a manifest, warm the
+//! plan registry at startup, drive a small mixed workload from
+//! concurrent clients, and print the JSON stats surface.
+//!
+//! ```sh
+//! cargo run --release --example service
+//! ```
+
+use stencil_lab::core::kernels;
+use stencil_lab::serve::{JobDomain, JobSpec, Manifest, ServeConfig, ShardPolicy, StencilService};
+use stencil_lab::{Grid2D, Grid3D, Tuning};
+
+fn main() {
+    // 1. The manifest: what this deployment expects to serve. In
+    //    production this is a file (see `Manifest::load`); tuning
+    //    "static" needs no warmed cache — use "cache-only" after a
+    //    `stencil-bench tune` pre-warm for measured plans with zero
+    //    probe runs at startup.
+    let mut manifest = Manifest::new(Tuning::Static);
+    manifest
+        .push_kernel("heat2d", Some(&[1024, 1024])) // large: also pre-warms the shard plan
+        .push_kernel("box2d9p", Some(&[512, 512]))
+        .push_kernel("star3d", Some(&[64, 64, 64]));
+
+    // 2. Start + warm: every plan is compiled before traffic arrives.
+    let service = StencilService::start(ServeConfig {
+        threads: stencil_lab::runtime::available_parallelism(),
+        workers: 2,
+        queue_capacity: 32,
+        // shard ≥ 1M-point jobs into slab lanes even on small hosts, so
+        // the example demonstrates the path (defaults key off the core
+        // count)
+        shard: ShardPolicy {
+            min_points: 1 << 20,
+            max_shards: stencil_lab::runtime::available_parallelism().max(2),
+            min_slab: 16,
+        },
+        ..ServeConfig::default()
+    });
+    let report = service.warm(&manifest);
+    println!(
+        "warm start: {} plan(s) compiled, {} cold fallback(s), {} failure(s)",
+        report.loaded,
+        report.fallbacks,
+        report.failed.len()
+    );
+
+    // 3. Concurrent closed-loop clients: each submits, waits, repeats.
+    //    `submit` blocks when the queue is full — that is the
+    //    backpressure contract; use `try_submit` to shed load instead.
+    std::thread::scope(|scope| {
+        for client in 0..3 {
+            let service = &service;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let seed = client * 10 + round;
+                    let spec = match seed % 3 {
+                        // large enough for the shard policy: served as
+                        // parallel block-free slabs, bit-identical to
+                        // the unsharded plan
+                        0 => JobSpec::new(
+                            kernels::heat2d(),
+                            JobDomain::D2(Grid2D::from_fn(1024, 1024, |y, x| {
+                                ((y * 7 + x + seed) % 13) as f64
+                            })),
+                            5,
+                        ),
+                        1 => JobSpec::new(
+                            kernels::box2d9p(),
+                            JobDomain::D2(Grid2D::from_fn(512, 512, |y, x| {
+                                ((y + x * 3 + seed) % 11) as f64
+                            })),
+                            10,
+                        ),
+                        _ => JobSpec::new(
+                            kernels::heat3d(),
+                            JobDomain::D3(Grid3D::from_fn(64, 64, 64, |z, y, x| {
+                                ((z + y + x + seed) % 7) as f64
+                            })),
+                            6,
+                        ),
+                    };
+                    let ticket = service
+                        .submit(spec)
+                        .expect("service accepts in-manifest jobs");
+                    let result = ticket.wait().expect("job executes");
+                    println!(
+                        "client {client} round {round}: {} shard(s), {} µs{}",
+                        result.shards,
+                        result.latency.as_micros(),
+                        if result.batched { ", batched" } else { "" },
+                    );
+                }
+            });
+        }
+    });
+
+    // 4. The stats surface — the same hand-rolled JSON the benchmark
+    //    harness and the tuning cache use.
+    let stats = service.shutdown();
+    println!("\nfinal stats:\n{}", stats.to_json().pretty());
+    assert_eq!(stats.jobs_completed, 12);
+}

@@ -14,6 +14,10 @@
 //! * [`tune`] — the measured autotuner behind [`Tuning::Measured`]:
 //!   cost-model-seeded probe search with a persistent per-host plan
 //!   cache (call [`install_tuner`] once per process to enable it).
+//! * [`serve`] — the tuning-aware job service for long-running
+//!   deployments: a warm-loadable [`PlanRegistry`], bounded submission
+//!   queue with backpressure, same-plan batching, bit-exact domain
+//!   sharding, and a JSON stats surface.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@
 pub use stencil_core as core;
 pub use stencil_grid as grid;
 pub use stencil_runtime as runtime;
+pub use stencil_serve as serve;
 pub use stencil_simd as simd;
 pub use stencil_tune as tune;
 
@@ -65,4 +70,5 @@ pub use stencil_core::{
 };
 pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
 pub use stencil_runtime::{PoolHandle, ThreadPool};
+pub use stencil_serve::{JobDomain, JobSpec, Manifest, PlanRegistry, ServeConfig, StencilService};
 pub use stencil_tune::{install as install_tuner, AutoTuner};

@@ -1,0 +1,114 @@
+//! Property-based round-trip tests for the hand-rolled JSON
+//! implementation (`stencil_tune::json`) — the single writer/parser
+//! behind the tuning cache, the benchmark dumps, the serve manifest
+//! and the serve metrics surface. One implementation, so one property
+//! suite covers every artifact: escapes, unicode, nested structures,
+//! number edge cases, and the serve stats document itself.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use stencil_lab::serve::StatsSnapshot;
+use stencil_lab::tune::json::{parse, Value};
+
+/// Map sampled code points onto `char`s, biasing toward the cases the
+/// writer must escape: quotes, backslashes, control characters, and
+/// multi-byte unicode.
+fn chars_from(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .map(|&c| match c % 8 {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(c % 0x20).unwrap_or('\u{1}'), // control
+            3 => '\n',
+            4 => '\t',
+            _ => char::from_u32(0x20 + c % 0x2ff0).unwrap_or('\u{fffd}'),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strings_with_escapes_round_trip(codes in prop::collection::vec(0u32..0x3000, 0..24)) {
+        let v = Value::Str(chars_from(&codes));
+        prop_assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn finite_numbers_round_trip_exactly(
+        frac in -1.0e15f64..1.0e15,
+        scale in 0u32..8,
+        int in -9_007_199_254_740_992i64..9_007_199_254_740_992,
+    ) {
+        // fractional values across magnitudes (the shortest-float
+        // writer must re-parse to the identical bits)...
+        let scaled = frac * (10f64).powi(scale as i32 * 4 - 16);
+        for n in [scaled, frac, int as f64, -0.0, 0.0] {
+            let v = Value::Num(n);
+            let back = parse(&v.pretty()).unwrap();
+            prop_assert_eq!(back.as_num().unwrap().to_bits(), n.to_bits(), "{}", n);
+        }
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_round_trip(
+        nums in prop::collection::vec(-1.0e9f64..1.0e9, 0..6),
+        key_codes in prop::collection::vec(0u32..0x3000, 1..10),
+        depth in 1usize..5,
+    ) {
+        // depth-nested object/array alternation with awkward keys
+        let mut v = Value::Arr(nums.iter().map(|&n| Value::Num(n)).collect());
+        for level in 0..depth {
+            let mut m = BTreeMap::new();
+            m.insert(chars_from(&key_codes), v.clone());
+            m.insert(format!("level{level}"), Value::Bool(level % 2 == 0));
+            m.insert("null".into(), Value::Null);
+            v = if level % 2 == 0 {
+                Value::Obj(m)
+            } else {
+                Value::Arr(vec![Value::Obj(m), v])
+            };
+        }
+        let text = v.pretty();
+        prop_assert_eq!(parse(&text).unwrap(), v);
+        // and the writer is deterministic: re-serialize == serialize
+        prop_assert_eq!(parse(&text).unwrap().pretty(), text);
+    }
+
+    #[test]
+    fn serve_stats_dumps_round_trip(
+        counters in prop::collection::vec(0u64..1_000_000_000, 17),
+        mean in 0.0f64..1.0e9,
+        warn_codes in prop::collection::vec(0u32..0x3000, 0..12),
+    ) {
+        // the serve metrics document uses the same writer; any counter
+        // values and any warning text must survive the trip
+        let snap = StatsSnapshot {
+            jobs_submitted: counters[0],
+            jobs_rejected: counters[1],
+            jobs_completed: counters[2],
+            jobs_failed: counters[3],
+            queue_depth: counters[4],
+            plan_hits: counters[5],
+            plan_misses: counters[6],
+            warm_loaded: counters[7],
+            cold_fallbacks: counters[8],
+            cold_recoveries: counters[16],
+            batches: counters[9],
+            batched_jobs: counters[10],
+            max_batch: counters[11],
+            sharded_jobs: counters[12],
+            shards_executed: counters[13],
+            p50_us: counters[14],
+            p99_us: counters[15],
+            mean_us: mean,
+            tuner_probes: counters[0] ^ counters[1],
+            warnings: vec![chars_from(&warn_codes)],
+        };
+        let text = snap.to_json().pretty();
+        let back = StatsSnapshot::from_json(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,285 @@
+//! Integration tests for the serving subsystem through the facade:
+//! the acceptance contracts of `stencil-serve`.
+//!
+//! * Sharded `run_2d`/`run_3d` through the service is **bit-identical**
+//!   to a single unsharded `Plan::run_*` on the same domain.
+//! * Manifest warm-start under `Tuning::CacheOnly` reaches serving
+//!   state with **zero probe runs** once the per-host tune cache is
+//!   warm, and surfaces corrupt-cache/cold-start conditions as
+//!   one-line warnings on the stats surface instead of silent
+//!   re-probes.
+//! * Backpressure is a typed, observable signal, and the stats dump
+//!   round-trips through the shared hand-rolled JSON.
+
+use stencil_lab::core::kernels;
+use stencil_lab::serve::{
+    JobDomain, JobSpec, Manifest, ServeConfig, ServeError, ShardPolicy, StatsSnapshot,
+    StencilService,
+};
+use stencil_lab::{Grid2D, Grid3D, Tuning};
+
+fn sharded_cfg() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        workers: 2,
+        queue_capacity: 16,
+        batch_max: 4,
+        tuning: Tuning::Static,
+        shard: ShardPolicy {
+            min_points: 1,
+            max_shards: 3,
+            min_slab: 8,
+        },
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn service_sharded_2d_bit_identical_to_unsharded_plan_run() {
+    let svc = StencilService::start(sharded_cfg());
+    // awkward extent: 101 rows, so slab alignment and the top scalar
+    // remainder of the register pipeline are both exercised
+    let g = Grid2D::from_fn(101, 72, |y, x| ((y * 31 + x * 7) % 23) as f64 * 0.25);
+    let steps = 4;
+    let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(g.clone()), steps);
+    let (plan, shards) = svc.plan_for(&spec).unwrap();
+    assert!(shards > 1, "policy must shard this job (got {shards})");
+    let ticket = svc.submit(spec).unwrap();
+    let result = ticket.wait().unwrap();
+    assert_eq!(result.shards, shards);
+    let served = match result.output {
+        JobDomain::D2(out) => out,
+        _ => panic!("wrong dimensionality"),
+    };
+    let want = plan.run_2d(&g, steps).unwrap();
+    assert_eq!(
+        bits(&want.to_dense()),
+        bits(&served.to_dense()),
+        "sharded service output must be bit-identical to the unsharded plan run"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.sharded_jobs, 1);
+    assert_eq!(stats.shards_executed, shards as u64);
+}
+
+#[test]
+fn service_sharded_3d_bit_identical_to_unsharded_plan_run() {
+    let svc = StencilService::start(sharded_cfg());
+    let g = Grid3D::from_fn(29, 14, 18, |z, y, x| ((z * 5 + y * 3 + x) % 11) as f64);
+    let steps = 3;
+    let spec = JobSpec::new(kernels::box3d27p(), JobDomain::D3(g.clone()), steps);
+    let (plan, shards) = svc.plan_for(&spec).unwrap();
+    assert!(shards > 1, "policy must shard this job (got {shards})");
+    let result = svc.submit(spec).unwrap().wait().unwrap();
+    let served = match result.output {
+        JobDomain::D3(out) => out,
+        _ => panic!("wrong dimensionality"),
+    };
+    let want = plan.run_3d(&g, steps).unwrap();
+    assert_eq!(
+        bits(&want.to_dense()),
+        bits(&served.to_dense()),
+        "sharded 3D service output must be bit-identical to the unsharded plan run"
+    );
+    svc.shutdown();
+}
+
+/// The full warm-start story, one test so the process-global tuner and
+/// its cache path are controlled end to end:
+///
+/// 1. a corrupt cache file surfaces as a stats warning (not a silent
+///    re-probe), and a `CacheOnly` service over it serves cold-start
+///    fallback plans,
+/// 2. a `Measured` warm-up probes once and persists — after which the
+///    still-running cold service *recovers* its keys at runtime,
+/// 3. a fresh `CacheOnly` service warm-starts and serves with **zero**
+///    further probe runs and zero cold fallbacks.
+#[test]
+fn manifest_warm_start_cache_only_serves_with_zero_probe_runs() {
+    let cache = std::env::temp_dir().join(format!(
+        "stencil-serve-warmstart-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+    std::fs::write(&cache, "{{{ not json").unwrap();
+    // install_with, not env vars: sibling tests in this binary run in
+    // parallel and setenv racing getenv is a crash hazard
+    let tuner = stencil_lab::tune::install_with(
+        stencil_lab::AutoTuner::with_cache_path(&cache)
+            .budget(stencil_lab::tune::probe::Budget::from_millis(120)),
+    );
+    assert_eq!(tuner.cache_path(), cache.as_path());
+
+    let mut manifest = Manifest::new(Tuning::Measured);
+    manifest
+        .push_kernel("heat2d", Some(&[96, 96]))
+        .push_kernel("heat1d", Some(&[4096]));
+
+    // phase 1: a CacheOnly service over the cold (corrupt) cache —
+    // every warm-up entry falls back to the static model, and both the
+    // corrupt file and the cold starts surface as warnings
+    let mut cache_only = manifest.clone();
+    cache_only.default_tuning = Tuning::CacheOnly;
+    for e in &mut cache_only.entries {
+        e.tuning = Some(Tuning::CacheOnly);
+    }
+    let cold = StencilService::start(ServeConfig {
+        tuning: Tuning::CacheOnly,
+        ..sharded_cfg()
+    });
+    let report = cold.warm(&cache_only);
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert!(report.fallbacks > 0, "a cold cache must fall back");
+    let stats = cold.stats();
+    assert!(
+        stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("corrupt") || w.contains("empty cache")),
+        "corrupt cache must surface as an operator warning: {:?}",
+        stats.warnings
+    );
+    assert!(stats.warnings.iter().any(|w| w.contains("cold start")));
+    assert_eq!(stats.tuner_probes, 0, "CacheOnly must never probe");
+
+    // phase 2: measured warm-up probes and persists
+    let probing = StencilService::start(ServeConfig {
+        tuning: Tuning::Measured,
+        ..sharded_cfg()
+    });
+    let report = probing.warm(&manifest);
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert_eq!(
+        report.fallbacks, 0,
+        "Measured mode probes, never falls back"
+    );
+    let probes_after_warm = probing.stats().tuner_probes;
+    assert!(probes_after_warm > 0, "measured warm-up must probe");
+    probing.shutdown();
+
+    // ...and the still-running cold service upgrades its fallback keys
+    // from the re-warmed cache without a restart
+    let g0 = Grid2D::from_fn(96, 96, |y, x| ((y + x) % 5) as f64);
+    let mut spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(g0), 2);
+    spec.tuning = Some(Tuning::CacheOnly);
+    cold.submit(spec).unwrap().wait().unwrap();
+    let stats = cold.shutdown();
+    assert!(
+        stats.cold_recoveries > 0,
+        "re-warming the tune cache must upgrade cold keys at runtime: {stats:?}"
+    );
+    assert_eq!(
+        stats.tuner_probes, probes_after_warm,
+        "the recovery is a cache lookup, not a probe"
+    );
+
+    // phase 3: a fresh service warm-starts CacheOnly — every manifest
+    // plan resolves from the persisted cache without one probe sweep
+    manifest.default_tuning = Tuning::CacheOnly;
+    for e in &mut manifest.entries {
+        e.tuning = Some(Tuning::CacheOnly);
+    }
+    let warm = StencilService::start(ServeConfig {
+        tuning: Tuning::CacheOnly,
+        ..sharded_cfg()
+    });
+    let report = warm.warm(&manifest);
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert_eq!(
+        report.fallbacks, 0,
+        "a warmed cache must resolve CacheOnly without fallbacks"
+    );
+    // serve real traffic against the warmed plans
+    let g = Grid2D::from_fn(96, 96, |y, x| ((y + 2 * x) % 9) as f64);
+    for _ in 0..3 {
+        let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(g.clone()), 4);
+        let mut spec = spec;
+        spec.tuning = Some(Tuning::CacheOnly);
+        warm.submit(spec).unwrap().wait().unwrap();
+    }
+    let stats = warm.shutdown();
+    assert_eq!(stats.jobs_completed, 3);
+    assert_eq!(stats.cold_fallbacks, 0);
+    assert_eq!(
+        stats.tuner_probes, probes_after_warm,
+        "warm-start (CacheOnly) must serve with zero probe runs"
+    );
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn backpressure_is_typed_and_counted() {
+    let svc = StencilService::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        shard: ShardPolicy {
+            min_points: usize::MAX,
+            ..ShardPolicy::default()
+        },
+        ..sharded_cfg()
+    });
+    let spec = || {
+        JobSpec::new(
+            kernels::box2d9p(),
+            JobDomain::D2(Grid2D::from_fn(128, 128, |y, x| ((y + x) % 7) as f64)),
+            100,
+        )
+    };
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for _ in 0..16 {
+        match svc.try_submit(spec()) {
+            Ok(t) => accepted.push(t),
+            Err(ServeError::Backpressure { capacity }) => {
+                assert_eq!(capacity, 1);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a one-slot queue must reject under a burst");
+    for t in accepted {
+        t.wait().unwrap();
+    }
+    let stats = svc.shutdown();
+    assert!(stats.jobs_rejected >= rejected as u64 - 1);
+    assert_eq!(stats.jobs_failed, 0);
+}
+
+#[test]
+fn manifest_file_drives_warm_start_and_stats_round_trip() {
+    let path = std::env::temp_dir().join(format!(
+        "stencil-serve-it-manifest-{}.json",
+        std::process::id()
+    ));
+    let mut m = Manifest::new(Tuning::Static);
+    m.push_kernel("box2d9p", Some(&[64, 64]))
+        .push_kernel("star3d", Some(&[24, 24, 24]));
+    m.save(&path).unwrap();
+    let loaded = Manifest::load(&path).unwrap();
+    assert_eq!(loaded, m);
+
+    let svc = StencilService::start(sharded_cfg());
+    let report = svc.warm(&loaded);
+    assert!(report.failed.is_empty());
+    assert!(report.loaded >= 2);
+    let spec = JobSpec::new(
+        kernels::box2d9p(),
+        JobDomain::D2(Grid2D::from_fn(64, 64, |y, x| ((y * x) % 5) as f64)),
+        3,
+    );
+    svc.submit(spec).unwrap().wait().unwrap();
+    let stats = svc.shutdown();
+    assert!(stats.plan_hits >= 1, "the job must hit the warmed plan");
+
+    // the stats surface round-trips through the shared JSON
+    // implementation (the same writer/parser as the tune cache and the
+    // bench dumps)
+    let text = stats.to_json().pretty();
+    let back = StatsSnapshot::from_json(&stencil_lab::tune::json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, stats);
+    let _ = std::fs::remove_file(&path);
+}
