@@ -64,6 +64,7 @@ fn main() {
             method: None,
             tiling: None,
             domain_hint: None,
+            ring3: None,
             mode: Tuning::CacheOnly,
         });
         let rate_m = entry.as_ref().map(|e| e.rate / 1e6).unwrap_or(f64::NAN);

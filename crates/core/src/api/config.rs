@@ -6,6 +6,8 @@ use crate::pattern::Pattern;
 use stencil_grid::{Grid1D, Grid2D, Grid3D};
 use stencil_runtime::PoolHandle;
 
+pub use crate::exec::folded3d::Ring3;
+
 /// Vectorization scheme (the methods compared in Fig. 8/9/10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
@@ -140,6 +142,7 @@ pub struct Solver {
     pub(crate) pool: Option<PoolHandle>,
     pub(crate) tuning: Tuning,
     pub(crate) domain_hint: Option<Vec<usize>>,
+    pub(crate) ring3: Option<Ring3>,
 }
 
 impl Solver {
@@ -155,6 +158,7 @@ impl Solver {
             pool: None,
             tuning: Tuning::Static,
             domain_hint: None,
+            ring3: None,
         }
     }
 
@@ -223,6 +227,17 @@ impl Solver {
     /// advisory: plans still run on any compatible grid.
     pub fn domain_hint(mut self, extents: &[usize]) -> Self {
         self.domain_hint = Some(extents.to_vec());
+        self
+    }
+
+    /// Pin the z-ring pipeline geometry (z-strip depth × x-slab width)
+    /// for 3D register plans. Left unset, [`Solver::compile`] resolves
+    /// it — statically via [`Ring3::auto`], or through the measured
+    /// tuner (the z-ring axes are part of its 3D candidate space).
+    /// Ignored for 1D/2D patterns and non-register methods. Out-of-bound
+    /// values are a compile-time [`PlanError::InvalidRing`].
+    pub fn ring3(mut self, r: Ring3) -> Self {
+        self.ring3 = Some(r);
         self
     }
 

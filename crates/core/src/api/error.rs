@@ -1,6 +1,6 @@
 //! Typed validation errors for [`Solver::compile`](super::Solver::compile).
 
-use super::config::{Method, Tiling, Tuning};
+use super::config::{Method, Ring3, Tiling, Tuning};
 use std::fmt;
 
 /// Why a [`Solver`](super::Solver) configuration cannot be compiled into
@@ -47,6 +47,14 @@ pub enum PlanError {
         feature: &'static str,
         /// The pattern's dimensionality.
         pattern_dims: usize,
+    },
+    /// The pinned z-ring pipeline geometry ([`super::Solver::ring3`])
+    /// is degenerate or outside the supported bounds.
+    InvalidRing {
+        /// The offending geometry.
+        ring: Ring3,
+        /// What is wrong with it.
+        reason: &'static str,
     },
     /// A tiling parameter is degenerate (zero time block, zero-sized
     /// spatial block, ...).
@@ -159,6 +167,9 @@ impl fmt::Display for PlanError {
                 feature,
                 pattern_dims,
             } => write!(f, "{feature} is not available for {pattern_dims}D patterns"),
+            PlanError::InvalidRing { ring, reason } => {
+                write!(f, "invalid z-ring geometry {ring:?}: {reason}")
+            }
             PlanError::InvalidTiling { tiling, reason } => {
                 write!(f, "invalid tiling {tiling:?}: {reason}")
             }
@@ -227,6 +238,19 @@ mod tests {
             max_radius: 0,
         };
         assert!(e.to_string().contains("m must be >= 1"));
+    }
+
+    #[test]
+    fn display_invalid_ring() {
+        let e = PlanError::InvalidRing {
+            ring: Ring3 { depth: 0, slab: 4 },
+            reason: "depth must be >= 1",
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("z-ring") && s.contains("depth must be >= 1"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -53,6 +53,6 @@ pub mod config;
 pub mod error;
 pub mod plan_exec;
 
-pub use config::{Method, Solver, Tiling, Tuning, Width};
+pub use config::{Method, Ring3, Solver, Tiling, Tuning, Width};
 pub use error::PlanError;
 pub use plan_exec::{Domain, Plan};

@@ -1,9 +1,10 @@
 //! Compiled execution plans: validation, derived artifacts, and the
 //! dimension-dispatched run paths.
 
-use super::config::{Method, Solver, Tiling, Tuning, Width};
+use super::config::{Method, Ring3, Solver, Tiling, Tuning, Width};
 use super::error::PlanError;
 use crate::exec::folded::{self, FoldedKernel, MAX_R, MAX_R3};
+use crate::exec::folded3d;
 use crate::exec::{dlt, multiload, reorg, scalar, xlayout};
 use crate::folding::fold;
 use crate::pattern::Pattern;
@@ -15,14 +16,44 @@ use stencil_simd::{NativeF64x4, NativeF64x8, SimdF64};
 
 /// Largest folded radius `m * r` the register pipeline supports for a
 /// pattern of dimensionality `dims` at vector width `width` (the 1D
-/// assembled vectors reach one lane per radius cell; 2D/3D are bounded
-/// by the fixed register windows of [`crate::exec::folded`]).
+/// assembled vectors reach one lane per radius cell; 2D is bounded by
+/// the fixed register windows of [`crate::exec::folded`]). The 3D bound
+/// is the register-budget gate of the z-ring pipeline: [`MAX_R3`]
+/// capped by the lane count, since the transpose window holds one
+/// column per lane — a deep fold that cannot keep its window in
+/// registers is rejected at compile time rather than silently degraded.
+/// Scalar lanes keep the pre-ring cap of 2 (they run the scalar folded
+/// sweep, where the window budget is moot).
 pub(crate) fn fold_radius_cap(dims: usize, width: Width) -> usize {
     match dims {
         1 => width.lanes(),
         2 => MAX_R,
-        _ => MAX_R3,
+        _ => MAX_R3.min(width.lanes().max(2)),
     }
+}
+
+/// Reject degenerate or out-of-bound z-ring geometries with a typed
+/// error (shared by the user-pinned and tuner-supplied paths).
+fn validate_ring(r: Ring3) -> Result<(), PlanError> {
+    if r.depth == 0 {
+        return Err(PlanError::InvalidRing {
+            ring: r,
+            reason: "depth must be >= 1",
+        });
+    }
+    if r.slab == 0 {
+        return Err(PlanError::InvalidRing {
+            ring: r,
+            reason: "slab must be >= 1",
+        });
+    }
+    if !r.valid() {
+        return Err(PlanError::InvalidRing {
+            ring: r,
+            reason: "depth/slab exceed the supported ring bounds",
+        });
+    }
+    Ok(())
 }
 
 /// Range-kernel family a method maps to inside the tiled drivers.
@@ -75,6 +106,8 @@ pub struct Plan {
     kernel: Option<FoldedKernel>,
     /// Single-step register kernel for the `t % m` tessellate tail.
     tail_kernel: Option<FoldedKernel>,
+    /// Resolved z-ring geometry (`Some` exactly for 3D register plans).
+    ring3: Option<Ring3>,
 }
 
 impl std::fmt::Debug for Plan {
@@ -87,6 +120,7 @@ impl std::fmt::Debug for Plan {
             .field("threads", &self.pool.threads())
             .field("m", &self.m)
             .field("effective_radius", &self.folded.radius())
+            .field("ring3", &self.ring3)
             .finish()
     }
 }
@@ -103,11 +137,19 @@ impl Plan {
             .map(|h| h.threads())
             .unwrap_or(cfg.threads);
 
+        // A user-pinned z-ring geometry is rejected *before* any tuner
+        // involvement: the error must be PlanError::InvalidRing in
+        // every tuning mode, never a TuningFailed after a wasted probe
+        // pass over candidates that cannot compile.
+        if let Some(r) = cfg.ring3 {
+            validate_ring(r)?;
+        }
+
         // Resolve Method::Auto / Tiling::Auto first. The measured modes
         // route through the installed tuner; Static (and measured modes
         // with nothing left to tune) resolve from the §3.2 cost model.
         let auto_parts = matches!(cfg.method, Method::Auto) || matches!(cfg.tiling, Tiling::Auto);
-        let (method, tiling, width) = if auto_parts && cfg.tuning != Tuning::Static {
+        let (method, tiling, width, tuned_ring) = if auto_parts && cfg.tuning != Tuning::Static {
             let tuner = crate::tune::installed_tuner()
                 .ok_or(PlanError::TunerUnavailable { mode: cfg.tuning })?;
             let req = crate::tune::TuneRequest {
@@ -123,6 +165,7 @@ impl Plan {
                     t => Some(t),
                 },
                 domain_hint: cfg.domain_hint.as_deref(),
+                ring3: cfg.ring3,
                 mode: cfg.tuning,
             };
             let d = tuner.tune(&req).map_err(|e| match e {
@@ -140,7 +183,8 @@ impl Plan {
                 Tiling::Auto => crate::tune::auto_tiling(dims, method, threads),
                 t => t,
             };
-            (method, tiling, d.width)
+            // the user's pinned ring always beats the tuner's
+            (method, tiling, d.width, cfg.ring3.or(d.ring3))
         } else {
             let method = match cfg.method {
                 Method::Auto => crate::tune::auto_method(p, cfg.width, cfg.tiling),
@@ -150,8 +194,14 @@ impl Plan {
                 Tiling::Auto => crate::tune::auto_tiling(dims, method, threads),
                 t => t,
             };
-            (method, tiling, cfg.width)
+            (method, tiling, cfg.width, cfg.ring3)
         };
+
+        // A tuner-supplied ring (cache entries are external input) gets
+        // the same validation as the user's.
+        if let Some(r) = tuned_ring {
+            validate_ring(r)?;
+        }
 
         // Degenerate tiling parameters.
         match tiling {
@@ -245,6 +295,12 @@ impl Plan {
             (None, None)
         };
 
+        let ring3 = if register && dims == 3 {
+            Some(tuned_ring.unwrap_or_else(|| Ring3::auto(width.lanes(), m * p.radius())))
+        } else {
+            None
+        };
+
         let pool = cfg
             .pool
             .clone()
@@ -259,6 +315,7 @@ impl Plan {
             folded,
             kernel,
             tail_kernel,
+            ring3,
         })
     }
 
@@ -290,6 +347,13 @@ impl Plan {
     /// Fold factor `m` (1 unless the method is `Folded { m > 1 }`).
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// Resolved z-ring pipeline geometry — `Some` exactly for 3D
+    /// register plans (transpose-layout / folded), `None` otherwise.
+    /// Never `Some(invalid)`: compile validates pinned geometries.
+    pub fn ring3(&self) -> Option<Ring3> {
+        self.ring3
     }
 
     /// Spatial dimensionality of the compiled pattern.
@@ -357,6 +421,42 @@ impl Plan {
     /// Run `t` time steps on a 3D grid.
     pub fn run_3d(&self, grid: &Grid3D, t: usize) -> Result<Grid3D, PlanError> {
         self.run(grid, t)
+    }
+
+    /// [`Plan::run_2d`] over a local window of a larger domain whose
+    /// outer (y) axis starts at global coordinate `origin_y`: tessellate
+    /// tile phase is derived from global coordinates, so windows of one
+    /// domain agree on every tile they share — the contract bit-exact
+    /// domain sharding (the serving layer) relies on. For non-tessellate
+    /// tilings the origin changes nothing.
+    pub fn run_2d_at(&self, grid: &Grid2D, t: usize, origin_y: usize) -> Result<Grid2D, PlanError> {
+        if self.dims() != 2 {
+            return Err(PlanError::DimensionMismatch {
+                pattern_dims: self.dims(),
+                domain_dims: 2,
+            });
+        }
+        Ok(match self.width {
+            Width::W1 => self.exec_2d::<f64>(grid, t, origin_y),
+            Width::W4 => self.exec_2d::<NativeF64x4>(grid, t, origin_y),
+            Width::W8 => self.exec_2d::<NativeF64x8>(grid, t, origin_y),
+        })
+    }
+
+    /// [`Plan::run_3d`] over a local window whose outer (z) axis starts
+    /// at global coordinate `origin_z` (see [`Plan::run_2d_at`]).
+    pub fn run_3d_at(&self, grid: &Grid3D, t: usize, origin_z: usize) -> Result<Grid3D, PlanError> {
+        if self.dims() != 3 {
+            return Err(PlanError::DimensionMismatch {
+                pattern_dims: self.dims(),
+                domain_dims: 3,
+            });
+        }
+        Ok(match self.width {
+            Width::W1 => self.exec_3d::<f64>(grid, t, origin_z),
+            Width::W4 => self.exec_3d::<NativeF64x4>(grid, t, origin_z),
+            Width::W8 => self.exec_3d::<NativeF64x8>(grid, t, origin_z),
+        })
     }
 
     // -----------------------------------------------------------------
@@ -465,7 +565,7 @@ impl Plan {
         }
     }
 
-    fn exec_2d<V: SimdF64>(&self, grid: &Grid2D, t: usize) -> Grid2D {
+    fn exec_2d<V: SimdF64>(&self, grid: &Grid2D, t: usize, origin_y: usize) -> Grid2D {
         let p = &self.pattern;
         match self.tiling {
             Tiling::None => match (self.method, &self.kernel) {
@@ -496,13 +596,14 @@ impl Plan {
                 match (family(self.method), &self.kernel) {
                     (Family::Register, Some(k)) => {
                         let reff = k.radius();
-                        tessellate::run_2d(
+                        tessellate::run_2d_at(
                             pool,
                             &mut pp,
                             reff,
                             reff,
                             time_block,
                             t / self.m,
+                            origin_y,
                             &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
                                 folded::step_range_2d::<V>(k, s, d, ys, xs)
                             },
@@ -510,13 +611,14 @@ impl Plan {
                     }
                     (Family::Scalar, _) => {
                         let r = p.radius();
-                        tessellate::run_2d(
+                        tessellate::run_2d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             t,
+                            origin_y,
                             &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
                                 scalar::step_range_2d(s, d, p, ys, xs)
                             },
@@ -528,13 +630,14 @@ impl Plan {
                             "register plan compiled without its kernel"
                         );
                         let r = p.radius();
-                        tessellate::run_2d(
+                        tessellate::run_2d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             t,
+                            origin_y,
                             &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
                                 multiload::step_range_2d::<V>(s, d, p, ys, xs)
                             },
@@ -549,13 +652,14 @@ impl Plan {
                 if tail > 0 {
                     if let Some(tk) = &self.tail_kernel {
                         let r = tk.radius();
-                        tessellate::run_2d(
+                        tessellate::run_2d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             tail,
+                            origin_y,
                             &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
                                 folded::step_range_2d::<V>(tk, s, d, ys, xs)
                             },
@@ -563,13 +667,14 @@ impl Plan {
                     } else {
                         debug_assert!(false, "tessellate tail executed without its kernel");
                         let r = p.radius();
-                        tessellate::run_2d(
+                        tessellate::run_2d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             tail,
+                            origin_y,
                             &|s: &Grid2D, d: &mut Grid2D, ys, xs| {
                                 multiload::step_range_2d::<V>(s, d, p, ys, xs)
                             },
@@ -618,8 +723,11 @@ impl Plan {
         }
     }
 
-    fn exec_3d<V: SimdF64>(&self, grid: &Grid3D, t: usize) -> Grid3D {
+    fn exec_3d<V: SimdF64>(&self, grid: &Grid3D, t: usize, origin_z: usize) -> Grid3D {
         let p = &self.pattern;
+        // 3D register plans always resolve a ring at compile time; the
+        // defensive default only covers direct construction drift.
+        let ring = self.ring3.unwrap_or_default();
         match self.tiling {
             Tiling::None => match (self.method, &self.kernel) {
                 (Method::Scalar, _) => {
@@ -628,7 +736,7 @@ impl Plan {
                     pp.into_current()
                 }
                 (Method::TransposeLayout | Method::Folded { .. }, Some(k)) => {
-                    folded::sweep_3d_with::<V>(k, grid, p, t)
+                    folded3d::sweep_3d_ring_with::<V>(k, ring, grid, p, t)
                 }
                 (method, kernel) => {
                     debug_assert!(
@@ -647,27 +755,29 @@ impl Plan {
                 match (family(self.method), &self.kernel) {
                     (Family::Register, Some(k)) => {
                         let reff = k.radius();
-                        tessellate::run_3d(
+                        tessellate::run_3d_at(
                             pool,
                             &mut pp,
                             reff,
                             reff,
                             time_block,
                             t / self.m,
+                            origin_z,
                             &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
-                                folded::step_range_3d::<V>(k, s, d, zs, ys, xs)
+                                folded3d::step_range_3d_ring::<V>(k, ring, s, d, zs, ys, xs)
                             },
                         );
                     }
                     (Family::Scalar, _) => {
                         let r = p.radius();
-                        tessellate::run_3d(
+                        tessellate::run_3d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             t,
+                            origin_z,
                             &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
                                 scalar::step_range_3d(s, d, p, zs, ys, xs)
                             },
@@ -679,13 +789,14 @@ impl Plan {
                             "register plan compiled without its kernel"
                         );
                         let r = p.radius();
-                        tessellate::run_3d(
+                        tessellate::run_3d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             t,
+                            origin_z,
                             &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
                                 multiload::step_range_3d::<V>(s, d, p, zs, ys, xs)
                             },
@@ -698,27 +809,29 @@ impl Plan {
                 if tail > 0 {
                     if let Some(tk) = &self.tail_kernel {
                         let r = tk.radius();
-                        tessellate::run_3d(
+                        tessellate::run_3d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             tail,
+                            origin_z,
                             &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
-                                folded::step_range_3d::<V>(tk, s, d, zs, ys, xs)
+                                folded3d::step_range_3d_ring::<V>(tk, ring, s, d, zs, ys, xs)
                             },
                         );
                     } else {
                         debug_assert!(false, "tessellate tail executed without its kernel");
                         let r = p.radius();
-                        tessellate::run_3d(
+                        tessellate::run_3d_at(
                             pool,
                             &mut pp,
                             r,
                             r,
                             time_block,
                             tail,
+                            origin_z,
                             &|s: &Grid3D, d: &mut Grid3D, zs, ys, xs| {
                                 multiload::step_range_3d::<V>(s, d, p, zs, ys, xs)
                             },
@@ -831,9 +944,9 @@ impl Domain for Grid2D {
 
     fn run_with(plan: &Plan, domain: &Self, t: usize) -> Self {
         match plan.width {
-            Width::W1 => plan.exec_2d::<f64>(domain, t),
-            Width::W4 => plan.exec_2d::<NativeF64x4>(domain, t),
-            Width::W8 => plan.exec_2d::<NativeF64x8>(domain, t),
+            Width::W1 => plan.exec_2d::<f64>(domain, t, 0),
+            Width::W4 => plan.exec_2d::<NativeF64x4>(domain, t, 0),
+            Width::W8 => plan.exec_2d::<NativeF64x8>(domain, t, 0),
         }
     }
 }
@@ -847,9 +960,9 @@ impl Domain for Grid3D {
 
     fn run_with(plan: &Plan, domain: &Self, t: usize) -> Self {
         match plan.width {
-            Width::W1 => plan.exec_3d::<f64>(domain, t),
-            Width::W4 => plan.exec_3d::<NativeF64x4>(domain, t),
-            Width::W8 => plan.exec_3d::<NativeF64x8>(domain, t),
+            Width::W1 => plan.exec_3d::<f64>(domain, t, 0),
+            Width::W4 => plan.exec_3d::<NativeF64x4>(domain, t, 0),
+            Width::W8 => plan.exec_3d::<NativeF64x8>(domain, t, 0),
         }
     }
 }

@@ -40,8 +40,12 @@ use stencil_simd::SimdF64;
 /// Upper bound on folded radius supported by the fixed-size register
 /// windows (1D/2D). 3D is bounded by [`MAX_R3`].
 pub const MAX_R: usize = 8;
-/// Folded-radius bound for the 3D kernel.
-pub const MAX_R3: usize = 2;
+/// Folded-radius bound for the 3D kernels (both the legacy
+/// reload-per-block pipeline here and the z-ring pipeline in
+/// [`crate::exec::folded3d`]). Deep enough that `Folded { m: 2 }` stays
+/// available for radius-2 3D stencils; the per-width register budget is
+/// enforced at compile time by `fold_radius_cap`, not here.
+pub const MAX_R3: usize = 4;
 /// Upper bound on fresh counterparts (incl. the raw square basis).
 pub const MAX_F: usize = 10;
 
@@ -100,6 +104,17 @@ impl FoldedKernel {
         &self.plan.folded
     }
 
+    /// Fresh ids referenced by at least one horizontal term, in dense
+    /// window order (shared with the z-ring pipeline).
+    pub(crate) fn used_ids(&self) -> &[usize] {
+        &self.used_ids
+    }
+
+    /// `(slab_index, weight)` vertical taps per fresh id.
+    pub(crate) fn taps_by_id(&self) -> &[Vec<(usize, f64)>] {
+        &self.taps_by_id
+    }
+
     /// The underlying plan.
     pub fn plan(&self) -> &FoldPlan {
         &self.plan
@@ -124,17 +139,18 @@ impl FoldedKernel {
 }
 
 /// Per-call splatted form of the plan: broadcasts hoisted out of the
-/// block loops (they would otherwise re-issue per square).
-struct PlanV<V> {
+/// block loops (they would otherwise re-issue per square). Shared with
+/// the z-ring 3D pipeline ([`crate::exec::folded3d`]).
+pub(crate) struct PlanV<V> {
     /// `(slab_index, splat(w))` vertical taps per fresh id.
-    taps: Vec<Vec<(usize, V)>>,
+    pub(crate) taps: Vec<Vec<(usize, V)>>,
     /// Horizontal terms grouped by x-offset: `hcols[dx + R]` lists
     /// `(fresh_id, splat(coeff))` — usually a single term per offset.
-    hcols: Vec<Vec<(usize, V)>>,
+    pub(crate) hcols: Vec<Vec<(usize, V)>>,
 }
 
 impl<V: SimdF64> PlanV<V> {
-    fn new(k: &FoldedKernel) -> Self {
+    pub(crate) fn new(k: &FoldedKernel) -> Self {
         let rr = k.plan.radius as isize;
         let mut hcols = vec![Vec::new(); 2 * k.plan.radius + 1];
         for &(dx, id, c) in &k.hterms {
@@ -182,7 +198,15 @@ fn step_squares_range_1d_t<V: SimdF64, const T: usize>(
     let nt = crate::exec::tap_count::<T>(taps);
     let vl = V::LANES;
     let rr = nt / 2;
-    assert!(rr <= vl, "folded radius must be <= vl");
+    debug_assert!(
+        rr <= vl,
+        "validated by Solver::compile (1D fold cap = lanes)"
+    );
+    if rr > vl {
+        // unreachable through the Plan API (compile rejects the fold);
+        // degrade instead of panicking for direct kernel callers
+        return crate::exec::scalar::step_range_1d(src, dst, taps, lo, hi);
+    }
     debug_assert!(lo >= rr && hi + rr <= src.len());
     let square = vl * vl;
     let nsq = (hi.saturating_sub(lo)) / square;
@@ -311,11 +335,16 @@ pub fn step_range_2d<V: SimdF64>(
 ) {
     let vl = V::LANES;
     let rr = k.plan.radius;
-    assert!(rr <= MAX_R);
-    assert_eq!(k.plan.dims, 2);
-    if vl < rr.max(2) {
-        // Degenerate widths (scalar lanes, or R wider than the vector):
-        // the register pipeline has nothing to fold — plain folded sweep.
+    debug_assert!(
+        rr <= MAX_R && k.plan.dims == 2,
+        "validated by Solver::compile"
+    );
+    if vl < rr.max(2) || rr > MAX_R || k.plan.dims != 2 {
+        // Degenerate widths (scalar lanes, or R wider than the vector) and
+        // out-of-bound radii (unreachable through the Plan API, which
+        // rejects them as PlanError::InvalidFold at compile time): the
+        // register pipeline has nothing to fold — plain folded sweep, no
+        // panic path.
         crate::exec::scalar::step_range_2d(src, dst, &k.plan.folded, ys, xs);
         return;
     }
@@ -633,7 +662,7 @@ pub fn sweep_2d_with<V: SimdF64>(k: &FoldedKernel, grid: &Grid2D, p: &Pattern, t
 // ---------------------------------------------------------------------
 
 #[inline]
-fn scalar_col_3d<V: SimdF64>(
+pub(crate) fn scalar_col_3d<V: SimdF64>(
     k: &FoldedKernel,
     s: &[f64],
     sy: usize,
@@ -720,9 +749,14 @@ pub fn step_range_3d<V: SimdF64>(
 ) {
     let vl = V::LANES;
     let rr = k.plan.radius;
-    assert!(rr <= MAX_R3, "3D kernel bounded to R <= {MAX_R3}");
-    assert_eq!(k.plan.dims, 3);
-    if vl < rr.max(2) {
+    debug_assert!(
+        rr <= MAX_R3 && k.plan.dims == 3,
+        "validated by Solver::compile"
+    );
+    if vl < rr.max(2) || rr > MAX_R3 || k.plan.dims != 3 {
+        // Same no-panic degradation contract as step_range_2d: widths and
+        // radii the register window cannot hold fall back to the scalar
+        // folded sweep (Solver::compile rejects them before a Plan exists).
         crate::exec::scalar::step_range_3d(src, dst, &k.plan.folded, zs, ys, xs);
         return;
     }

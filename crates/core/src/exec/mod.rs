@@ -11,6 +11,7 @@
 //! | [`dlt`]       | DLT                  | global dimension-lifted transpose |
 //! | [`xlayout`]   | Our                  | local transpose layout (§2.2) |
 //! | [`folded`]    | Our (m steps)        | register transpose + computation folding (§3.3) |
+//! | [`folded3d`]  | Our (m steps, 3D)    | z-ring plane rotation + folding (dedicated 3D pipeline) |
 //! | [`apop`]      | APOP benchmark       | two-array 1D3P with early-exercise max |
 //! | [`life`]      | Game of Life         | 8-neighbour count + branchless rule |
 //!
@@ -21,6 +22,7 @@
 pub mod apop;
 pub mod dlt;
 pub mod folded;
+pub mod folded3d;
 pub mod life;
 pub mod multiload;
 pub mod reorg;

@@ -71,6 +71,13 @@ pub fn box3d27p() -> Pattern {
     Pattern::new_3d(1, &[1.0 / 27.0; 27])
 }
 
+/// 3D 125-point box stencil (radius 2), uniform weight 1/125 — the
+/// larger-radius 3D workload the deeper fold window (`MAX_R3 = 4`)
+/// exists for: folded `m = 2` reaches radius 4 and stays separable.
+pub fn box3d125p() -> Pattern {
+    Pattern::new_3d(2, &[1.0 / 125.0; 125])
+}
+
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone)]
 pub struct BenchmarkSpec {

@@ -63,6 +63,6 @@ pub mod regression;
 pub mod tile;
 pub mod tune;
 
-pub use api::{Domain, Method, Plan, PlanError, Solver, Tiling, Tuning, Width};
+pub use api::{Domain, Method, Plan, PlanError, Ring3, Solver, Tiling, Tuning, Width};
 pub use pattern::{Pattern, Shape};
 pub use plan::FoldPlan;

@@ -34,11 +34,21 @@ pub mod tessellate;
 use core::ops::Range;
 
 /// Per-dimension tessellation geometry for one round.
+///
+/// Tile boundaries are anchored to **global** coordinates: a dimension
+/// that models the local window `[origin, origin + n)` of a larger
+/// domain places its tile edges at global multiples of the tile width
+/// `w`, not at multiples of the window start. Two windows of the same
+/// domain therefore agree on every interior tile they share — the
+/// property that lets the serving layer shard register-pipeline plans
+/// under tessellate tiling bit-exactly. `origin = 0` (the
+/// [`DimTiling::new`] constructor) reproduces the classic whole-domain
+/// geometry unchanged.
 #[derive(Debug, Clone, Copy)]
 pub struct DimTiling {
-    /// Grid extent in this dimension.
+    /// Grid extent in this dimension (local window length).
     pub n: usize,
-    /// Dirichlet band width (frozen cells at each end).
+    /// Dirichlet band width (frozen cells at each end of the window).
     pub band: usize,
     /// Radius advanced per inner step (`m * r` for folded kernels).
     pub reff: usize,
@@ -46,17 +56,30 @@ pub struct DimTiling {
     pub tb: usize,
     /// Tile width `2 * reff * tb`.
     pub w: usize,
-    /// Number of triangle tiles.
+    /// Number of triangle tiles intersecting the window.
     pub ntri: usize,
+    /// Global coordinate of local index 0 (tile-phase anchor).
+    pub origin: usize,
+    /// Global index of the first tile intersecting the window.
+    k0: usize,
 }
 
 impl DimTiling {
-    /// Build the geometry; `tb` is clamped so at least one tile fits.
+    /// Build the whole-domain geometry (`origin = 0`); `tb` is clamped
+    /// so at least one tile fits.
     pub fn new(n: usize, band: usize, reff: usize, tb: usize) -> Self {
+        Self::new_at(n, band, reff, tb, 0)
+    }
+
+    /// Build the geometry of a local window starting at global
+    /// coordinate `origin` — tile phase is derived from global
+    /// coordinates, never from the window start.
+    pub fn new_at(n: usize, band: usize, reff: usize, tb: usize, origin: usize) -> Self {
         assert!(reff >= 1 && tb >= 1);
         assert!(n > 2 * band, "grid smaller than its Dirichlet bands");
         let w = 2 * reff * tb;
-        let ntri = n.div_ceil(w).max(1);
+        let k0 = origin / w;
+        let ntri = ((origin + n).div_ceil(w) - k0).max(1);
         Self {
             n,
             band,
@@ -64,6 +87,8 @@ impl DimTiling {
             tb,
             w,
             ntri,
+            origin,
+            k0,
         }
     }
 
@@ -74,20 +99,23 @@ impl DimTiling {
         wanted.max(1).min((interior / (2 * reff)).max(1))
     }
 
-    /// Triangle tile `k`'s update range at inner step `t` (may be empty).
-    /// Tiles at domain edges do not shrink on the edge side.
+    /// Triangle tile `k`'s update range at inner step `t` (may be
+    /// empty), in local window coordinates. Tiles at window edges do not
+    /// shrink on the edge side (the window edge is a frozen band —
+    /// either the true domain edge or a shard's halo boundary).
     pub fn triangle_range(&self, k: usize, t: usize) -> Range<usize> {
         debug_assert!(k < self.ntri && t < self.tb);
         let shrink = self.reff * (t + 1);
         let lo = if k == 0 {
             self.band
         } else {
-            (k * self.w + shrink).max(self.band)
+            // (k0 + k) * w > origin for k >= 1, so the subtraction is safe
+            ((self.k0 + k) * self.w - self.origin + shrink).max(self.band)
         };
         let hi = if k == self.ntri - 1 {
             self.n - self.band
         } else {
-            ((k + 1) * self.w)
+            ((self.k0 + k + 1) * self.w - self.origin)
                 .saturating_sub(shrink)
                 .min(self.n - self.band)
         };
@@ -95,11 +123,11 @@ impl DimTiling {
     }
 
     /// Inverted tile at interior boundary `b` (1..ntri): update range at
-    /// inner step `t`.
+    /// inner step `t`, in local window coordinates.
     pub fn inverted_range(&self, b: usize, t: usize) -> Range<usize> {
         debug_assert!(b >= 1 && b < self.ntri && t < self.tb);
         let grow = self.reff * (t + 1);
-        let c = b * self.w;
+        let c = (self.k0 + b) * self.w - self.origin;
         let lo = c.saturating_sub(grow).max(self.band);
         let hi = (c + grow).min(self.n - self.band);
         lo..hi.max(lo)
@@ -240,6 +268,87 @@ mod tests {
                         let a = d.inverted_range(b1, t1);
                         let b = d.inverted_range(b2, t2);
                         assert!(a.end <= b.start || b.end <= a.start);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn origin_anchored_windows_update_everything_tb_times() {
+        // the tb-updates-per-cell invariant must hold for any window
+        // origin, including origins inside a tile
+        for (n, band, reff, tb, origin) in [
+            (40usize, 1usize, 1usize, 4usize, 8usize),
+            (40, 1, 1, 4, 5),
+            (64, 2, 2, 3, 23),
+            (33, 1, 1, 2, 100),
+            (48, 2, 2, 2, 7),
+        ] {
+            let d = DimTiling::new_at(n, band, reff, tb, origin);
+            let mut count = vec![0usize; n];
+            for k in 0..d.ntri {
+                for t in 0..tb {
+                    for i in d.triangle_range(k, t) {
+                        count[i] += 1;
+                    }
+                }
+            }
+            for b in 1..d.ntri {
+                for t in 0..tb {
+                    for i in d.inverted_range(b, t) {
+                        count[i] += 1;
+                    }
+                }
+            }
+            for (i, &c) in count.iter().enumerate() {
+                let want = if i < band || i >= n - band { 0 } else { tb };
+                assert_eq!(c, want, "n={n} origin={origin} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_anchored_interior_tiles_match_whole_domain() {
+        // a window [o, o+n) of a larger domain reproduces, translated,
+        // every tile range that is fully interior to both — tile phase
+        // comes from global coordinates, not the window start
+        let big = DimTiling::new(96, 1, 1, 3); // w = 6
+        for o in [18usize, 21, 30] {
+            let n = 48;
+            let win = DimTiling::new_at(n, 1, 1, 3, o);
+            assert_eq!(win.w, big.w);
+            for t in 0..3 {
+                for k in 1..win.ntri - 1 {
+                    let kg = o / win.w + k;
+                    if kg == 0 || kg >= big.ntri - 1 {
+                        continue;
+                    }
+                    let wr = win.triangle_range(k, t);
+                    let br = big.triangle_range(kg, t);
+                    // compare only ranges unclamped by either edge band
+                    if wr.start > win.band
+                        && wr.end < win.n - win.band
+                        && br.start > big.band
+                        && br.end < big.n - big.band
+                    {
+                        assert_eq!(
+                            (wr.start + o, wr.end + o),
+                            (br.start, br.end),
+                            "o={o} k={k} t={t}"
+                        );
+                    }
+                }
+                for b in 1..win.ntri {
+                    let bg = o / win.w + b;
+                    let wr = win.inverted_range(b, t);
+                    let br = big.inverted_range(bg, t);
+                    if wr.start > win.band && wr.end < win.n - win.band {
+                        assert_eq!(
+                            (wr.start + o, wr.end + o),
+                            (br.start, br.end),
+                            "o={o} b={b} t={t}"
+                        );
                     }
                 }
             }

@@ -78,13 +78,33 @@ pub fn run_2d<K>(
 ) where
     K: Fn(&Grid2D, &mut Grid2D, Range<usize>, Range<usize>) + Sync,
 {
+    run_2d_at(pool, pp, reff, band, tb, steps, 0, kernel)
+}
+
+/// [`run_2d`] over a local window whose outer (y) axis starts at global
+/// coordinate `origin_y`: tile phase is anchored to global coordinates,
+/// so two windows of one domain agree on every tile they share (the
+/// bit-exact-sharding contract; see [`DimTiling::new_at`]).
+#[allow(clippy::too_many_arguments)] // origin rides along the driver's parameter set
+pub fn run_2d_at<K>(
+    pool: &ThreadPool,
+    pp: &mut PingPong<Grid2D>,
+    reff: usize,
+    band: usize,
+    tb: usize,
+    steps: usize,
+    origin_y: usize,
+    kernel: &K,
+) where
+    K: Fn(&Grid2D, &mut Grid2D, Range<usize>, Range<usize>) + Sync,
+{
     let (ny, nx) = (pp.current().ny(), pp.current().nx());
     let mut remaining = steps;
     while remaining > 0 {
         let tb_round = DimTiling::max_tb(ny, band, reff, tb)
             .min(DimTiling::max_tb(nx, band, reff, tb))
             .min(remaining);
-        let dy = DimTiling::new(ny, band, reff, tb_round);
+        let dy = DimTiling::new_at(ny, band, reff, tb_round, origin_y);
         let dx = DimTiling::new(nx, band, reff, tb_round);
         let (cur, scratch) = pp.both_mut();
         let pair = RawPair::new(cur, scratch);
@@ -129,6 +149,24 @@ pub fn run_3d<K>(
 ) where
     K: Fn(&Grid3D, &mut Grid3D, Range<usize>, Range<usize>, Range<usize>) + Sync,
 {
+    run_3d_at(pool, pp, reff, band, tb, steps, 0, kernel)
+}
+
+/// [`run_3d`] over a local window whose outer (z) axis starts at global
+/// coordinate `origin_z` (see [`run_2d_at`]).
+#[allow(clippy::too_many_arguments)] // origin rides along the driver's parameter set
+pub fn run_3d_at<K>(
+    pool: &ThreadPool,
+    pp: &mut PingPong<Grid3D>,
+    reff: usize,
+    band: usize,
+    tb: usize,
+    steps: usize,
+    origin_z: usize,
+    kernel: &K,
+) where
+    K: Fn(&Grid3D, &mut Grid3D, Range<usize>, Range<usize>, Range<usize>) + Sync,
+{
     let (nz, ny, nx) = (pp.current().nz(), pp.current().ny(), pp.current().nx());
     let mut remaining = steps;
     while remaining > 0 {
@@ -136,7 +174,7 @@ pub fn run_3d<K>(
             .min(DimTiling::max_tb(ny, band, reff, tb))
             .min(DimTiling::max_tb(nx, band, reff, tb))
             .min(remaining);
-        let dz = DimTiling::new(nz, band, reff, tb_round);
+        let dz = DimTiling::new_at(nz, band, reff, tb_round, origin_z);
         let dy = DimTiling::new(ny, band, reff, tb_round);
         let dx = DimTiling::new(nx, band, reff, tb_round);
         let (cur, scratch) = pp.both_mut();

@@ -22,7 +22,7 @@
 //!   a [`crate::Plan`] and reused across the warm-up and both probe
 //!   passes, so tuning itself follows the plan-once/run-many discipline.
 
-use crate::api::{Method, Tiling, Tuning, Width};
+use crate::api::{Method, Ring3, Tiling, Tuning, Width};
 use crate::cost;
 use crate::pattern::Pattern;
 use crate::plan::FoldPlan;
@@ -153,6 +153,11 @@ pub struct TuneRequest<'a> {
     pub tiling: Option<Tiling>,
     /// The extents from [`Solver::domain_hint`], if any.
     pub domain_hint: Option<&'a [usize]>,
+    /// `Some` when the z-ring geometry was pinned by the user
+    /// ([`Solver::ring3`]), `None` when the tuner may search the 3D
+    /// ring axes (z-strip depth × x-slab width). Only meaningful for 3D
+    /// register methods.
+    pub ring3: Option<Ring3>,
     /// The requested mode — [`Tuning::Measured`] may probe,
     /// [`Tuning::CacheOnly`] must not.
     pub mode: Tuning,
@@ -167,6 +172,9 @@ pub struct TuneDecision {
     pub tiling: Tiling,
     /// Chosen vector width (≤ the requested width).
     pub width: Width,
+    /// Chosen z-ring geometry for 3D register plans (`None` = let the
+    /// static [`Ring3::auto`] default stand).
+    pub ring3: Option<Ring3>,
     /// True when the decision came from the persistent cache without
     /// running a probe.
     pub from_cache: bool,

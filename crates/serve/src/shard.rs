@@ -31,16 +31,27 @@
 //!   with a scalar remainder at the top. A slab changes the origin, so
 //!   [`slab_bounds`] aligns every slab start to [`SLAB_ALIGN`] rows and
 //!   pads interior slab tops until the processed row count keeps the
-//!   full run's group phase with no mid-grid remainder — which is
-//!   possible for the *block-free* sweep (whose origin is the grid
-//!   edge) but not under tessellate tiling (whose tile origins move
-//!   with the slab extent). Hence [`shardable`]: register plans shard
-//!   only with `Tiling::None`.
+//!   full run's group phase with no mid-grid remainder — which covers
+//!   the *block-free* sweep (whose origin is the grid edge). Under
+//!   **tessellate tiling** the tile geometry itself is the hazard:
+//!   since `DimTiling` anchors tile phase to global coordinates, a
+//!   slab executed through `Plan::run_*_at` with its global origin
+//!   reproduces every interior tile of the full run exactly. Only the
+//!   slab-edge tiles diverge (they see a frozen band where the full
+//!   run has live cells), so the halo grows by one tile width — the
+//!   divergence starts inside the edge tile and travels inward at one
+//!   effective radius per inner step, exactly like the classic bound —
+//!   and every slab must stay large enough to run the same per-round
+//!   time blocks as the full run ([`shard_geometry`]). With both in
+//!   place, register pipelines shard bit-exactly under tessellate
+//!   tiling too.
 //!
 //! Each slab runs on its own single-thread [`Plan`] (same pattern,
-//! method, tiling and width as the source plan) so the slabs really
-//! execute concurrently — a shared pool would serialize them.
+//! method, tiling, width and z-ring geometry as the source plan) so
+//! the slabs really execute concurrently — a shared pool would
+//! serialize them.
 
+use stencil_core::tile::DimTiling;
 use stencil_core::{Method, Plan, PlanError, Solver, Tiling};
 use stencil_grid::{Grid2D, Grid3D};
 
@@ -90,18 +101,71 @@ impl ShardPolicy {
 }
 
 /// True when `plan` is eligible for bit-exact slab sharding (see the
-/// module docs): 2D/3D, natural layout (no DLT/SDSL), and — for the
-/// register pipelines, whose row grouping is origin-relative — the
-/// block-free sweep only.
+/// module docs): 2D/3D, natural layout (no DLT/SDSL). Register
+/// pipelines shard block-free (slab alignment preserves their
+/// origin-relative row grouping) and under tessellate tiling (global
+/// tile-phase anchoring plus the widened halo of [`shard_geometry`]).
 pub fn shardable(plan: &Plan) -> bool {
     if plan.dims() < 2 {
         return false;
     }
     match plan.method() {
         Method::Scalar | Method::MultipleLoads | Method::DataReorg => true,
-        Method::TransposeLayout | Method::Folded { .. } => plan.tiling() == Tiling::None,
+        Method::TransposeLayout | Method::Folded { .. } => {
+            matches!(plan.tiling(), Tiling::None | Tiling::Tessellate { .. })
+        }
         _ => false,
     }
+}
+
+/// Halo depth and minimum slab span for running `t` steps of `plan`
+/// sharded along an outer axis of extent `outer` (inner extents in
+/// `inners`).
+///
+/// The base halo is the classic contamination bound `t * r`. For
+/// register pipelines under tessellate tiling, the slab's edge tiles
+/// diverge from the full run's (the slab edge is a frozen band), so
+/// divergence can start anywhere inside the widest tile: the halo
+/// grows by one tile width `2 * r_step * tb_round`, computed for both
+/// the folded body rounds and the `t % m` unfolded tail rounds. The
+/// returned minimum span keeps every slab able to run the same
+/// per-round time blocks as the full run — the condition under which
+/// the per-round tile geometry (and therefore every kernel call on
+/// interior tiles) is identical, making the stitch bit-exact.
+pub fn shard_geometry(plan: &Plan, t: usize, outer: usize, inners: &[usize]) -> (usize, usize) {
+    let r = plan.pattern().radius();
+    let base = t * r;
+    let Tiling::Tessellate { time_block } = plan.tiling() else {
+        return (base, 0);
+    };
+    if !matches!(
+        plan.method(),
+        Method::TransposeLayout | Method::Folded { .. }
+    ) {
+        // row-independent kernels are bit-exact under any slab geometry
+        return (base, 0);
+    }
+    let round_tb = |rad: usize, steps: usize| -> usize {
+        if steps == 0 || rad == 0 {
+            return 0;
+        }
+        let mut tb = DimTiling::max_tb(outer, rad, rad, time_block);
+        for &n in inners {
+            tb = tb.min(DimTiling::max_tb(n, rad, rad, time_block));
+        }
+        tb.min(steps)
+    };
+    let reff = plan.effective_radius();
+    let mut extra = 0usize;
+    let mut min_span = 0usize;
+    for (rad, steps) in [(reff, t / plan.m()), (r, t % plan.m())] {
+        let tb = round_tb(rad, steps);
+        if tb > 0 {
+            extra = extra.max(2 * rad * tb);
+            min_span = min_span.max(2 * rad * (tb + 1));
+        }
+    }
+    (base + extra, min_span)
 }
 
 /// The slab a shard of interior `[lo, hi)` reads: the interior plus a
@@ -140,12 +204,18 @@ pub fn slab_bounds(
 pub fn lane_plans(plan: &Plan, lanes: usize) -> Result<Vec<Plan>, PlanError> {
     (0..lanes.max(1))
         .map(|_| {
-            Solver::new(plan.pattern().clone())
+            let mut s = Solver::new(plan.pattern().clone())
                 .method(plan.method())
                 .tiling(plan.tiling())
                 .width(plan.width())
-                .threads(1)
-                .compile()
+                .threads(1);
+            // the z-ring geometry changes slab-edge rounding inside the
+            // 3D pipeline: lanes must execute the exact configuration
+            // the source plan resolved, or the stitch is not bit-exact
+            if let Some(ring) = plan.ring3() {
+                s = s.ring3(ring);
+            }
+            s.compile()
         })
         .collect()
 }
@@ -185,9 +255,20 @@ pub fn run_sharded_2d(
 ) -> Result<Grid2D, PlanError> {
     assert!(!lanes.is_empty(), "need at least one lane plan");
     let ny = grid.ny();
-    let shards = shards.clamp(1, lanes.len()).clamp(1, ny.max(1));
-    let halo = t * lanes[0].pattern().radius();
+    let mut shards = shards.clamp(1, lanes.len()).clamp(1, ny.max(1));
+    let (halo, min_span) = shard_geometry(&lanes[0], t, ny, &[grid.nx()]);
     let r_eff = lanes[0].effective_radius();
+    // tessellate register plans additionally need every slab wide
+    // enough to run the full run's per-round time blocks — shed shards
+    // until that holds (1 shard always does: the slab is the grid)
+    while shards > 1
+        && interior_ranges(ny, shards).iter().any(|&(lo, hi)| {
+            let (slo, shi) = slab_bounds(lo, hi, ny, halo, r_eff);
+            shi - slo < min_span
+        })
+    {
+        shards -= 1;
+    }
     let ranges = interior_ranges(ny, shards);
     let mut out = Grid2D::zeros(ny, grid.nx());
     let mut slots: Vec<SlabResult<Grid2D>> = (0..ranges.len()).map(|_| None).collect();
@@ -197,7 +278,9 @@ pub fn run_sharded_2d(
         for y in 0..slab_hi - slab_lo {
             slab.row_mut(y).copy_from_slice(grid.row(slab_lo + y));
         }
-        lane.run_2d(&slab, t).map(|done| (lo, hi, slab_lo, done))
+        // the slab's global origin anchors tessellate tile phase
+        lane.run_2d_at(&slab, t, slab_lo)
+            .map(|done| (lo, hi, slab_lo, done))
     };
     std::thread::scope(|scope| {
         let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
@@ -231,9 +314,18 @@ pub fn run_sharded_3d(
 ) -> Result<Grid3D, PlanError> {
     assert!(!lanes.is_empty(), "need at least one lane plan");
     let nz = grid.nz();
-    let shards = shards.clamp(1, lanes.len()).clamp(1, nz.max(1));
-    let halo = t * lanes[0].pattern().radius();
+    let mut shards = shards.clamp(1, lanes.len()).clamp(1, nz.max(1));
+    let (halo, min_span) = shard_geometry(&lanes[0], t, nz, &[grid.ny(), grid.nx()]);
     let r_eff = lanes[0].effective_radius();
+    // same slab-span guard as run_sharded_2d
+    while shards > 1
+        && interior_ranges(nz, shards).iter().any(|&(lo, hi)| {
+            let (slo, shi) = slab_bounds(lo, hi, nz, halo, r_eff);
+            shi - slo < min_span
+        })
+    {
+        shards -= 1;
+    }
     let ranges = interior_ranges(nz, shards);
     let mut out = Grid3D::zeros(nz, grid.ny(), grid.nx());
     let mut slots: Vec<SlabResult<Grid3D>> = (0..ranges.len()).map(|_| None).collect();
@@ -245,7 +337,9 @@ pub fn run_sharded_3d(
                 slab.row_mut(z, y).copy_from_slice(grid.row(slab_lo + z, y));
             }
         }
-        lane.run_3d(&slab, t).map(|done| (lo, hi, slab_lo, done))
+        // the slab's global origin anchors tessellate tile phase
+        lane.run_3d_at(&slab, t, slab_lo)
+            .map(|done| (lo, hi, slab_lo, done))
     };
     std::thread::scope(|scope| {
         let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
@@ -393,14 +487,86 @@ mod tests {
         // 1D has no outer axis to cut
         let plan1d = Solver::new(kernels::heat1d()).compile().unwrap();
         assert!(!shardable(&plan1d));
-        // register pipelines under tessellate: tile origins move with
-        // the slab extent, so phases cannot be preserved
-        let tess = Solver::new(kernels::heat2d())
+    }
+
+    #[test]
+    fn sharded_register_pipelines_under_tessellate_are_bit_identical() {
+        // the origin-anchored tile geometry: register plans now shard
+        // under tessellate tiling, bit for bit, with the widened halo
+        let g = Grid2D::from_fn(203, 72, |y, x| ((y * 29 + x * 11) % 31) as f64 * 0.25);
+        let t = 6;
+        for (method, tb) in [
+            (Method::Folded { m: 2 }, 2usize),
+            (Method::TransposeLayout, 3),
+        ] {
+            let plan = Solver::new(kernels::box2d9p())
+                .method(method)
+                .tiling(Tiling::Tessellate { time_block: tb })
+                .threads(2)
+                .compile()
+                .unwrap();
+            assert!(shardable(&plan), "{method:?}");
+            let want = plan.run_2d(&g, t).unwrap();
+            let lanes = lane_plans(&plan, 4).unwrap();
+            for shards in [1usize, 2, 3, 4] {
+                let got = run_sharded_2d(&lanes, &g, t, shards).unwrap();
+                assert_eq!(bits2d(&want), bits2d(&got), "{method:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_3d_zring_under_tessellate_is_bit_identical() {
+        // the z-ring pipeline sharded along z under tessellate tiling —
+        // the combination this PR exists for
+        let g = Grid3D::from_fn(96, 20, 24, |z, y, x| ((z * 13 + y * 7 + x * 3) % 17) as f64);
+        for (p, m, t) in [
+            (kernels::heat3d(), 2usize, 4usize),
+            (kernels::box3d27p(), 2, 5), // odd t: exercises the unfolded tail rounds
+        ] {
+            let plan = Solver::new(p)
+                .method(Method::Folded { m })
+                .tiling(Tiling::Tessellate { time_block: 2 })
+                .threads(2)
+                .compile()
+                .unwrap();
+            assert!(shardable(&plan));
+            let want = plan.run_3d(&g, t).unwrap();
+            let lanes = lane_plans(&plan, 3).unwrap();
+            for shards in [2usize, 3] {
+                let got = run_sharded_3d(&lanes, &g, t, shards).unwrap();
+                assert_eq!(bits3d(&want), bits3d(&got), "shards={shards} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_guard_sheds_shards_instead_of_diverging() {
+        // a domain too small for the requested shard count under the
+        // widened tessellate halo must still be bit-exact (fewer slabs
+        // are executed, never wrong ones)
+        let g = Grid3D::from_fn(28, 16, 20, |z, y, x| ((z + y * 3 + x) % 7) as f64);
+        let plan = Solver::new(kernels::heat3d())
             .method(Method::Folded { m: 2 })
-            .tiling(Tiling::Tessellate { time_block: 2 })
-            .threads(2)
+            .tiling(Tiling::Tessellate { time_block: 4 })
             .compile()
             .unwrap();
-        assert!(!shardable(&tess));
+        let want = plan.run_3d(&g, 6).unwrap();
+        let lanes = lane_plans(&plan, 4).unwrap();
+        let got = run_sharded_3d(&lanes, &g, 6, 4).unwrap();
+        assert_eq!(bits3d(&want), bits3d(&got));
+    }
+
+    #[test]
+    fn lane_plans_inherit_the_ring_geometry() {
+        let plan = Solver::new(kernels::box3d27p())
+            .method(Method::Folded { m: 2 })
+            .ring3(stencil_core::Ring3 { depth: 5, slab: 3 })
+            .compile()
+            .unwrap();
+        let lanes = lane_plans(&plan, 2).unwrap();
+        for lane in &lanes {
+            assert_eq!(lane.ring3(), plan.ring3());
+        }
     }
 }

@@ -17,12 +17,14 @@ use crate::host::HostFingerprint;
 use crate::json::{self, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
-use stencil_core::{Method, Pattern, Tiling, Width};
+use stencil_core::{Method, Pattern, Ring3, Tiling, Width};
 
 /// Current cache file schema version; bump on incompatible change
 /// (older files are discarded, not migrated — they are measurements,
-/// not state).
-pub const CACHE_VERSION: f64 = 1.0;
+/// not state). v2.0: cache keys gained the `|ri=` z-ring component and
+/// entries the `ring`/`method_rates` fields — v1.0 entries could never
+/// be hit again and would only be dead weight, so they are dropped.
+pub const CACHE_VERSION: f64 = 2.0;
 
 /// One persisted tuning decision.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,9 @@ pub struct CacheEntry {
     pub tiling: Tiling,
     /// Winning width.
     pub width: Width,
+    /// Winning z-ring geometry for 3D register decisions (`None` = the
+    /// static [`Ring3::auto`] default, and for every non-3D decision).
+    pub ring: Option<Ring3>,
     /// Measured throughput of the winner, in grid-point updates/sec.
     pub rate: f64,
     /// What the §3.2 cost model would have chosen, for
@@ -44,6 +49,10 @@ pub struct CacheEntry {
     pub probes: usize,
     /// Wall time the probe search spent, in milliseconds.
     pub spent_ms: f64,
+    /// Best measured rate per probed *method* in this session — the
+    /// probe history [`TuneCache::dominated_methods`] reads to shrink
+    /// future candidate lists. Empty for pre-history cache files.
+    pub method_rates: Vec<(Method, f64)>,
 }
 
 /// How a cache image relates to the current host fingerprint — the
@@ -125,6 +134,68 @@ impl TuneCache {
         self.entries.insert(entry.key.clone(), entry);
     }
 
+    /// Methods the per-host probe history shows to be *dominated* for
+    /// `pattern_sig` on `host` at `threads` workers and `width`: probed
+    /// in at least `min_sessions` prior **unconstrained** sessions
+    /// (entries under this host/build, thread count and requested width
+    /// whose key carries the same pattern signature and no fixed
+    /// method/tiling/ring — a session probed under a pinned axis is not
+    /// a fair method comparison) and, in **every** one of them,
+    /// measured below `margin` × that session's best rate. The
+    /// candidate generator drops these from future searches — the probe
+    /// history shrinking the list over time (first step of the
+    /// hill-climb roadmap item). Sessions at other thread counts or
+    /// widths never transfer (the cost model itself ranks methods as a
+    /// function of both), and a method that ever came within the margin
+    /// (or won) is never reported.
+    pub fn dominated_methods(
+        &self,
+        host: &HostFingerprint,
+        threads: usize,
+        width: Width,
+        pattern_sig: &str,
+        min_sessions: usize,
+        margin: f64,
+    ) -> Vec<Method> {
+        let local_prefix = format!("{}|t{threads}|w{}|", host.key_prefix(), width.lanes());
+        let sig_component = format!("|{pattern_sig}|");
+        let mut dominated: Vec<(Method, usize)> = Vec::new();
+        let mut cleared: Vec<Method> = Vec::new();
+        for e in self.entries.values() {
+            if !e.key.starts_with(&local_prefix)
+                || !e.key.contains(&sig_component)
+                || !e.key.ends_with("|m=*|ti=*|ri=*")
+            {
+                continue;
+            }
+            // a session that measured a single method has no comparison
+            // to offer
+            if e.method_rates.len() < 2 {
+                continue;
+            }
+            let best = e
+                .method_rates
+                .iter()
+                .fold(0.0f64, |acc, &(_, r)| acc.max(r));
+            for &(m, rate) in &e.method_rates {
+                if rate >= margin * best {
+                    if !cleared.contains(&m) {
+                        cleared.push(m);
+                    }
+                } else if let Some(d) = dominated.iter_mut().find(|(dm, _)| *dm == m) {
+                    d.1 += 1;
+                } else {
+                    dominated.push((m, 1));
+                }
+            }
+        }
+        dominated
+            .into_iter()
+            .filter(|&(m, n)| n >= min_sessions && !cleared.contains(&m))
+            .map(|(m, _)| m)
+            .collect()
+    }
+
     /// Adopt every entry of `other` under a key this cache does not
     /// already hold (existing entries win). Used before a save to fold
     /// in decisions other processes persisted since this image was
@@ -184,6 +255,25 @@ impl TuneCache {
                 );
                 m.insert("probes".into(), Value::Num(e.probes as f64));
                 m.insert("spent_ms".into(), Value::Num(e.spent_ms));
+                if let Some(r) = e.ring {
+                    m.insert("ring".into(), Value::Str(ring_str(r)));
+                }
+                if !e.method_rates.is_empty() {
+                    m.insert(
+                        "method_rates".into(),
+                        Value::Arr(
+                            e.method_rates
+                                .iter()
+                                .map(|&(mm, rate)| {
+                                    let mut o = BTreeMap::new();
+                                    o.insert("method".into(), Value::Str(method_str(mm)));
+                                    o.insert("rate".into(), Value::Num(rate));
+                                    Value::Obj(o)
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
                 Value::Obj(m)
             })
             .collect();
@@ -210,15 +300,33 @@ impl TuneCache {
             if method == Method::Auto || tiling == Tiling::Auto {
                 continue;
             }
+            // optional fields (absent in pre-ring/pre-history caches)
+            let ring = e.get("ring").and_then(Value::as_str).and_then(parse_ring);
+            let method_rates: Vec<(Method, f64)> = e
+                .get("method_rates")
+                .and_then(Value::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|o| {
+                            Some((
+                                parse_method(o.get("method")?.as_str()?)?,
+                                o.get("rate")?.as_num()?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
             cache.put(CacheEntry {
                 key: e.get("key")?.as_str()?.to_string(),
                 method,
                 tiling,
                 width: parse_width(e.get("width")?.as_num()? as usize)?,
+                ring,
                 rate: e.get("rate")?.as_num()?,
                 model_method: parse_method(e.get("model_method")?.as_str()?)?,
                 probes: e.get("probes")?.as_num()? as usize,
                 spent_ms: e.get("spent_ms")?.as_num()?,
+                method_rates,
             });
         }
         Some(cache)
@@ -243,6 +351,7 @@ pub fn pattern_signature(p: &Pattern) -> String {
 pub use stencil_core::tune::shape_class;
 
 /// Build the full cache key for a tuning request.
+#[allow(clippy::too_many_arguments)] // one parameter per key component, by design
 pub fn cache_key(
     host: &HostFingerprint,
     p: &Pattern,
@@ -250,10 +359,11 @@ pub fn cache_key(
     threads: usize,
     fixed_method: Option<Method>,
     fixed_tiling: Option<Tiling>,
+    fixed_ring: Option<Ring3>,
     hint: Option<&[usize]>,
 ) -> String {
     format!(
-        "{}|t{}|w{}|{}|{}|m={}|ti={}",
+        "{}|t{}|w{}|{}|{}|m={}|ti={}|ri={}",
         host.key_prefix(),
         threads,
         width.lanes(),
@@ -261,6 +371,7 @@ pub fn cache_key(
         shape_class(hint),
         fixed_method.map(method_str).unwrap_or_else(|| "*".into()),
         fixed_tiling.map(tiling_str).unwrap_or_else(|| "*".into()),
+        fixed_ring.map(ring_str).unwrap_or_else(|| "*".into()),
     )
 }
 
@@ -331,6 +442,20 @@ pub fn parse_tiling(s: &str) -> Option<Tiling> {
     })
 }
 
+/// Encode a z-ring geometry as `depth x slab` (`"8x4"`).
+pub fn ring_str(r: Ring3) -> String {
+    format!("{}x{}", r.depth, r.slab)
+}
+
+/// Decode [`ring_str`].
+pub fn parse_ring(s: &str) -> Option<Ring3> {
+    let (d, sl) = s.split_once('x')?;
+    Some(Ring3 {
+        depth: d.parse().ok()?,
+        slab: sl.parse().ok()?,
+    })
+}
+
 /// Decode a lane count back into a [`Width`].
 pub fn parse_width(lanes: usize) -> Option<Width> {
     Some(match lanes {
@@ -360,17 +485,21 @@ mod tests {
             method: Method::Folded { m: 2 },
             tiling: Tiling::Tessellate { time_block: 16 },
             width: Width::W4,
+            ring: None,
             rate: 1.25e9,
             model_method: Method::Folded { m: 2 },
             probes: 7,
             spent_ms: 41.5,
+            method_rates: vec![],
         }
     }
 
     #[test]
     fn entry_round_trips_through_json_text() {
         let mut cache = TuneCache::new();
-        cache.put(sample_entry("h|avx2-w4|t8|w4|d1r1p3-aa|medium|m=*|ti=*"));
+        cache.put(sample_entry(
+            "h|avx2-w4|t8|w4|d1r1p3-aa|medium|m=*|ti=*|ri=*",
+        ));
         cache.put(CacheEntry {
             key: "other".into(),
             method: Method::Dlt,
@@ -379,9 +508,25 @@ mod tests {
             model_method: Method::TransposeLayout,
             ..sample_entry("other")
         });
+        // the 3D fields round-trip too: a winning ring and probe history
+        cache.put(CacheEntry {
+            key: "ringy".into(),
+            method: Method::Folded { m: 2 },
+            ring: Some(Ring3 { depth: 16, slab: 8 }),
+            method_rates: vec![
+                (Method::Folded { m: 2 }, 2.0e9),
+                (Method::MultipleLoads, 0.9e9),
+            ],
+            ..sample_entry("ringy")
+        });
         let text = cache.to_json().pretty();
         let back = TuneCache::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, cache);
+        assert_eq!(
+            back.get("ringy").unwrap().ring,
+            Some(Ring3 { depth: 16, slab: 8 })
+        );
+        assert_eq!(back.get("ringy").unwrap().method_rates.len(), 2);
     }
 
     #[test]
@@ -415,11 +560,29 @@ mod tests {
     }
 
     #[test]
+    fn v1_cache_files_are_discarded_not_half_loaded() {
+        // v1.0 keys lack the |ri= component: every entry would be
+        // unreachable dead weight under the v2.0 key schema, so the
+        // whole image is dropped (schema mismatch -> re-probe + rewrite)
+        let path = std::env::temp_dir().join("stencil-tune-test-v1.json");
+        std::fs::write(
+            &path,
+            r#"{ "version": 1.0, "entries": [
+  { "key": "h|avx2-w4|t8|w4|d1r1p3-aa|medium|m=*|ti=*", "method": "scalar",
+    "tiling": "none", "width": 4.0, "rate": 1.0, "model_method": "scalar",
+    "probes": 1.0, "spent_ms": 1.0 } ] }"#,
+        )
+        .unwrap();
+        assert!(TuneCache::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn auto_entries_are_semantic_corruption_and_dropped() {
         // a decision must be concrete: hand-merged or future-schema
         // entries carrying "auto" must not round-trip into the cache
         let text = r#"{
-  "version": 1.0,
+  "version": 2.0,
   "entries": [
     { "key": "bad-method", "method": "auto", "tiling": "none", "width": 4.0,
       "rate": 1.0, "model_method": "scalar", "probes": 1.0, "spent_ms": 1.0 },
@@ -434,6 +597,94 @@ mod tests {
         assert!(cache.get("good").is_some());
         assert!(cache.get("bad-method").is_none());
         assert!(cache.get("bad-tiling").is_none());
+    }
+
+    #[test]
+    fn dominance_needs_two_sessions_and_consistency() {
+        let h = host("a", "avx2-w4");
+        let sig = "d3r1p7-ab";
+        let entry = |key: &str, rates: Vec<(Method, f64)>| CacheEntry {
+            key: format!("{}|t4|w4|{sig}|{key}|m=*|ti=*|ri=*", h.key_prefix()),
+            method_rates: rates,
+            ..sample_entry("x")
+        };
+        let slow = Method::DataReorg;
+        let fast = Method::Folded { m: 2 };
+        let mut cache = TuneCache::new();
+        // one session: not enough history
+        cache.put(entry("tiny", vec![(fast, 10.0), (slow, 2.0)]));
+        assert!(cache
+            .dominated_methods(&h, 4, Width::W4, sig, 2, 0.7)
+            .is_empty());
+        // second session dominating the same method: reported
+        cache.put(entry("small", vec![(fast, 8.0), (slow, 1.5)]));
+        assert_eq!(
+            cache.dominated_methods(&h, 4, Width::W4, sig, 2, 0.7),
+            vec![slow]
+        );
+        // sessions never transfer across thread counts or widths
+        assert!(cache
+            .dominated_methods(&h, 8, Width::W4, sig, 2, 0.7)
+            .is_empty());
+        assert!(cache
+            .dominated_methods(&h, 4, Width::W8, sig, 2, 0.7)
+            .is_empty());
+        // sessions probed under a pinned axis are not fair comparisons
+        // and contribute no dominance evidence
+        let mut pinned = TuneCache::new();
+        for class in ["tiny", "small"] {
+            pinned.put(CacheEntry {
+                key: format!("{}|t4|w4|{sig}|{class}|m=*|ti=split:4|ri=*", h.key_prefix()),
+                method_rates: vec![(fast, 10.0), (slow, 1.0)],
+                ..sample_entry(class)
+            });
+        }
+        assert!(pinned
+            .dominated_methods(&h, 4, Width::W4, sig, 2, 0.7)
+            .is_empty());
+        // a session where the method came within the margin clears it
+        cache.put(entry("medium", vec![(fast, 8.0), (slow, 7.9)]));
+        assert!(cache
+            .dominated_methods(&h, 4, Width::W4, sig, 2, 0.7)
+            .is_empty());
+        // foreign-host history never counts
+        let mut foreign = TuneCache::new();
+        foreign.put(CacheEntry {
+            key: format!("elsewhere|avx2-w4|t4|w4|{sig}|tiny|m=*|ti=*|ri=*"),
+            method_rates: vec![(fast, 10.0), (slow, 1.0)],
+            ..sample_entry("x")
+        });
+        foreign.put(CacheEntry {
+            key: format!("elsewhere|avx2-w4|t8|w4|{sig}|small|m=*|ti=*|ri=*"),
+            method_rates: vec![(fast, 10.0), (slow, 1.0)],
+            ..sample_entry("y")
+        });
+        assert!(foreign
+            .dominated_methods(&h, 4, Width::W4, sig, 2, 0.7)
+            .is_empty());
+        // pre-history entries (empty method_rates) contribute nothing
+        let mut old = TuneCache::new();
+        old.put(entry("tiny", vec![]));
+        old.put(entry("small", vec![]));
+        assert!(old
+            .dominated_methods(&h, 4, Width::W4, sig, 2, 0.7)
+            .is_empty());
+    }
+
+    #[test]
+    fn ring_encoding_round_trips() {
+        for r in [
+            Ring3 { depth: 8, slab: 4 },
+            Ring3 { depth: 1, slab: 1 },
+            Ring3 {
+                depth: 64,
+                slab: 32,
+            },
+        ] {
+            assert_eq!(parse_ring(&ring_str(r)), Some(r));
+        }
+        assert_eq!(parse_ring("8"), None);
+        assert_eq!(parse_ring("ax4"), None);
     }
 
     #[test]
@@ -460,14 +711,42 @@ mod tests {
     #[test]
     fn keys_differ_across_host_isa_pattern_and_class() {
         let p = kernels::heat1d();
-        let base = cache_key(&host("a", "avx2-w4"), &p, Width::W4, 8, None, None, None);
-        let other_host = cache_key(&host("b", "avx2-w4"), &p, Width::W4, 8, None, None, None);
-        let other_isa = cache_key(&host("a", "avx512f-w8"), &p, Width::W4, 8, None, None, None);
+        let base = cache_key(
+            &host("a", "avx2-w4"),
+            &p,
+            Width::W4,
+            8,
+            None,
+            None,
+            None,
+            None,
+        );
+        let other_host = cache_key(
+            &host("b", "avx2-w4"),
+            &p,
+            Width::W4,
+            8,
+            None,
+            None,
+            None,
+            None,
+        );
+        let other_isa = cache_key(
+            &host("a", "avx512f-w8"),
+            &p,
+            Width::W4,
+            8,
+            None,
+            None,
+            None,
+            None,
+        );
         let other_pat = cache_key(
             &host("a", "avx2-w4"),
             &kernels::d1p5(),
             Width::W4,
             8,
+            None,
             None,
             None,
             None,
@@ -479,6 +758,7 @@ mod tests {
             8,
             None,
             None,
+            None,
             Some(&[1024]),
         );
         for k in [&other_host, &other_isa, &other_pat, &other_class] {
@@ -487,7 +767,16 @@ mod tests {
         // same request, same key (determinism)
         assert_eq!(
             base,
-            cache_key(&host("a", "avx2-w4"), &p, Width::W4, 8, None, None, None)
+            cache_key(
+                &host("a", "avx2-w4"),
+                &p,
+                Width::W4,
+                8,
+                None,
+                None,
+                None,
+                None
+            )
         );
     }
 

@@ -11,7 +11,7 @@
 //! cost model's own choice rather than toward noise.
 
 use stencil_core::tune::{default_time_block, fold_radius_cap};
-use stencil_core::{cost, kernels, FoldPlan, Method, Pattern, Tiling, Width};
+use stencil_core::{cost, kernels, FoldPlan, Method, Pattern, Ring3, Tiling, Width};
 
 /// One concrete configuration the probe harness can compile and time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +22,9 @@ pub struct Candidate {
     pub tiling: Tiling,
     /// Vector width.
     pub width: Width,
+    /// Z-ring geometry for 3D register methods (`None` = the static
+    /// [`Ring3::auto`] default); always `None` elsewhere.
+    pub ring: Option<Ring3>,
     /// The cost-model score that ranked this candidate's method
     /// (higher = predicted better); kept for reporting.
     pub score: f64,
@@ -94,17 +97,44 @@ fn widths(requested: Width) -> Vec<Width> {
     }
 }
 
+/// Z-ring geometry candidates for one 3D register method: the static
+/// default (`None`, resolved to [`Ring3::auto`] at compile time) plus
+/// two neighborhood moves — a shallow/narrow pane for cache-tight hosts
+/// and a deep/wide one for bandwidth-bound ones. Non-3D or non-register
+/// configurations have no ring axis.
+fn rings_for(method: Method, dims: usize, fixed_ring: Option<Ring3>) -> Vec<Option<Ring3>> {
+    let register = matches!(method, Method::TransposeLayout | Method::Folded { .. });
+    if dims != 3 || !register {
+        // the ring axis only exists for 3D register pipelines: a pinned
+        // ring must not leak onto methods that cannot execute one (the
+        // `Candidate::ring`/`CacheEntry::ring` "None elsewhere" contract)
+        return vec![None];
+    }
+    if let Some(r) = fixed_ring {
+        return vec![Some(r)];
+    }
+    vec![
+        None,
+        Some(Ring3 { depth: 4, slab: 2 }),
+        Some(Ring3 { depth: 16, slab: 8 }),
+    ]
+}
+
 /// Generate the ordered candidate list for a tuning request.
 ///
-/// `fixed_method`/`fixed_tiling` pin user-chosen parameters: only the
-/// unfixed axes are searched. `top_k` bounds how many cost-model-ranked
-/// methods enter the search (the budget usually bites first).
+/// `fixed_method`/`fixed_tiling`/`fixed_ring` pin user-chosen
+/// parameters: only the unfixed axes are searched. The 3D register
+/// methods additionally search the z-ring axes (z-strip depth × x-slab
+/// width: the static default plus two neighborhood moves). `top_k`
+/// bounds how many cost-model-ranked methods enter the search (the
+/// budget usually bites first).
 pub fn generate(
     p: &Pattern,
     requested_width: Width,
     threads: usize,
     fixed_method: Option<Method>,
     fixed_tiling: Option<Tiling>,
+    fixed_ring: Option<Ring3>,
     top_k: usize,
 ) -> Vec<Candidate> {
     let dims = p.dims();
@@ -145,12 +175,15 @@ pub fn generate(
                         continue;
                     }
                 }
-                out.push(Candidate {
-                    method,
-                    tiling,
-                    width,
-                    score,
-                });
+                for ring in rings_for(method, dims, fixed_ring) {
+                    out.push(Candidate {
+                        method,
+                        tiling,
+                        width,
+                        ring,
+                        score,
+                    });
+                }
             }
         }
     }
@@ -171,6 +204,7 @@ pub fn generate(
             method,
             tiling,
             width: requested_width,
+            ring: fixed_ring,
             score: f64::NAN,
         });
     }
@@ -271,7 +305,15 @@ mod tests {
     #[test]
     fn generator_respects_fixed_axes() {
         let p = kernels::heat2d();
-        let only_tiling = generate(&p, Width::W4, 4, Some(Method::TransposeLayout), None, 3);
+        let only_tiling = generate(
+            &p,
+            Width::W4,
+            4,
+            Some(Method::TransposeLayout),
+            None,
+            None,
+            3,
+        );
         assert!(!only_tiling.is_empty());
         assert!(only_tiling
             .iter()
@@ -282,6 +324,7 @@ mod tests {
             4,
             None,
             Some(Tiling::Tessellate { time_block: 6 }),
+            None,
             3,
         );
         assert!(!only_method.is_empty());
@@ -295,12 +338,15 @@ mod tests {
         // the composes() mirror stays in sync with Solver::compile
         for (name, p) in table1_patterns() {
             for threads in [1, 4] {
-                for c in generate(&p, Width::native_max(), threads, None, None, 4) {
-                    let r = stencil_core::Solver::new(p.clone())
+                for c in generate(&p, Width::native_max(), threads, None, None, None, 4) {
+                    let mut s = stencil_core::Solver::new(p.clone())
                         .method(c.method)
                         .tiling(c.tiling)
-                        .width(c.width)
-                        .compile();
+                        .width(c.width);
+                    if let Some(ring) = c.ring {
+                        s = s.ring3(ring);
+                    }
+                    let r = s.compile();
                     // wide folds can exceed the register budget at
                     // narrow widths; that is the probe's skip path, not
                     // a generator bug — everything else must compile
@@ -331,6 +377,7 @@ mod tests {
                 4,
                 None,
                 Some(Tiling::Split { time_block: 4 }),
+                None,
                 3,
             );
             assert!(!cands.is_empty(), "dims {}", p.dims());
@@ -348,11 +395,11 @@ mod tests {
 
     #[test]
     fn spatial_candidates_only_in_2d_plus_and_vector_family() {
-        let c1 = generate(&kernels::heat1d(), Width::W4, 4, None, None, 4);
+        let c1 = generate(&kernels::heat1d(), Width::W4, 4, None, None, None, 4);
         assert!(c1
             .iter()
             .all(|c| !matches!(c.tiling, Tiling::Spatial { .. })));
-        let c2 = generate(&kernels::heat2d(), Width::W4, 4, None, None, 4);
+        let c2 = generate(&kernels::heat2d(), Width::W4, 4, None, None, None, 4);
         assert!(c2
             .iter()
             .filter(|c| matches!(c.tiling, Tiling::Spatial { .. }))
@@ -362,7 +409,7 @@ mod tests {
     #[test]
     fn folded_m3_enters_the_pool_by_radius_and_width() {
         let has_m3 = |p: &Pattern, w: Width| {
-            generate(p, w, 4, None, None, 8)
+            generate(p, w, 4, None, None, None, 8)
                 .iter()
                 .any(|c| c.method == Method::Folded { m: 3 })
         };
@@ -374,11 +421,14 @@ mod tests {
         // within 8: the candidate must appear and disappear with width.
         assert!(!has_m3(&kernels::d1p5(), Width::W4));
         assert!(has_m3(&kernels::d1p5(), Width::W8));
-        // 3D is bounded by the register window (MAX_R3 = 2): even the
-        // radius-1 star cannot fold three steps.
-        assert!(!has_m3(&kernels::heat3d(), Width::W8));
+        // the deeper 3D fold window (MAX_R3 = 4) admits three-step
+        // folds of the radius-1 star at vector widths...
+        assert!(has_m3(&kernels::heat3d(), Width::W8));
+        assert!(has_m3(&kernels::heat3d(), Width::W4));
+        // ...but a radius-2 box at m = 3 reaches radius 6, beyond it
+        assert!(!has_m3(&kernels::box3d125p(), Width::W8));
         // every emitted m = 3 candidate actually compiles
-        for c in generate(&kernels::d1p5(), Width::W8, 4, None, None, 8) {
+        for c in generate(&kernels::d1p5(), Width::W8, 4, None, None, None, 8) {
             if c.method == (Method::Folded { m: 3 }) {
                 stencil_core::Solver::new(kernels::d1p5())
                     .method(c.method)
@@ -392,10 +442,84 @@ mod tests {
 
     #[test]
     fn width_neighborhood_narrows_from_w8() {
-        let c = generate(&kernels::heat1d(), Width::W8, 1, None, None, 1);
+        let c = generate(&kernels::heat1d(), Width::W8, 1, None, None, None, 1);
         assert!(c.iter().any(|x| x.width == Width::W8));
         assert!(c.iter().any(|x| x.width == Width::W4));
-        let c4 = generate(&kernels::heat1d(), Width::W4, 1, None, None, 1);
+        let c4 = generate(&kernels::heat1d(), Width::W4, 1, None, None, None, 1);
         assert!(c4.iter().all(|x| x.width == Width::W4));
+    }
+
+    #[test]
+    fn ring_axis_searched_only_for_3d_register_methods() {
+        // 3D register candidates carry ring neighborhood moves...
+        let c3 = generate(&kernels::heat3d(), Width::W4, 4, None, None, None, 4);
+        assert!(c3
+            .iter()
+            .any(|c| matches!(c.method, Method::Folded { .. }) && c.ring.is_some()));
+        assert!(c3
+            .iter()
+            .any(|c| matches!(c.method, Method::Folded { .. }) && c.ring.is_none()));
+        // ...the vector family and lower dimensionalities never do
+        assert!(c3
+            .iter()
+            .filter(|c| c.method == Method::MultipleLoads)
+            .all(|c| c.ring.is_none()));
+        let c2 = generate(&kernels::heat2d(), Width::W4, 4, None, None, None, 4);
+        assert!(c2.iter().all(|c| c.ring.is_none()));
+        // a pinned ring collapses the axis...
+        let pinned = Ring3 { depth: 6, slab: 3 };
+        let cp = generate(
+            &kernels::heat3d(),
+            Width::W4,
+            4,
+            None,
+            None,
+            Some(pinned),
+            4,
+        );
+        assert!(cp
+            .iter()
+            .filter(|c| matches!(c.method, Method::Folded { .. } | Method::TransposeLayout))
+            .all(|c| c.ring == Some(pinned)));
+        // ...but never leaks onto methods (or dimensionalities) that
+        // cannot execute a ring
+        assert!(cp
+            .iter()
+            .filter(|c| c.method == Method::MultipleLoads)
+            .all(|c| c.ring.is_none()));
+        let cp2 = generate(
+            &kernels::heat2d(),
+            Width::W4,
+            4,
+            None,
+            None,
+            Some(pinned),
+            4,
+        );
+        assert!(cp2.iter().all(|c| c.ring.is_none()));
+    }
+
+    #[test]
+    fn deeper_fold_window_keeps_m2_selectable_for_radius2_3d() {
+        // the MAX_R3 = 4 window exists so folded m = 2 stays available
+        // for radius-2 3D stencils (folded radius 4)
+        let p = kernels::box3d125p();
+        assert!(fold_fits(&p, 2, Width::W4));
+        assert!(fold_fits(&p, 2, Width::W8));
+        assert!(!fold_fits(&p, 3, Width::W8), "radius 6 exceeds the window");
+        let cands = generate(&p, Width::W4, 4, None, None, None, 8);
+        assert!(cands.iter().any(|c| c.method == Method::Folded { m: 2 }));
+        // and every emitted m = 2 candidate compiles with its ring
+        for c in cands.iter().filter(|c| c.method == Method::Folded { m: 2 }) {
+            let mut s = stencil_core::Solver::new(p.clone())
+                .method(c.method)
+                .tiling(c.tiling)
+                .width(c.width);
+            if let Some(r) = c.ring {
+                s = s.ring3(r);
+            }
+            let plan = s.compile().unwrap();
+            assert!(plan.ring3().is_some());
+        }
     }
 }

@@ -231,10 +231,20 @@ impl AutoTuner {
             req.threads,
             req.method,
             req.tiling,
+            req.ring3,
             req.domain_hint,
         )
     }
 }
+
+/// Fraction of a session's best rate below which a probed method counts
+/// as dominated in that session (see
+/// [`cache::TuneCache::dominated_methods`]).
+pub const DOMINANCE_MARGIN: f64 = 0.7;
+
+/// Probe sessions that must consistently dominate a method before the
+/// candidate generator drops it.
+pub const DOMINANCE_SESSIONS: usize = 2;
 
 impl MeasuredTuner for AutoTuner {
     fn tune(&self, req: &TuneRequest<'_>) -> Result<TuneDecision, TuneFailure> {
@@ -244,6 +254,7 @@ impl MeasuredTuner for AutoTuner {
                 method: hit.method,
                 tiling: hit.tiling,
                 width: hit.width,
+                ring3: hit.ring,
                 from_cache: true,
             });
         }
@@ -251,14 +262,44 @@ impl MeasuredTuner for AutoTuner {
             return Err(TuneFailure::CacheMiss { key });
         }
 
-        let cands = candidates::generate(
+        let mut cands = candidates::generate(
             req.pattern,
             req.width,
             req.threads,
             req.method,
             req.tiling,
+            req.ring3,
             self.top_k,
         );
+        // Probe history shrinks the list: methods this host's prior
+        // sessions consistently measured far off the lead are dropped
+        // before any budget is spent on them. Fixed methods are never
+        // pruned (the caller asked for exactly that one), and the prune
+        // never empties the list — the top-ranked survivor always runs.
+        if req.method.is_none() {
+            let sig = cache::pattern_signature(req.pattern);
+            let hostd = self.hostd.clone();
+            let doomed = self.with_cache(|c| {
+                c.dominated_methods(
+                    &hostd,
+                    req.threads,
+                    req.width,
+                    &sig,
+                    DOMINANCE_SESSIONS,
+                    DOMINANCE_MARGIN,
+                )
+            });
+            if !doomed.is_empty() {
+                let kept: Vec<candidates::Candidate> = cands
+                    .iter()
+                    .filter(|c| !doomed.contains(&c.method))
+                    .copied()
+                    .collect();
+                if !kept.is_empty() {
+                    cands = kept;
+                }
+            }
+        }
         if cands.is_empty() {
             return Err(TuneFailure::Failed {
                 reason: format!("no candidate configurations for key {key:?}"),
@@ -283,20 +324,36 @@ impl MeasuredTuner for AutoTuner {
             });
         };
 
+        // per-method probe history: the best rate each method reached in
+        // this session, for the dominance pruning of future sessions
+        let mut method_rates: Vec<(stencil_core::Method, f64)> = Vec::new();
+        for o in &report.outcomes {
+            if let Some(mr) = method_rates
+                .iter_mut()
+                .find(|(m, _)| *m == o.candidate.method)
+            {
+                mr.1 = mr.1.max(o.rate);
+            } else {
+                method_rates.push((o.candidate.method, o.rate));
+            }
+        }
         let entry = CacheEntry {
             key: key.clone(),
             method: best.candidate.method,
             tiling: best.candidate.tiling,
             width: best.candidate.width,
+            ring: best.candidate.ring,
             rate: best.rate,
             model_method: candidates::model_choice(req.pattern, req.width, req.tiling),
             probes: report.outcomes.len(),
             spent_ms: report.spent.as_secs_f64() * 1e3,
+            method_rates,
         };
         let decision = TuneDecision {
             method: entry.method,
             tiling: entry.tiling,
             width: entry.width,
+            ring3: entry.ring,
             from_cache: false,
         };
         self.with_cache(|c| {
@@ -412,6 +469,7 @@ mod tests {
             method: None,
             tiling: None,
             domain_hint: hint,
+            ring3: None,
             mode,
         }
     }
@@ -539,6 +597,63 @@ mod tests {
         r.method = Some(Method::TransposeLayout);
         let d = tuner.tune(&r).unwrap();
         assert_eq!(d.method, Method::TransposeLayout);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn probe_history_prunes_dominated_methods() {
+        use stencil_core::{Method, Tiling};
+        let path = temp_path("dominance");
+        let _ = std::fs::remove_file(&path);
+        let p = kernels::heat1d();
+        let hostd = HostFingerprint::detect();
+        // seed two prior sessions (distinct shape classes) whose probe
+        // history shows DataReorg hopelessly dominated
+        let mut seeded = cache::TuneCache::new();
+        for (hint, rate) in [(&[2048usize][..], 1.0e8), (&[500_000usize][..], 1.2e8)] {
+            let key = cache::cache_key(&hostd, &p, Width::W4, 2, None, None, None, Some(hint));
+            seeded.put(cache::CacheEntry {
+                key,
+                method: Method::Folded { m: 2 },
+                tiling: Tiling::Tessellate { time_block: 8 },
+                width: Width::W4,
+                ring: None,
+                rate: 10.0 * rate,
+                model_method: Method::Folded { m: 2 },
+                probes: 5,
+                spent_ms: 20.0,
+                method_rates: vec![
+                    (Method::Folded { m: 2 }, 10.0 * rate),
+                    (Method::TransposeLayout, 9.0 * rate),
+                    (Method::DataReorg, rate),
+                ],
+            });
+        }
+        seeded.save(&path).unwrap();
+        // a fresh probe session under a *new* key must not spend budget
+        // on the dominated method: its session history excludes it
+        let tuner = AutoTuner::with_cache_path(&path)
+            .budget(Budget::from_millis(1500))
+            .top_k(8);
+        let hint: &[usize] = &[60_000];
+        let d = tuner.tune(&req(&p, Tuning::Measured, Some(hint))).unwrap();
+        assert!(!d.from_cache);
+        let entry = tuner
+            .lookup(&req(&p, Tuning::CacheOnly, Some(hint)))
+            .unwrap();
+        assert!(
+            !entry
+                .method_rates
+                .iter()
+                .any(|&(m, _)| m == Method::DataReorg),
+            "dominated method must be pruned from the probe list: {:?}",
+            entry.method_rates
+        );
+        // methods with a clean record still get probed
+        assert!(entry
+            .method_rates
+            .iter()
+            .any(|&(m, _)| matches!(m, Method::Folded { .. })));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -190,14 +190,16 @@ pub fn run(
             continue;
         }
         // compile once; warm-up and the timed sweep reuse the plan
-        let Ok(plan) = Solver::new(p.clone())
+        let mut solver = Solver::new(p.clone())
             .method(cand.method)
             .tiling(cand.tiling)
             .width(cand.width)
             .pool(pool.clone())
-            .tuning(Tuning::Static)
-            .compile()
-        else {
+            .tuning(Tuning::Static);
+        if let Some(ring) = cand.ring {
+            solver = solver.ring3(ring);
+        }
+        let Ok(plan) = solver.compile() else {
             skipped += 1;
             continue;
         };
@@ -266,7 +268,7 @@ mod tests {
     #[test]
     fn probes_pick_a_candidate_and_count_sweeps() {
         let p = kernels::heat1d();
-        let cands = candidates::generate(&p, Width::W4, 2, None, None, 2);
+        let cands = candidates::generate(&p, Width::W4, 2, None, None, None, 2);
         let domain = ProbeDomain::build(&p, "tiny");
         let counter = AtomicU64::new(0);
         let report = run(&p, &cands, 2, &domain, &Budget::from_millis(400), &counter);
@@ -278,7 +280,7 @@ mod tests {
     #[test]
     fn budget_early_exit_still_measures_one() {
         let p = kernels::box2d9p();
-        let cands = candidates::generate(&p, Width::W4, 1, None, None, 4);
+        let cands = candidates::generate(&p, Width::W4, 1, None, None, None, 4);
         let domain = ProbeDomain::build(&p, "tiny");
         let counter = AtomicU64::new(0);
         // zero budget: the first candidate is still probed (never return
@@ -312,6 +314,7 @@ mod tests {
             method: stencil_core::Method::Folded { m: 2 },
             tiling: Tiling::None,
             width: Width::W1,
+            ring: None,
             score: f64::NAN,
         }];
         let domain = ProbeDomain::build(&p, "tiny");

@@ -232,7 +232,9 @@ fn three_dimensional_tuned_and_static_selection_agree() {
     // choice widens
     tuner_ready();
     for p in [kernels::heat3d(), kernels::box3d27p()] {
-        let (nz, ny, nx) = (20, 22, 26);
+        // the deeper 3D fold window lets the tuner pick m = 3 (band up
+        // to 12 at t = 4): the grid must keep an interior even then
+        let (nz, ny, nx) = (30, 30, 32);
         let g = grid3(nz, ny, nx);
         let t = 4;
         let want = Solver::new(p.clone())

@@ -16,7 +16,8 @@
 use stencil_lab::core::kernels;
 use stencil_lab::grid::max_abs_diff;
 use stencil_lab::{
-    Domain, Grid1D, Grid2D, Grid3D, Method, Pattern, PlanError, PoolHandle, Solver, Tiling, Width,
+    Domain, Grid1D, Grid2D, Grid3D, Method, Pattern, PlanError, PoolHandle, Ring3, Solver, Tiling,
+    Tuning, Width,
 };
 
 // ---------------------------------------------------------------------
@@ -133,6 +134,38 @@ fn zero_fold_factor_is_invalid() {
 }
 
 #[test]
+fn invalid_ring_is_rejected_before_any_tuner_involvement() {
+    let bad = Ring3 { depth: 0, slab: 4 };
+    // static path: typed error, not a panic
+    let err = compile_err(
+        Solver::new(kernels::heat3d())
+            .method(Method::Folded { m: 2 })
+            .ring3(bad),
+    );
+    assert!(matches!(err, PlanError::InvalidRing { .. }), "{err}");
+    // measured path: the pinned ring is validated before the tuner is
+    // even looked up — no tuner is installed in this test binary, yet
+    // the error is still InvalidRing, never TunerUnavailable or a
+    // TuningFailed after a wasted probe pass
+    let err = compile_err(
+        Solver::new(kernels::heat3d())
+            .method(Method::Auto)
+            .tiling(Tiling::Auto)
+            .tuning(Tuning::Measured)
+            .ring3(bad),
+    );
+    assert!(matches!(err, PlanError::InvalidRing { .. }), "{err}");
+    // a valid ring sticks on the compiled plan
+    let good = Ring3 { depth: 6, slab: 3 };
+    let plan = Solver::new(kernels::heat3d())
+        .method(Method::Folded { m: 2 })
+        .ring3(good)
+        .compile()
+        .unwrap();
+    assert_eq!(plan.ring3(), Some(good));
+}
+
+#[test]
 fn oversized_fold_radius_is_invalid() {
     // 1D: d1p5 has radius 2; m = 3 folds to radius 6 > 4 lanes
     let err = compile_err(
@@ -151,8 +184,27 @@ fn oversized_fold_radius_is_invalid() {
         ),
         "{err}"
     );
-    // 3D: the register kernel is bounded to folded radius 2
-    let err = compile_err(Solver::new(kernels::heat3d()).method(Method::Folded { m: 3 }));
+    // 3D: the z-ring window is bounded to folded radius 4 — a radius-2
+    // pattern folded three times (radius 6) exceeds it at any width
+    let err = compile_err(Solver::new(kernels::box3d125p()).method(Method::Folded { m: 3 }));
+    assert!(
+        matches!(
+            err,
+            PlanError::InvalidFold {
+                m: 3,
+                folded_radius: 6,
+                max_radius: 4,
+            }
+        ),
+        "{err}"
+    );
+    // ...and scalar lanes keep the narrow cap (the fallback sweep has
+    // no register window to spend)
+    let err = compile_err(
+        Solver::new(kernels::heat3d())
+            .method(Method::Folded { m: 3 })
+            .width(Width::W1),
+    );
     assert!(
         matches!(
             err,

@@ -87,6 +87,45 @@ fn service_sharded_3d_bit_identical_to_unsharded_plan_run() {
     svc.shutdown();
 }
 
+#[test]
+fn sharded_3d_zring_pipeline_bit_identical_to_unsharded() {
+    // acceptance pin: sharded 3D runs over the z-ring register pipeline
+    // (block-free and tessellate-tiled, folded m = 2) stitch to exactly
+    // the bits of the unsharded run — including a radius-2 pattern at
+    // folded radius 4, which only the deeper MAX_R3 window admits
+    use stencil_lab::serve::shard::{lane_plans, run_sharded_3d, shardable};
+    use stencil_lab::{Method, Solver, Tiling};
+    let g = Grid3D::from_fn(88, 18, 22, |z, y, x| {
+        ((z * 17 + y * 5 + x * 3) % 29) as f64 * 0.125
+    });
+    for (p, tiling, t) in [
+        (kernels::heat3d(), Tiling::None, 4usize),
+        (kernels::box3d27p(), Tiling::None, 4),
+        (kernels::box3d125p(), Tiling::None, 2),
+        (kernels::heat3d(), Tiling::Tessellate { time_block: 2 }, 4),
+        (kernels::box3d27p(), Tiling::Tessellate { time_block: 2 }, 4),
+    ] {
+        let plan = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .tiling(tiling)
+            .compile()
+            .unwrap();
+        assert!(plan.ring3().is_some(), "3D register plans carry a ring");
+        assert!(shardable(&plan), "{tiling:?}");
+        let want = plan.run_3d(&g, t).unwrap();
+        let lanes = lane_plans(&plan, 3).unwrap();
+        for shards in [2usize, 3] {
+            let got = run_sharded_3d(&lanes, &g, t, shards).unwrap();
+            assert_eq!(
+                bits(&want.to_dense()),
+                bits(&got.to_dense()),
+                "pts={} {tiling:?} shards={shards}",
+                p.points()
+            );
+        }
+    }
+}
+
 /// The full warm-start story, one test so the process-global tuner and
 /// its cache path are controlled end to end:
 ///

@@ -163,6 +163,7 @@ fn cache_round_trips_and_foreign_hosts_reprobe() {
         method: None,
         tiling: None,
         domain_hint: None,
+        ring3: None,
         mode,
     };
 
@@ -210,6 +211,7 @@ fn corrupt_cache_degrades_gracefully() {
         method: None,
         tiling: None,
         domain_hint: None,
+        ring3: None,
         mode: Tuning::Measured,
     };
     let d = stencil_lab::core::tune::MeasuredTuner::tune(&tuner, &req).unwrap();
