@@ -30,6 +30,10 @@
 //! * [`service`] — [`StencilService`]: executor workers tying the
 //!   pieces together, with graceful shutdown that reclaims the shared
 //!   pool.
+//! * [`net`] — the network front end: a length-prefixed TCP protocol
+//!   over the service (hand-rolled framing on `std::net`), per-tenant
+//!   admission quotas, streamed progress for multi-round jobs, and a
+//!   `/healthz` + `/metrics` HTTP scrape surface on the same port.
 //!
 //! ## Quickstart
 //!
@@ -67,13 +71,15 @@
 
 pub mod manifest;
 pub mod metrics;
+pub mod net;
 pub mod queue;
 pub mod registry;
 pub mod service;
 pub mod shard;
 
 pub use manifest::{Manifest, ManifestEntry};
-pub use metrics::{LatencyHistogram, ServeStats, StatsSnapshot};
+pub use metrics::{LatencyHistogram, ServeStats, StatsSnapshot, TenantCounters};
+pub use net::{NetClient, NetConfig, NetError, NetServer, SubmitHeader};
 pub use registry::{PlanRegistry, WarmReport};
 pub use service::{
     JobDomain, JobResult, JobSpec, JobTicket, ServeConfig, ServeError, StencilService,

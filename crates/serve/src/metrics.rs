@@ -9,6 +9,7 @@
 //! is a plain-data copy taken at a point in time — cheap enough to poll
 //! from a metrics scraper loop.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use stencil_runtime::sync::Mutex;
@@ -97,6 +98,18 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-tenant admission counters, maintained by the network front end
+/// and exported inside the [`StatsSnapshot`] JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Jobs this tenant got accepted into the queue.
+    pub submitted: u64,
+    /// Submissions refused (quota or queue backpressure).
+    pub rejected: u64,
+    /// Jobs completed for this tenant.
+    pub completed: u64,
+}
+
 /// Live counters of a running service. Shared (`Arc`) between the
 /// submission side, the executor workers, and the registry.
 #[derive(Default)]
@@ -139,6 +152,9 @@ pub struct ServeStats {
     /// included).
     pub latency: LatencyHistogram,
     warnings: Mutex<Vec<String>>,
+    /// Per-tenant admission counters (network front end). Rarely
+    /// contended: one writer (the poll loop) plus snapshot readers.
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
 }
 
 impl std::fmt::Debug for ServeStats {
@@ -166,6 +182,13 @@ impl ServeStats {
         w.push(line.into());
     }
 
+    /// Update `tenant`'s admission counters in place (creating the row
+    /// on first touch).
+    pub fn tenant_update(&self, tenant: &str, f: impl FnOnce(&mut TenantCounters)) {
+        let mut map = self.tenants.lock();
+        f(map.entry(tenant.to_string()).or_default());
+    }
+
     /// Record a drained batch of `n` same-plan jobs.
     pub fn record_batch(&self, n: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -182,6 +205,7 @@ impl ServeStats {
     /// steal each other's lines).
     pub fn snapshot(&self) -> StatsSnapshot {
         let warnings = self.warnings.lock().clone();
+        let tenants = self.tenants.lock().clone();
         let ld = Ordering::Relaxed;
         StatsSnapshot {
             jobs_submitted: self.jobs_submitted.load(ld),
@@ -206,6 +230,7 @@ impl ServeStats {
                 .map(|t| t.probe_count())
                 .unwrap_or(0),
             warnings,
+            tenants,
         }
     }
 }
@@ -256,6 +281,9 @@ pub struct StatsSnapshot {
     /// Operator warnings accumulated so far (oldest dropped past a
     /// cap).
     pub warnings: Vec<String>,
+    /// Per-tenant admission counters keyed by tenant name (empty when
+    /// the service runs without the network front end).
+    pub tenants: BTreeMap<String, TenantCounters>,
 }
 
 impl StatsSnapshot {
@@ -299,6 +327,18 @@ impl StatsSnapshot {
             "warnings".to_string(),
             Value::Arr(self.warnings.iter().cloned().map(Value::Str).collect()),
         );
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                let mut row = std::collections::BTreeMap::new();
+                row.insert("submitted".to_string(), Value::Num(t.submitted as f64));
+                row.insert("rejected".to_string(), Value::Num(t.rejected as f64));
+                row.insert("completed".to_string(), Value::Num(t.completed as f64));
+                (name.clone(), Value::Obj(row))
+            })
+            .collect();
+        m.insert("tenants".to_string(), Value::Obj(tenants));
         Value::Obj(m)
     }
 
@@ -340,6 +380,28 @@ impl StatsSnapshot {
                 .iter()
                 .map(|v| v.as_str().map(str::to_string))
                 .collect::<Option<Vec<_>>>()?,
+            tenants: match doc.get("tenants")? {
+                Value::Obj(rows) => rows
+                    .iter()
+                    .map(|(name, row)| {
+                        let c = |k: &str| {
+                            row.get(k)
+                                .and_then(Value::as_num)
+                                .filter(|&v| v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64)
+                                .map(|v| v as u64)
+                        };
+                        Some((
+                            name.clone(),
+                            TenantCounters {
+                                submitted: c("submitted")?,
+                                rejected: c("rejected")?,
+                                completed: c("completed")?,
+                            },
+                        ))
+                    })
+                    .collect::<Option<BTreeMap<_, _>>>()?,
+                _ => return None,
+            },
         })
     }
 }
@@ -374,12 +436,41 @@ mod tests {
         s.plan_misses.store(1, Ordering::Relaxed);
         s.warn("cold start: cache miss under key \"x|y\"");
         s.latency.record(Duration::from_micros(300));
+        s.tenant_update("acme", |t| {
+            t.submitted = 5;
+            t.completed = 4;
+        });
+        s.tenant_update("initech", |t| t.rejected += 2);
         let snap = s.snapshot();
         let text = snap.to_json().pretty();
         let back = StatsSnapshot::from_json(&stencil_tune::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert!((back.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(back.warnings.len(), 1);
+        assert_eq!(back.tenants.len(), 2);
+        assert_eq!(back.tenants["acme"].completed, 4);
+        assert_eq!(back.tenants["initech"].rejected, 2);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_tenant_rows() {
+        let s = ServeStats::new();
+        s.tenant_update("t", |c| c.submitted = 1);
+        let mut doc = s.snapshot().to_json();
+        if let Value::Obj(m) = &mut doc {
+            if let Some(Value::Obj(rows)) = m.get_mut("tenants") {
+                if let Some(Value::Obj(row)) = rows.get_mut("t") {
+                    row.insert("submitted".into(), Value::Num(-1.0));
+                }
+            }
+        }
+        assert!(StatsSnapshot::from_json(&doc).is_none());
+        // the tenants key is part of the schema, not optional
+        let mut missing = s.snapshot().to_json();
+        if let Value::Obj(m) = &mut missing {
+            m.remove("tenants");
+        }
+        assert!(StatsSnapshot::from_json(&missing).is_none());
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! A blocking protocol client for tests, benches, and examples.
+//!
+//! [`NetClient`] speaks the length-prefixed frame protocol over one
+//! TCP connection: `hello` handshake, `submit` (header + grid payload),
+//! then event streaming per job — `progress` frames for multi-round
+//! jobs, a `done` header plus the result payload, or a typed
+//! `rejected` / `error`. The client is deliberately synchronous: each
+//! call reads until its answer arrives, which is exactly what a
+//! closed-loop bench or an e2e test wants.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use stencil_tune::json::Value;
+
+use super::wire::{
+    self, ClientMsg, Frame, RejectReason, ServerMsg, SubmitHeader, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame that failed to decode.
+    Wire(WireError),
+    /// The server answered out of protocol (unexpected message kind).
+    Protocol(String),
+    /// The server reported a job or connection error.
+    Remote(String),
+    /// The submission was refused by admission control.
+    Rejected {
+        /// Why: queue-full, quota-exceeded, or shutting-down.
+        reason: RejectReason,
+        /// The server's suggested backoff.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Remote(m) => write!(f, "server error: {m}"),
+            NetError::Rejected {
+                reason,
+                retry_after,
+            } => write!(
+                f,
+                "submission rejected ({}), retry after {retry_after:?}",
+                reason.as_str()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// One streamed update for an in-flight job.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// `round` of `rounds` finished; more follow.
+    Progress {
+        /// Rounds completed so far.
+        round: u64,
+        /// Total rounds this job runs.
+        rounds: u64,
+    },
+    /// The job finished; carries the result.
+    Done(JobOutcome),
+}
+
+/// A finished job's result as received off the wire.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Result grid extents (row-major).
+    pub extents: Vec<usize>,
+    /// Result grid data, dense row-major.
+    pub data: Vec<f64>,
+    /// Shards the final round executed as.
+    pub shards: u64,
+    /// True when any round rode a multi-job batch.
+    pub batched: bool,
+    /// Queue+execution latency summed across rounds, microseconds.
+    pub latency_us: u64,
+}
+
+/// A blocking connection to a [`super::NetServer`].
+///
+/// Multiple jobs can be in flight on one connection: the server
+/// interleaves their `progress`/`done` frames, so every receive path
+/// demultiplexes — stream messages for *other* jobs are buffered and
+/// replayed by [`NetClient::next_event`], never dropped or mistaken
+/// for the reply being waited on.
+pub struct NetClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    max_frame: usize,
+    next_id: u64,
+    tenant: String,
+    /// Buffered stream events per job id (`Err` = a `job-error`).
+    events: HashMap<u64, VecDeque<Result<JobEvent, String>>>,
+}
+
+impl NetClient {
+    /// Connect and run the `hello` handshake for `tenant`. Returns the
+    /// connected client; the server's per-tenant quota is available via
+    /// the handshake but not retained.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut c = Self {
+            stream,
+            rbuf: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+            next_id: 1,
+            tenant: tenant.to_string(),
+            events: HashMap::new(),
+        };
+        c.send_msg(&ClientMsg::Hello {
+            tenant: tenant.into(),
+        })?;
+        match c.recv_msg()? {
+            ServerMsg::HelloOk { .. } => Ok(c),
+            other => Err(NetError::Protocol(format!(
+                "expected hello-ok, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The tenant this connection identified as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Cap accepted inbound frames (mirrors the server-side limit).
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// Bound how long a single receive may block (`None` = forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Submit a job: `header` (its `id` is assigned here) plus the
+    /// dense row-major grid `data`. Returns the job id once the server
+    /// answers `accepted`; a refusal surfaces as
+    /// [`NetError::Rejected`].
+    pub fn submit(&mut self, mut header: SubmitHeader, data: &[f64]) -> Result<u64, NetError> {
+        header.id = self.next_id;
+        self.next_id += 1;
+        let id = header.id;
+        self.send_msg(&ClientMsg::Submit(header))?;
+        self.send_frame(&Frame::Payload(data.to_vec()))?;
+        loop {
+            // a failed submission answers job-error instead of accepted
+            if let Some(ev) = self.take_event(id) {
+                return match ev {
+                    Err(m) => Err(NetError::Remote(m)),
+                    Ok(ev) => Err(NetError::Protocol(format!(
+                        "job {id} streamed {ev:?} before being accepted"
+                    ))),
+                };
+            }
+            match self.recv_control()? {
+                Some(ServerMsg::Accepted { id: got }) if got == id => return Ok(id),
+                Some(ServerMsg::Rejected {
+                    id: got,
+                    reason,
+                    retry_after_ms,
+                }) if got == id => {
+                    return Err(NetError::Rejected {
+                        reason,
+                        retry_after: Duration::from_millis(retry_after_ms),
+                    })
+                }
+                Some(ServerMsg::Error { message }) => return Err(NetError::Remote(message)),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "expected accepted, got {other:?}"
+                    )))
+                }
+                None => continue, // another job's stream message, buffered
+            }
+        }
+    }
+
+    /// Block for the next event on job `id`: a progress update or the
+    /// final result (whose payload frame is read here too). Events for
+    /// other in-flight jobs arriving in between are buffered for their
+    /// own `next_event` calls.
+    pub fn next_event(&mut self, id: u64) -> Result<JobEvent, NetError> {
+        loop {
+            if let Some(ev) = self.take_event(id) {
+                return ev.map_err(NetError::Remote);
+            }
+            match self.recv_control()? {
+                None => continue,
+                Some(ServerMsg::Error { message }) => return Err(NetError::Remote(message)),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected message while waiting on job {id}: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Submit and drive a job to completion, discarding progress
+    /// events. The closed-loop convenience path.
+    pub fn run(&mut self, header: SubmitHeader, data: &[f64]) -> Result<JobOutcome, NetError> {
+        let id = self.submit(header, data)?;
+        loop {
+            match self.next_event(id)? {
+                JobEvent::Progress { .. } => continue,
+                JobEvent::Done(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    /// Cancel job `id` (pending rounds are dropped; a round already
+    /// executing still runs, into the void).
+    pub fn cancel(&mut self, id: u64) -> Result<(), NetError> {
+        self.send_msg(&ClientMsg::Cancel { id })?;
+        loop {
+            // "no such job" (or a racing completion) lands in the
+            // job's stream buffer
+            if let Some(ev) = self.take_event(id) {
+                return match ev {
+                    Err(m) => Err(NetError::Remote(m)),
+                    Ok(ev) => Err(NetError::Protocol(format!(
+                        "job {id} streamed {ev:?} while cancelling"
+                    ))),
+                };
+            }
+            match self.recv_control()? {
+                Some(ServerMsg::Cancelled { id: got }) if got == id => return Ok(()),
+                Some(ServerMsg::Error { message }) => return Err(NetError::Remote(message)),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "expected cancelled, got {other:?}"
+                    )))
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Fetch the live [`crate::StatsSnapshot`] JSON document.
+    pub fn stats(&mut self) -> Result<Value, NetError> {
+        self.send_msg(&ClientMsg::Stats)?;
+        loop {
+            match self.recv_control()? {
+                Some(ServerMsg::Stats(doc)) => return Ok(doc),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!("expected stats, got {other:?}")))
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// In-band liveness probe. Returns `(status, open_connections)`.
+    pub fn health(&mut self) -> Result<(String, u64), NetError> {
+        self.send_msg(&ClientMsg::Health)?;
+        loop {
+            match self.recv_control()? {
+                Some(ServerMsg::Health { status, conns }) => return Ok((status, conns)),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "expected health, got {other:?}"
+                    )))
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Orderly goodbye: the server acknowledges and closes.
+    pub fn bye(mut self) -> Result<(), NetError> {
+        self.send_msg(&ClientMsg::Bye)?;
+        loop {
+            match self.recv_control()? {
+                Some(ServerMsg::ByeOk) => return Ok(()),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "expected bye-ok, got {other:?}"
+                    )))
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Pop a buffered stream event for job `id`.
+    fn take_event(&mut self, id: u64) -> Option<Result<JobEvent, String>> {
+        let q = self.events.get_mut(&id)?;
+        let ev = q.pop_front();
+        if q.is_empty() {
+            self.events.remove(&id);
+        }
+        ev
+    }
+
+    /// Receive one message; per-job stream messages (`progress`,
+    /// `done` + payload, `job-error`) are buffered and reported as
+    /// `None`, anything else is returned for the caller to match.
+    fn recv_control(&mut self) -> Result<Option<ServerMsg>, NetError> {
+        match self.recv_msg()? {
+            ServerMsg::Progress { id, round, rounds } => {
+                self.events
+                    .entry(id)
+                    .or_default()
+                    .push_back(Ok(JobEvent::Progress { round, rounds }));
+                Ok(None)
+            }
+            ServerMsg::Done {
+                id,
+                shards,
+                batched,
+                latency_us,
+                extents,
+            } => {
+                let data = match self.recv_frame()? {
+                    Frame::Payload(d) => d,
+                    Frame::Header(_) => {
+                        return Err(NetError::Protocol(
+                            "done header without its payload frame".into(),
+                        ))
+                    }
+                };
+                self.events
+                    .entry(id)
+                    .or_default()
+                    .push_back(Ok(JobEvent::Done(JobOutcome {
+                        extents,
+                        data,
+                        shards,
+                        batched,
+                        latency_us,
+                    })));
+                Ok(None)
+            }
+            ServerMsg::JobError { id, message } => {
+                self.events.entry(id).or_default().push_back(Err(message));
+                Ok(None)
+            }
+            other => Ok(Some(other)),
+        }
+    }
+
+    fn send_msg(&mut self, msg: &ClientMsg) -> Result<(), NetError> {
+        self.send_frame(&Frame::Header(msg.to_json()))
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let mut buf = Vec::new();
+        wire::encode(frame, &mut buf);
+        self.stream.write_all(&buf)?;
+        Ok(())
+    }
+
+    fn recv_msg(&mut self) -> Result<ServerMsg, NetError> {
+        match self.recv_frame()? {
+            Frame::Header(doc) => {
+                ServerMsg::from_json(&doc).map_err(|e| NetError::Protocol(e.to_string()))
+            }
+            Frame::Payload(_) => Err(NetError::Protocol(
+                "unexpected payload frame; expected a message header".into(),
+            )),
+        }
+    }
+
+    fn recv_frame(&mut self) -> Result<Frame, NetError> {
+        loop {
+            if let Some((frame, used)) = wire::decode(&self.rbuf, self.max_frame)? {
+                self.rbuf.drain(..used);
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                // orderly remote close mid-read: surface the typed
+                // truncation if a partial frame is stranded
+                wire::decode_eof(&self.rbuf, self.max_frame)?;
+                return Err(NetError::Protocol("connection closed by the server".into()));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Plain HTTP `GET` against the same port (the scrape surface).
+/// Returns `(status_code, body)`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or("");
+    let body = parts.next().unwrap_or("").to_string();
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NetError::Protocol(format!("malformed http response: {head:?}")))?;
+    Ok((status, body))
+}

@@ -1,0 +1,272 @@
+//! Per-connection state for the poll loop: non-blocking read/write
+//! buffering, frame extraction, protocol sniffing, and idle tracking.
+//!
+//! A [`Conn`] is one slot in the server's connection slab. All I/O is
+//! non-blocking — the poll loop calls [`Conn::fill_read`] and
+//! [`Conn::flush_write`] each tick, and a connection never pins a
+//! thread while idle. Outbound frames are staged in a write buffer
+//! (capped: a peer that stops reading while the server streams results
+//! is dropped instead of ballooning memory).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use super::wire::{self, Frame, SubmitHeader, WireError};
+
+/// Most bytes staged for a peer that is not reading them before the
+/// connection is declared dead (twice the frame limit: one in-flight
+/// result frame plus headroom).
+const MAX_WRITE_BACKLOG_FACTOR: usize = 2;
+
+/// Bytes read per `read()` call on the non-blocking socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// What the first byte said this connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnMode {
+    /// Nothing received yet.
+    Sniffing,
+    /// Length-prefixed frames (the job protocol).
+    Frames,
+    /// An HTTP scrape (`GET /healthz`, `GET /metrics`): one request,
+    /// one response, close.
+    Http,
+}
+
+/// One connection in the server's slab.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub peer: SocketAddr,
+    pub mode: ConnMode,
+    /// Tenant set by `hello` (frames mode only).
+    pub tenant: Option<String>,
+    /// A received submit header waiting for its grid payload frame.
+    pub pending_submit: Option<SubmitHeader>,
+    /// Read-side accumulation buffer.
+    rbuf: Vec<u8>,
+    /// Write-side staging buffer (`wpos` bytes already sent).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Last moment bytes arrived from the peer.
+    pub last_activity: Instant,
+    /// Flush pending writes, then close (orderly goodbye / HTTP done /
+    /// after a protocol error).
+    pub closing: bool,
+    /// The socket is gone (EOF or error); reap without flushing.
+    pub dead: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, peer: SocketAddr, now: Instant) -> Self {
+        Self {
+            stream,
+            peer,
+            mode: ConnMode::Sniffing,
+            tenant: None,
+            pending_submit: None,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            last_activity: now,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    /// Pull every available byte off the socket (non-blocking). Returns
+    /// how many arrived; EOF or a hard error marks the connection dead.
+    pub fn fill_read(&mut self, now: Instant) -> usize {
+        let mut total = 0;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if total > 0 {
+            self.last_activity = now;
+            if self.mode == ConnMode::Sniffing {
+                // Frame length prefixes are capped below 1 GiB, so a
+                // first byte in the ASCII-letter range can only be an
+                // HTTP request line (GET/HEAD/...).
+                self.mode = if self.rbuf[0].is_ascii_uppercase() {
+                    ConnMode::Http
+                } else {
+                    ConnMode::Frames
+                };
+            }
+        }
+        total
+    }
+
+    /// Decode the next complete frame out of the read buffer.
+    /// `Ok(None)` = need more bytes.
+    pub fn next_frame(&mut self, max_frame: usize) -> Result<Option<Frame>, WireError> {
+        match wire::decode(&self.rbuf, max_frame)? {
+            None => {
+                if self.dead && !self.rbuf.is_empty() {
+                    // stream ended mid-frame: surface it as the typed
+                    // truncation error (once), then discard
+                    let r = wire::decode_eof(&self.rbuf, max_frame).map(|_| None);
+                    self.rbuf.clear();
+                    return r;
+                }
+                Ok(None)
+            }
+            Some((frame, used)) => {
+                self.rbuf.drain(..used);
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// The buffered HTTP request, if it is complete (headers ended).
+    /// Consumes the request bytes.
+    pub fn take_http_request(&mut self) -> Option<Vec<u8>> {
+        let end = self
+            .rbuf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + 4)?;
+        Some(self.rbuf.drain(..end).collect())
+    }
+
+    /// Bytes buffered but not yet consumed by the protocol layer.
+    pub fn read_backlog(&self) -> usize {
+        self.rbuf.len()
+    }
+
+    /// Stage one frame for sending.
+    pub fn send(&mut self, frame: &Frame) {
+        wire::encode(frame, &mut self.wbuf);
+    }
+
+    /// Stage raw bytes (HTTP responses).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Push staged bytes to the socket (non-blocking). Returns how many
+    /// left. A peer that lets the backlog grow past the cap is dropped.
+    pub fn flush_write(&mut self, max_frame: usize) -> usize {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos > 0 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        if self.wbuf.len() > max_frame.saturating_mul(MAX_WRITE_BACKLOG_FACTOR) {
+            self.dead = true;
+        }
+        self.wbuf.len()
+    }
+
+    /// True when every staged byte reached the socket.
+    pub fn write_drained(&self) -> bool {
+        self.wbuf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = l.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn sniffs_http_vs_frames() {
+        let now = Instant::now();
+        let (client, server) = pair();
+        let peer = server.peer_addr().unwrap();
+        let mut conn = Conn::new(server, peer, now);
+        let mut c = client;
+        std::io::Write::write_all(&mut c, b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        while conn.fill_read(Instant::now()) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(conn.mode, ConnMode::Http);
+        assert!(conn.take_http_request().is_some());
+        assert_eq!(conn.read_backlog(), 0);
+
+        let (client2, server2) = pair();
+        let peer2 = server2.peer_addr().unwrap();
+        let mut conn2 = Conn::new(server2, peer2, now);
+        let mut buf = Vec::new();
+        wire::encode(
+            &Frame::Header(super::super::wire::ClientMsg::Stats.to_json()),
+            &mut buf,
+        );
+        let mut c2 = client2;
+        std::io::Write::write_all(&mut c2, &buf).unwrap();
+        while conn2.fill_read(Instant::now()) == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(conn2.mode, ConnMode::Frames);
+        let frame = conn2.next_frame(wire::DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(frame, Frame::Header(_)));
+        // nothing further buffered
+        assert!(conn2.next_frame(wire::DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated_once() {
+        let now = Instant::now();
+        let (client, server) = pair();
+        let peer = server.peer_addr().unwrap();
+        let mut conn = Conn::new(server, peer, now);
+        let mut buf = Vec::new();
+        wire::encode(&Frame::Payload(vec![1.0, 2.0, 3.0]), &mut buf);
+        let mut c = client;
+        std::io::Write::write_all(&mut c, &buf[..buf.len() - 5]).unwrap();
+        drop(c); // FIN mid-frame
+        loop {
+            conn.fill_read(Instant::now());
+            if conn.dead {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(matches!(
+            conn.next_frame(wire::DEFAULT_MAX_FRAME),
+            Err(WireError::Truncated { .. })
+        ));
+        // the half-frame was discarded with the error; no loop
+        assert!(conn.next_frame(wire::DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+}

@@ -1,0 +1,639 @@
+//! The protocol server: a poll-based readiness loop over non-blocking
+//! sockets and a connection slab, fronting a [`StencilService`].
+//!
+//! One loop thread owns every connection: it accepts, reads frames,
+//! runs admission control (per-tenant quota → bounded-queue
+//! `try_submit`), drives multi-round jobs by polling their tickets
+//! (never blocking), streams `progress` / `done` / `rejected` frames,
+//! and answers `GET /healthz` + `GET /metrics` HTTP scrapes on the same
+//! port (see [`super::wire`] for how the two protocols coexist).
+//!
+//! Job *execution* never happens on this thread — rounds are submitted
+//! into the service's bounded queue and run on the existing pool
+//! workers. Thousands of idle connections therefore cost buffer memory
+//! and a read probe per tick, not threads.
+//!
+//! Disconnect semantics: a peer that vanishes mid-job has its jobs
+//! abandoned at reap time — pending rounds are never submitted, the
+//! in-flight round's ticket is dropped (its result is discarded when
+//! the worker finishes; the queue slot frees normally), and the
+//! tenant's quota slots are released immediately.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::StatsSnapshot;
+use crate::service::{JobDomain, JobSpec, JobTicket, ServeError, StencilService};
+use stencil_grid::{Grid1D, Grid2D, Grid3D};
+
+use super::conn::{Conn, ConnMode};
+use super::round_steps;
+use super::tenant::TenantGate;
+use super::wire::{ClientMsg, Frame, RejectReason, ServerMsg, SubmitHeader, DEFAULT_MAX_FRAME};
+
+/// An HTTP scrape request larger than this is dropped unanswered.
+const MAX_HTTP_REQUEST: usize = 16 * 1024;
+
+/// Protocol server configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Most simultaneous connections; extras wait in the OS backlog.
+    pub max_conns: usize,
+    /// Per-tenant in-flight job quota (admission control).
+    pub tenant_quota: usize,
+    /// Connections with no traffic and no active jobs for this long
+    /// are reaped (half-open sweep).
+    pub idle_timeout: Duration,
+    /// Per-frame size limit for this listener.
+    pub max_frame: usize,
+    /// Poll-loop sleep when a tick moves no bytes and no jobs.
+    pub tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_conns: 1024,
+            tenant_quota: 4,
+            idle_timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
+/// The network front end over a [`StencilService`]. Owns the service;
+/// [`NetServer::shutdown`] tears both down and returns the final
+/// stats.
+pub struct NetServer {
+    service: Option<Arc<StencilService>>,
+    addr: SocketAddr,
+    conns_gauge: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `cfg.addr` and start the poll loop over `service`.
+    pub fn start(service: StencilService, cfg: NetConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(service);
+        let conns_gauge = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let (service, conns_gauge, stop) = (
+                Arc::clone(&service),
+                Arc::clone(&conns_gauge),
+                Arc::clone(&stop),
+            );
+            std::thread::Builder::new()
+                .name("stencil-serve-net".into())
+                .spawn(move || serve_loop(&service, listener, &cfg, &stop, &conns_gauge))?
+        };
+        Ok(Self {
+            service: Some(service),
+            addr,
+            conns_gauge,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The fronted service (for stats, `plan_for` references in tests,
+    /// warm-up).
+    pub fn service(&self) -> &StencilService {
+        self.service.as_ref().expect("present until shutdown")
+    }
+
+    /// Open protocol connections right now.
+    pub fn connections(&self) -> usize {
+        self.conns_gauge.load(Ordering::Relaxed)
+    }
+
+    fn stop_loop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, drop every connection, shut the service down
+    /// (draining its queue, joining its workers, releasing the shared
+    /// pool) and return the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_loop();
+        let service = self.service.take().expect("shutdown runs once");
+        match Arc::try_unwrap(service) {
+            Ok(svc) => svc.shutdown(),
+            // unreachable in practice: the loop thread held the only
+            // other clone and was just joined
+            Err(svc) => svc.stats(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_loop();
+    }
+}
+
+/// One slab slot: the connection plus its active jobs.
+struct Session {
+    conn: Conn,
+    jobs: Vec<NetJob>,
+}
+
+/// A job the loop is driving through its rounds.
+struct NetJob {
+    id: u64,
+    tenant: String,
+    header: SubmitHeader,
+    /// Per-round step counts (see [`round_steps`]).
+    chunks: Vec<usize>,
+    /// Rounds completed.
+    round: usize,
+    /// Queue+execution latency summed across completed rounds.
+    latency_us: u64,
+    any_batched: bool,
+    phase: Phase,
+}
+
+enum Phase {
+    /// A round is queued or executing; poll the ticket.
+    Running(JobTicket),
+    /// The next round hit queue backpressure; retry next tick.
+    Resubmit(JobDomain),
+}
+
+fn serve_loop(
+    service: &Arc<StencilService>,
+    listener: TcpListener,
+    cfg: &NetConfig,
+    stop: &AtomicBool,
+    conns_gauge: &AtomicUsize,
+) {
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut gate = TenantGate::new(cfg.tenant_quota);
+    while !stop.load(Ordering::Acquire) {
+        let mut busy = false;
+        // accept every waiting connection up to the slab cap
+        while sessions.len() < cfg.max_conns {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    sessions.push(Session {
+                        conn: Conn::new(stream, peer, Instant::now()),
+                        jobs: Vec::new(),
+                    });
+                    busy = true;
+                }
+                Err(_) => break, // WouldBlock or a transient accept error
+            }
+        }
+        let now = Instant::now();
+        let open = sessions.len() as u64;
+        for sess in &mut sessions {
+            busy |= sess.conn.fill_read(now) > 0;
+            match sess.conn.mode {
+                ConnMode::Sniffing => {}
+                ConnMode::Http => {
+                    if let Some(req) = sess.conn.take_http_request() {
+                        let resp = http_response_for(service, open, &req);
+                        sess.conn.send_raw(&resp);
+                        sess.conn.closing = true;
+                        busy = true;
+                    } else if sess.conn.read_backlog() > MAX_HTTP_REQUEST {
+                        sess.conn.dead = true;
+                    }
+                }
+                ConnMode::Frames => {
+                    busy |= process_frames(service, &mut gate, cfg, open, sess);
+                }
+            }
+            busy |= poll_jobs(service, &mut gate, sess);
+            sess.conn.flush_write(cfg.max_frame);
+        }
+        // reap: dead sockets, drained goodbyes, and idle half-opens
+        sessions.retain_mut(|sess| {
+            let idle = sess.jobs.is_empty()
+                && sess.conn.write_drained()
+                && now.duration_since(sess.conn.last_activity) > cfg.idle_timeout;
+            let drop_now =
+                sess.conn.dead || (sess.conn.closing && sess.conn.write_drained()) || idle;
+            if drop_now {
+                abandon_jobs(&mut gate, sess);
+            }
+            !drop_now
+        });
+        conns_gauge.store(sessions.len(), Ordering::Relaxed);
+        if !busy {
+            std::thread::sleep(cfg.tick);
+        }
+    }
+    conns_gauge.store(0, Ordering::Relaxed);
+    for sess in &mut sessions {
+        abandon_jobs(&mut gate, sess);
+    }
+}
+
+/// Release every quota slot a dropped session still holds. In-flight
+/// tickets are dropped with the jobs: the executor's round completes
+/// into a discarded cell and its queue slot frees normally; rounds not
+/// yet submitted never will be.
+fn abandon_jobs(gate: &mut TenantGate, sess: &mut Session) {
+    for job in sess.jobs.drain(..) {
+        gate.release(&job.tenant);
+    }
+}
+
+/// Drain and dispatch every complete frame on a session. Returns true
+/// when anything was processed.
+fn process_frames(
+    service: &Arc<StencilService>,
+    gate: &mut TenantGate,
+    cfg: &NetConfig,
+    open_conns: u64,
+    sess: &mut Session,
+) -> bool {
+    let mut busy = false;
+    loop {
+        if sess.conn.closing || sess.conn.dead {
+            return busy;
+        }
+        let frame = match sess.conn.next_frame(cfg.max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return busy,
+            Err(e) => {
+                // typed protocol error to the peer, then close — a
+                // malformed frame must never hang or kill the loop
+                sess.conn.send(&header(ServerMsg::Error {
+                    message: e.to_string(),
+                }));
+                sess.conn.closing = true;
+                service
+                    .stats_handle()
+                    .warn(format!("net: protocol error from {}: {e}", sess.conn.peer));
+                return true;
+            }
+        };
+        busy = true;
+        // a submit header must be followed by exactly one payload frame
+        if let Some(pending) = sess.conn.pending_submit.take() {
+            match frame {
+                Frame::Payload(data) => {
+                    handle_submission(service, gate, sess, pending, data);
+                    continue;
+                }
+                Frame::Header(_) => {
+                    sess.conn.send(&header(ServerMsg::Error {
+                        message: "submit header must be followed by its grid payload".into(),
+                    }));
+                    sess.conn.closing = true;
+                    return true;
+                }
+            }
+        }
+        let msg = match frame {
+            Frame::Payload(_) => {
+                sess.conn.send(&header(ServerMsg::Error {
+                    message: "unexpected payload frame without a submit header".into(),
+                }));
+                sess.conn.closing = true;
+                return true;
+            }
+            Frame::Header(doc) => match ClientMsg::from_json(&doc) {
+                Ok(m) => m,
+                Err(e) => {
+                    sess.conn.send(&header(ServerMsg::Error {
+                        message: e.to_string(),
+                    }));
+                    sess.conn.closing = true;
+                    return true;
+                }
+            },
+        };
+        match msg {
+            ClientMsg::Hello { tenant } => {
+                sess.conn.tenant = Some(tenant.clone());
+                sess.conn.send(&header(ServerMsg::HelloOk {
+                    tenant,
+                    quota: gate.quota() as u64,
+                }));
+            }
+            ClientMsg::Submit(h) => {
+                if sess.conn.tenant.is_none() {
+                    sess.conn.send(&header(ServerMsg::Error {
+                        message: "submit before hello: identify a tenant first".into(),
+                    }));
+                    sess.conn.closing = true;
+                    return true;
+                }
+                sess.conn.pending_submit = Some(h);
+            }
+            ClientMsg::Cancel { id } => {
+                if let Some(pos) = sess.jobs.iter().position(|j| j.id == id) {
+                    let job = sess.jobs.swap_remove(pos);
+                    gate.release(&job.tenant);
+                    sess.conn.send(&header(ServerMsg::Cancelled { id }));
+                } else {
+                    sess.conn.send(&header(ServerMsg::JobError {
+                        id,
+                        message: "no such job".into(),
+                    }));
+                }
+            }
+            ClientMsg::Stats => {
+                let doc = service.stats().to_json();
+                sess.conn.send(&header(ServerMsg::Stats(doc)));
+            }
+            ClientMsg::Health => {
+                sess.conn.send(&header(ServerMsg::Health {
+                    status: "ok".into(),
+                    conns: open_conns,
+                }));
+            }
+            ClientMsg::Bye => {
+                sess.conn.send(&header(ServerMsg::ByeOk));
+                sess.conn.closing = true;
+                return true;
+            }
+        }
+    }
+}
+
+/// Admission control for a complete submission: tenant quota first,
+/// then the bounded queue's `try_submit` — both refusals are typed
+/// `Rejected` frames with a backoff hint, never a blocked loop.
+fn handle_submission(
+    service: &Arc<StencilService>,
+    gate: &mut TenantGate,
+    sess: &mut Session,
+    h: SubmitHeader,
+    data: Vec<f64>,
+) {
+    let stats = service.stats_handle();
+    let tenant = sess.conn.tenant.clone().expect("checked at submit header");
+    let id = h.id;
+    let domain = match domain_from(&h.extents, data) {
+        Ok(d) => d,
+        Err(message) => {
+            sess.conn.send(&header(ServerMsg::JobError { id, message }));
+            return;
+        }
+    };
+    if !gate.admit(&tenant) {
+        stats.tenant_update(&tenant, |t| t.rejected += 1);
+        stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        sess.conn.send(&header(ServerMsg::Rejected {
+            id,
+            reason: RejectReason::QuotaExceeded,
+            retry_after_ms: retry_after_ms(service),
+        }));
+        return;
+    }
+    let chunks = round_steps(h.steps, h.rounds);
+    let spec = JobSpec {
+        pattern: h.pattern.clone(),
+        domain,
+        steps: chunks[0],
+        tuning: h.tuning,
+    };
+    match service.try_submit(spec) {
+        Ok(ticket) => {
+            stats.tenant_update(&tenant, |t| t.submitted += 1);
+            sess.conn.send(&header(ServerMsg::Accepted { id }));
+            sess.jobs.push(NetJob {
+                id,
+                tenant,
+                header: h,
+                chunks,
+                round: 0,
+                latency_us: 0,
+                any_batched: false,
+                phase: Phase::Running(ticket),
+            });
+        }
+        Err(e) => {
+            gate.release(&tenant);
+            match e {
+                ServeError::Backpressure { .. } => {
+                    // the service already counted jobs_rejected
+                    stats.tenant_update(&tenant, |t| t.rejected += 1);
+                    sess.conn.send(&header(ServerMsg::Rejected {
+                        id,
+                        reason: RejectReason::QueueFull,
+                        retry_after_ms: retry_after_ms(service),
+                    }));
+                }
+                ServeError::ShuttingDown => {
+                    stats.tenant_update(&tenant, |t| t.rejected += 1);
+                    sess.conn.send(&header(ServerMsg::Rejected {
+                        id,
+                        reason: RejectReason::ShuttingDown,
+                        retry_after_ms: retry_after_ms(service),
+                    }));
+                }
+                other => {
+                    sess.conn.send(&header(ServerMsg::JobError {
+                        id,
+                        message: other.to_string(),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Advance every active job on a session: poll running tickets
+/// (non-blocking), emit progress / done / error frames, and push the
+/// next round into the queue. Returns true when any job moved.
+fn poll_jobs(service: &Arc<StencilService>, gate: &mut TenantGate, sess: &mut Session) -> bool {
+    let stats = service.stats_handle();
+    let mut busy = false;
+    let mut i = 0;
+    while i < sess.jobs.len() {
+        let job = &mut sess.jobs[i];
+        let next_domain = match &mut job.phase {
+            Phase::Running(ticket) => match ticket.try_take() {
+                None => {
+                    i += 1;
+                    continue;
+                }
+                Some(Ok(result)) => {
+                    busy = true;
+                    job.round += 1;
+                    job.latency_us += result.latency.as_micros().min(u64::MAX as u128) as u64;
+                    job.any_batched |= result.batched;
+                    if job.round == job.chunks.len() {
+                        // final round: ship the result grid
+                        let (extents, data) = flatten(&result.output);
+                        sess.conn.send(&header(ServerMsg::Done {
+                            id: job.id,
+                            shards: result.shards as u64,
+                            batched: job.any_batched,
+                            latency_us: job.latency_us,
+                            extents,
+                        }));
+                        sess.conn.send(&Frame::Payload(data));
+                        stats.tenant_update(&job.tenant, |t| t.completed += 1);
+                        gate.release(&job.tenant);
+                        sess.jobs.swap_remove(i);
+                        continue;
+                    }
+                    sess.conn.send(&header(ServerMsg::Progress {
+                        id: job.id,
+                        round: job.round as u64,
+                        rounds: job.chunks.len() as u64,
+                    }));
+                    Some(result.output)
+                }
+                Some(Err(e)) => {
+                    busy = true;
+                    sess.conn.send(&header(ServerMsg::JobError {
+                        id: job.id,
+                        message: e.to_string(),
+                    }));
+                    gate.release(&job.tenant);
+                    sess.jobs.swap_remove(i);
+                    continue;
+                }
+            },
+            Phase::Resubmit(_) => None,
+        };
+        if let Some(domain) = next_domain {
+            job.phase = Phase::Resubmit(domain);
+        }
+        // try (or retry) queueing the next round; backpressure mid-job
+        // parks the job until a queue slot frees — the admitted job
+        // keeps its quota slot and never blocks the loop
+        if let Phase::Resubmit(domain) = &job.phase {
+            let (depth, cap) = service.queue_backlog();
+            if depth >= cap {
+                // a visibly full queue: skip the attempt so parked
+                // rounds don't inflate the rejected counter every tick
+                i += 1;
+                continue;
+            }
+            let spec = JobSpec {
+                pattern: job.header.pattern.clone(),
+                domain: domain.clone(),
+                steps: job.chunks[job.round],
+                tuning: job.header.tuning,
+            };
+            match service.try_submit(spec) {
+                Ok(ticket) => {
+                    busy = true;
+                    job.phase = Phase::Running(ticket);
+                }
+                Err(ServeError::Backpressure { .. }) => {
+                    // stay parked; retry on a later tick once a queue
+                    // slot frees (the parked domain is still in phase)
+                }
+                Err(e) => {
+                    busy = true;
+                    sess.conn.send(&header(ServerMsg::JobError {
+                        id: job.id,
+                        message: e.to_string(),
+                    }));
+                    gate.release(&job.tenant);
+                    sess.jobs.swap_remove(i);
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    busy
+}
+
+/// Encode a server message as a header frame.
+fn header(msg: ServerMsg) -> Frame {
+    Frame::Header(msg.to_json())
+}
+
+/// Backoff hint for a rejected submission: scale the median job
+/// latency by the queue backlog, clamped to `[1ms, 5s]`.
+fn retry_after_ms(service: &StencilService) -> u64 {
+    let (depth, _cap) = service.queue_backlog();
+    let p50_ms = service.stats_handle().latency.quantile_us(0.5) / 1000;
+    ((depth as u64 + 1) * p50_ms.max(1)).clamp(1, 5_000)
+}
+
+/// Build the job domain from a submit's extents and payload.
+fn domain_from(extents: &[usize], data: Vec<f64>) -> Result<JobDomain, String> {
+    let points = extents
+        .iter()
+        .try_fold(1usize, |acc, &e| acc.checked_mul(e))
+        .ok_or("extents overflow")?;
+    if points != data.len() {
+        return Err(format!(
+            "payload carries {} f64s for a {extents:?} domain ({points} points)",
+            data.len()
+        ));
+    }
+    match *extents {
+        [n] => Ok(JobDomain::D1(Grid1D::from_fn(n, |i| data[i]))),
+        [ny, nx] => Ok(JobDomain::D2(Grid2D::from_fn(ny, nx, |y, x| {
+            data[y * nx + x]
+        }))),
+        [nz, ny, nx] => Ok(JobDomain::D3(Grid3D::from_fn(nz, ny, nx, |z, y, x| {
+            data[(z * ny + y) * nx + x]
+        }))),
+        _ => Err(format!("{}D domains are not supported", extents.len())),
+    }
+}
+
+/// A result grid as (extents, row-major dense data).
+fn flatten(domain: &JobDomain) -> (Vec<usize>, Vec<f64>) {
+    match domain {
+        JobDomain::D1(g) => (vec![g.len()], g.as_slice().to_vec()),
+        JobDomain::D2(g) => (vec![g.ny(), g.nx()], g.to_dense()),
+        JobDomain::D3(g) => (vec![g.nz(), g.ny(), g.nx()], g.to_dense()),
+    }
+}
+
+/// Answer an HTTP scrape: `/healthz` liveness, `/metrics` the full
+/// [`StatsSnapshot`] JSON. Anything else is 404.
+fn http_response_for(service: &StencilService, open_conns: u64, req: &[u8]) -> Vec<u8> {
+    let line = req.split(|&b| b == b'\r').next().unwrap_or(b"");
+    let mut parts = line.split(|&b| b == b' ');
+    let method = parts.next().unwrap_or(b"");
+    let path = parts.next().unwrap_or(b"");
+    if method != b"GET" && method != b"HEAD" {
+        return http_response(405, "Method Not Allowed", "{\"error\": \"GET only\"}\n");
+    }
+    match path {
+        b"/healthz" => http_response(
+            200,
+            "OK",
+            &format!("{{\"status\": \"ok\", \"conns\": {open_conns}}}\n"),
+        ),
+        b"/metrics" => http_response(200, "OK", &service.stats().to_json().pretty()),
+        _ => http_response(404, "Not Found", "{\"error\": \"not found\"}\n"),
+    }
+}
+
+fn http_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}

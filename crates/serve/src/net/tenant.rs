@@ -1,0 +1,103 @@
+//! Per-tenant admission control: a fixed in-flight job quota per
+//! tenant, layered *in front of* the bounded queue — a noisy tenant is
+//! refused at its quota before it can monopolize queue capacity, and a
+//! refusal is a typed `Rejected` frame, never a blocked accept loop.
+//!
+//! The gate tracks in-flight counts only; the per-tenant
+//! submitted/rejected/completed counters live on the shared
+//! [`crate::ServeStats`] surface so `/metrics` exports one document.
+
+use std::collections::HashMap;
+
+/// In-flight job quota table. Owned by the poll loop (single-threaded),
+/// so no locking.
+#[derive(Debug)]
+pub struct TenantGate {
+    quota: usize,
+    inflight: HashMap<String, usize>,
+}
+
+impl TenantGate {
+    /// Gate admitting at most `quota` concurrent in-flight jobs per
+    /// tenant (min 1).
+    pub fn new(quota: usize) -> Self {
+        Self {
+            quota: quota.max(1),
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// The per-tenant quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Jobs currently in flight for `tenant`.
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.inflight.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Try to admit one more job for `tenant`: `true` reserves a slot,
+    /// `false` means the tenant is at quota (send `Rejected` and do
+    /// not submit).
+    pub fn admit(&mut self, tenant: &str) -> bool {
+        let n = self.inflight.entry(tenant.to_string()).or_insert(0);
+        if *n >= self.quota {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Release one admitted slot — on job completion, failure, cancel,
+    /// or when a disconnect abandons the job. Idempotence is the
+    /// caller's job; releasing below zero is a server bug and debug-
+    /// asserts.
+    pub fn release(&mut self, tenant: &str) {
+        match self.inflight.get_mut(tenant) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.inflight.remove(tenant);
+                }
+            }
+            _ => debug_assert!(false, "released un-admitted tenant {tenant:?}"),
+        }
+    }
+
+    /// Total in-flight jobs across every tenant.
+    pub fn total_inflight(&self) -> usize {
+        self.inflight.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_bounds_each_tenant_independently() {
+        let mut g = TenantGate::new(2);
+        assert!(g.admit("a"));
+        assert!(g.admit("a"));
+        assert!(!g.admit("a"), "at quota");
+        assert!(g.admit("b"), "other tenants unaffected");
+        assert_eq!(g.inflight("a"), 2);
+        assert_eq!(g.total_inflight(), 3);
+        g.release("a");
+        assert!(g.admit("a"), "released slot reusable");
+        g.release("a");
+        g.release("a");
+        g.release("b");
+        assert_eq!(g.total_inflight(), 0);
+        assert_eq!(g.inflight("a"), 0);
+    }
+
+    #[test]
+    fn zero_quota_is_clamped_to_one() {
+        let mut g = TenantGate::new(0);
+        assert_eq!(g.quota(), 1);
+        assert!(g.admit("t"));
+        assert!(!g.admit("t"));
+    }
+}

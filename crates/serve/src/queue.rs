@@ -65,6 +65,13 @@ impl<T> Bounded<T> {
         self.len() == 0
     }
 
+    /// True when the queue is at capacity — the cheap pre-check a
+    /// non-blocking caller uses to skip a `try_push` it knows would be
+    /// rejected (racy but safe: the push itself still arbitrates).
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
     /// Enqueue, blocking while the queue is full — the backpressure
     /// path: a closed-loop client stalls here until an executor drains
     /// room. Fails only once the queue is closed.
@@ -165,6 +172,7 @@ mod tests {
         let q = Bounded::new(2);
         q.push(1).unwrap();
         q.push(2).unwrap();
+        assert!(q.is_full());
         assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();

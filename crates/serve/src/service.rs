@@ -361,6 +361,19 @@ impl StencilService {
         self.inner.stats.snapshot()
     }
 
+    /// The live stats surface itself — for front ends (the network
+    /// layer) that update counters alongside the service rather than
+    /// through it.
+    pub fn stats_handle(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// Current `(depth, capacity)` of the submission queue — the cheap
+    /// backlog probe behind admission backoff hints.
+    pub fn queue_backlog(&self) -> (usize, usize) {
+        (self.inner.queue.len(), self.inner.queue.capacity())
+    }
+
     /// Submit a job, blocking while the queue is full (closed-loop
     /// backpressure). Plan resolution happens here, so an invalid
     /// pattern/configuration fails synchronously with a typed error.

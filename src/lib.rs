@@ -17,7 +17,9 @@
 //! * [`serve`] — the tuning-aware job service for long-running
 //!   deployments: a warm-loadable [`PlanRegistry`], bounded submission
 //!   queue with backpressure, same-plan batching, bit-exact domain
-//!   sharding, and a JSON stats surface.
+//!   sharding, a JSON stats surface, and a TCP network front end
+//!   ([`serve::net`]) with per-tenant admission quotas and a
+//!   `/healthz` + `/metrics` scrape endpoint.
 //!
 //! ## Quickstart
 //!
@@ -70,5 +72,8 @@ pub use stencil_core::{
 };
 pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
 pub use stencil_runtime::{PoolHandle, ThreadPool};
-pub use stencil_serve::{JobDomain, JobSpec, Manifest, PlanRegistry, ServeConfig, StencilService};
+pub use stencil_serve::{
+    JobDomain, JobSpec, Manifest, NetClient, NetConfig, NetServer, PlanRegistry, ServeConfig,
+    StencilService,
+};
 pub use stencil_tune::{install as install_tuner, AutoTuner};

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use stencil_lab::serve::StatsSnapshot;
+use stencil_lab::serve::{StatsSnapshot, TenantCounters};
 use stencil_lab::tune::json::{parse, Value};
 
 /// Map sampled code points onto `char`s, biasing toward the cases the
@@ -82,6 +82,8 @@ proptest! {
         counters in prop::collection::vec(0u64..1_000_000_000, 17),
         mean in 0.0f64..1.0e9,
         warn_codes in prop::collection::vec(0u32..0x3000, 0..12),
+        tenant_codes in prop::collection::vec(0u32..0x3000, 1..10),
+        tenant_counters in prop::collection::vec(0u64..1_000_000_000, 3),
     ) {
         // the serve metrics document uses the same writer; any counter
         // values and any warning text must survive the trip
@@ -106,9 +108,79 @@ proptest! {
             mean_us: mean,
             tuner_probes: counters[0] ^ counters[1],
             warnings: vec![chars_from(&warn_codes)],
+            // awkward tenant names (quotes, control chars, unicode)
+            // must survive as object keys too
+            tenants: BTreeMap::from([(
+                chars_from(&tenant_codes),
+                TenantCounters {
+                    submitted: tenant_counters[0],
+                    rejected: tenant_counters[1],
+                    completed: tenant_counters[2],
+                },
+            )]),
         };
         let text = snap.to_json().pretty();
         let back = StatsSnapshot::from_json(&parse(&text).unwrap()).unwrap();
         prop_assert_eq!(back, snap);
     }
+}
+
+/// Pin the stats document's key set: dashboards and scrapers parse this
+/// schema, so adding or renaming a key must be a conscious, test-visible
+/// change here.
+#[test]
+fn serve_stats_json_schema_is_pinned() {
+    let snap = StatsSnapshot {
+        tenants: BTreeMap::from([("acme".to_string(), TenantCounters::default())]),
+        ..StatsSnapshot::from_json(
+            &parse(
+                &stencil_lab::serve::ServeStats::new()
+                    .snapshot()
+                    .to_json()
+                    .pretty(),
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    };
+    let doc = snap.to_json();
+    let Value::Obj(m) = &doc else {
+        panic!("stats document must be an object")
+    };
+    let keys: Vec<&str> = m.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        [
+            "batched_jobs",
+            "batches",
+            "cold_fallbacks",
+            "cold_recoveries",
+            "jobs_completed",
+            "jobs_failed",
+            "jobs_rejected",
+            "jobs_submitted",
+            "max_batch",
+            "mean_us",
+            "p50_us",
+            "p99_us",
+            "plan_hit_ratio",
+            "plan_hits",
+            "plan_misses",
+            "queue_depth",
+            "sharded_jobs",
+            "shards_executed",
+            "tenants",
+            "tuner_probes",
+            "warm_loaded",
+            "warnings",
+        ]
+    );
+    let Some(Value::Obj(rows)) = m.get("tenants") else {
+        panic!("tenants must be an object keyed by tenant name")
+    };
+    let Some(Value::Obj(row)) = rows.get("acme") else {
+        panic!("tenant rows must be objects")
+    };
+    let row_keys: Vec<&str> = row.keys().map(String::as_str).collect();
+    assert_eq!(row_keys, ["completed", "rejected", "submitted"]);
 }

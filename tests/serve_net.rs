@@ -1,0 +1,646 @@
+//! End-to-end protocol tests for the network serving front end
+//! (`stencil_serve::net`): a real server on an ephemeral port, real
+//! TCP clients, and bit-level assertions against in-process references.
+//!
+//! Three layers:
+//! * **e2e correctness** — 2D/3D jobs over the wire return grids
+//!   bit-identical (raw `f64` bits) to running the same plan in
+//!   process; multi-round jobs stream progress and match an
+//!   identically chunked reference.
+//! * **wire properties** — framing round-trips arbitrary payload bits,
+//!   and arbitrary byte garbage decodes to typed errors, never panics.
+//! * **fault injection** — full queues and exhausted quotas answer
+//!   typed `rejected` frames with a backoff hint, disconnects mid-job
+//!   release the tenant's quota, half-open connections are reaped by
+//!   the idle timeout, and shutdown leaks no pool threads.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use stencil_lab::core::{kernels, Pattern};
+use stencil_lab::grid::{Grid2D, Grid3D};
+use stencil_lab::runtime::PoolHandle;
+use stencil_lab::serve::net::{
+    http_get, round_steps, wire, JobEvent, NetClient, NetConfig, NetError, NetServer, RejectReason,
+    SubmitHeader,
+};
+use stencil_lab::serve::{JobDomain, JobSpec, ServeConfig, StatsSnapshot, StencilService};
+use stencil_lab::tune::json;
+
+fn start_server(cfg: ServeConfig, net: NetConfig) -> NetServer {
+    NetServer::start(StencilService::start(cfg), net).expect("bind ephemeral port")
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        workers: 2,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    }
+}
+
+fn submit_header(name: &str, pattern: Pattern, extents: &[usize], steps: usize) -> SubmitHeader {
+    SubmitHeader {
+        id: 0, // assigned by the client
+        name: name.into(),
+        pattern,
+        extents: extents.to_vec(),
+        steps,
+        rounds: 1,
+        tuning: None,
+    }
+}
+
+fn wait_until(timeout: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ok()
+}
+
+fn bits(data: &[f64]) -> Vec<u64> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn e2e_2d_job_is_bit_identical_to_in_process() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    let grid = Grid2D::from_fn(64, 48, |y, x| ((y * 31 + x * 17) % 23) as f64 * 0.25);
+    let steps = 10;
+
+    let mut client = NetClient::connect(server.addr(), "acme").unwrap();
+    let out = client
+        .run(
+            submit_header("heat2d", kernels::heat2d(), &[64, 48], steps),
+            &grid.to_dense(),
+        )
+        .unwrap();
+    assert_eq!(out.extents, vec![64, 48]);
+
+    // reference: the same plan the service resolves, run in process
+    let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(grid.clone()), steps);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let reference = plan.run_2d(&grid, steps).unwrap();
+    assert_eq!(bits(&out.data), bits(&reference.to_dense()));
+
+    client.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.tenants["acme"].submitted, 1);
+    assert_eq!(stats.tenants["acme"].completed, 1);
+}
+
+#[test]
+fn e2e_3d_job_is_bit_identical_to_in_process() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    let grid = Grid3D::from_fn(20, 24, 16, |z, y, x| {
+        ((z * 7 + y * 5 + x * 3) % 13) as f64 * 0.5 - 1.0
+    });
+    let steps = 6;
+
+    let mut client = NetClient::connect(server.addr(), "acme").unwrap();
+    let out = client
+        .run(
+            submit_header("heat3d", kernels::heat3d(), &[20, 24, 16], steps),
+            &grid.to_dense(),
+        )
+        .unwrap();
+    assert_eq!(out.extents, vec![20, 24, 16]);
+
+    let spec = JobSpec::new(kernels::heat3d(), JobDomain::D3(grid.clone()), steps);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let reference = plan.run_3d(&grid, steps).unwrap();
+    assert_eq!(bits(&out.data), bits(&reference.to_dense()));
+
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn multi_round_jobs_stream_progress_and_match_chunked_reference() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    let grid = Grid2D::from_fn(48, 40, |y, x| ((y + 2 * x) % 11) as f64);
+    let (steps, rounds) = (8usize, 3usize);
+
+    let mut client = NetClient::connect(server.addr(), "acme").unwrap();
+    let mut header = submit_header("heat2d", kernels::heat2d(), &[48, 40], steps);
+    header.rounds = rounds;
+    let id = client.submit(header, &grid.to_dense()).unwrap();
+    let mut seen_rounds = Vec::new();
+    let outcome = loop {
+        match client.next_event(id).unwrap() {
+            JobEvent::Progress { round, rounds: n } => {
+                assert_eq!(n, 3);
+                seen_rounds.push(round);
+            }
+            JobEvent::Done(out) => break out,
+        }
+    };
+    // every non-final round reported, in order
+    assert_eq!(seen_rounds, vec![1, 2]);
+
+    // the reference must chunk identically: folded/tessellated plans
+    // are only bit-stable for a given step partition
+    let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(grid.clone()), steps);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let mut reference = grid;
+    for chunk in round_steps(steps, rounds) {
+        reference = plan.run_2d(&reference, chunk).unwrap();
+    }
+    assert_eq!(bits(&outcome.data), bits(&reference.to_dense()));
+
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn inline_patterns_serve_over_the_wire() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    let pattern = Pattern::new_1d(&[0.25, 0.5, 0.25]);
+    let data: Vec<f64> = (0..512).map(|i| ((i * 13) % 29) as f64).collect();
+
+    let mut client = NetClient::connect(server.addr(), "t").unwrap();
+    let out = client
+        .run(submit_header("blur", pattern.clone(), &[512], 5), &data)
+        .unwrap();
+
+    let grid = stencil_lab::grid::Grid1D::from_fn(512, |i| data[i]);
+    let spec = JobSpec::new(pattern, JobDomain::D1(grid.clone()), 5);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let reference = plan.run_1d(&grid, 5).unwrap();
+    assert_eq!(bits(&out.data), bits(reference.as_slice()));
+
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_jobs_multiplex_on_one_connection() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    let mut client = NetClient::connect(server.addr(), "acme").unwrap();
+    let grid = Grid2D::from_fn(32, 32, |y, x| (y * x % 7) as f64);
+    let dense = grid.to_dense();
+    // three jobs in flight at once; their done frames interleave and
+    // the client must demultiplex by id
+    let ids: Vec<u64> = (0..3)
+        .map(|_| {
+            client
+                .submit(
+                    submit_header("heat2d", kernels::heat2d(), &[32, 32], 4),
+                    &dense,
+                )
+                .unwrap()
+        })
+        .collect();
+    let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(grid.clone()), 4);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let expected = bits(&plan.run_2d(&grid, 4).unwrap().to_dense());
+    // collect in reverse submission order to force buffering
+    for &id in ids.iter().rev() {
+        let out = loop {
+            match client.next_event(id).unwrap() {
+                JobEvent::Progress { .. } => continue,
+                JobEvent::Done(out) => break out,
+            }
+        };
+        assert_eq!(bits(&out.data), expected);
+    }
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_payload_frames_round_trip_arbitrary_bits(
+        raw in prop::collection::vec(0u64..u64::MAX, 0..48),
+    ) {
+        // payloads are raw f64 bits: NaN payloads, signalling bits,
+        // infinities and subnormals must all survive verbatim
+        let data: Vec<f64> = raw.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = Vec::new();
+        wire::encode(&wire::Frame::Payload(data), &mut buf);
+        let (frame, used) = wire::decode(&buf, wire::DEFAULT_MAX_FRAME).unwrap().unwrap();
+        prop_assert_eq!(used, buf.len());
+        let wire::Frame::Payload(back) = frame else {
+            return Err("payload decoded as header".to_string());
+        };
+        prop_assert_eq!(bits(&back), raw);
+    }
+
+    #[test]
+    fn wire_decode_of_arbitrary_garbage_never_panics(
+        words in prop::collection::vec(0u32..=u32::MAX - 1, 0..16),
+        max in 16usize..4096,
+    ) {
+        // typed error or incomplete — never a panic, never a hang
+        let junk: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let _ = wire::decode(&junk, max);
+        let _ = wire::decode_eof(&junk, max);
+    }
+
+    #[test]
+    fn wire_truncations_of_valid_frames_are_typed(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..16),
+        cut_seed in 0usize..10_000,
+    ) {
+        let data: Vec<f64> = raw.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = Vec::new();
+        wire::encode(&wire::Frame::Payload(data), &mut buf);
+        let cut = 1 + cut_seed % (buf.len() - 1);
+        // a prefix is "incomplete", and at stream end it is a typed
+        // truncation error carrying the byte counts
+        prop_assert!(wire::decode(&buf[..cut], wire::DEFAULT_MAX_FRAME).unwrap().is_none());
+        match wire::decode_eof(&buf[..cut], wire::DEFAULT_MAX_FRAME) {
+            Err(wire::WireError::Truncated { have, need }) => {
+                prop_assert_eq!(have, cut);
+                // inside the length prefix the decoder only knows it
+                // needs the prefix; after it, the whole frame
+                let expect = if cut < wire::LEN_PREFIX { wire::LEN_PREFIX } else { buf.len() };
+                prop_assert_eq!(need, expect);
+            }
+            other => return Err(format!("expected truncated: {other:?}")),
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_server_survives() {
+    use std::io::{Read, Write};
+    let server = start_server(small_cfg(), NetConfig::default());
+
+    // an unknown frame kind: the server answers a typed error frame
+    // and closes — it must not hang, panic, or take the loop down
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&[0, 0, 0, 1, b'X']).unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap(); // server closes after the error
+    let (frame, _) = wire::decode(&buf, wire::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("one complete error frame");
+    let wire::Frame::Header(doc) = frame else {
+        panic!("expected a header frame")
+    };
+    let msg = wire::ServerMsg::from_json(&doc).unwrap();
+    let wire::ServerMsg::Error { message } = msg else {
+        panic!("expected a protocol error, got {msg:?}")
+    };
+    assert!(
+        message.contains("0x58"),
+        "names the bad kind byte: {message}"
+    );
+
+    // an over-limit length prefix gets the same treatment
+    let mut raw2 = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw2.write_all(&[0x7f, 0xff, 0xff, 0xff]).unwrap();
+    let mut buf2 = Vec::new();
+    raw2.read_to_end(&mut buf2).unwrap();
+    assert!(!buf2.is_empty(), "typed error frame, not a silent drop");
+
+    // the server is still fully functional
+    let mut client = NetClient::connect(server.addr(), "t").unwrap();
+    let (status, _) = client.health().unwrap();
+    assert_eq!(status, "ok");
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_retry_hint_instead_of_blocking() {
+    // one worker, one queue slot: a burst must shed load
+    let server = start_server(
+        ServeConfig {
+            threads: 1,
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            tenant_quota: 64,
+            ..NetConfig::default()
+        },
+    );
+    let grid = Grid2D::from_fn(96, 96, |y, x| ((y + x) % 9) as f64);
+    let dense = grid.to_dense();
+    let mut client = NetClient::connect(server.addr(), "burst").unwrap();
+    let mut accepted = Vec::new();
+    let mut queue_full = 0u32;
+    for _ in 0..6 {
+        match client.submit(
+            submit_header("heat2d", kernels::heat2d(), &[96, 96], 40),
+            &dense,
+        ) {
+            Ok(id) => accepted.push(id),
+            Err(NetError::Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after,
+            }) => {
+                assert!(retry_after >= Duration::from_millis(1));
+                assert!(retry_after <= Duration::from_secs(5));
+                queue_full += 1;
+            }
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    assert!(
+        queue_full > 0,
+        "a 6-job burst into a 1-slot queue must shed"
+    );
+    assert!(!accepted.is_empty(), "the queue still admits work");
+
+    // rejection is load shedding, not an outage: while the backlog
+    // drains, the accept loop answers new connections
+    let mut probe = NetClient::connect(server.addr(), "probe").unwrap();
+    assert_eq!(probe.health().unwrap().0, "ok");
+    probe.bye().unwrap();
+
+    // every accepted job completes with the correct answer
+    let spec = JobSpec::new(kernels::heat2d(), JobDomain::D2(grid.clone()), 40);
+    let (plan, _) = server.service().plan_for(&spec).unwrap();
+    let expected = bits(&plan.run_2d(&grid, 40).unwrap().to_dense());
+    for id in accepted {
+        let out = loop {
+            match client.next_event(id).unwrap() {
+                JobEvent::Progress { .. } => continue,
+                JobEvent::Done(out) => break out,
+            }
+        };
+        assert_eq!(bits(&out.data), expected);
+    }
+    client.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.tenants["burst"].rejected, u64::from(queue_full));
+}
+
+#[test]
+fn tenant_quota_rejects_a_burst_and_tracks_counters() {
+    let server = start_server(
+        ServeConfig {
+            threads: 1,
+            workers: 1,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            tenant_quota: 2,
+            ..NetConfig::default()
+        },
+    );
+    // hand-rolled burst: all four submissions land in one read batch,
+    // so the gate sees them back-to-back before any job can complete
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut hello = Vec::new();
+    wire::encode(
+        &wire::Frame::Header(
+            wire::ClientMsg::Hello {
+                tenant: "noisy".into(),
+            }
+            .to_json(),
+        ),
+        &mut hello,
+    );
+    raw.write_all(&hello).unwrap();
+    let read_msg = |stream: &mut std::net::TcpStream, buf: &mut Vec<u8>| loop {
+        if let Some((frame, used)) = wire::decode(buf, wire::DEFAULT_MAX_FRAME).unwrap() {
+            buf.drain(..used);
+            let wire::Frame::Header(doc) = frame else {
+                panic!("expected header frame")
+            };
+            return wire::ServerMsg::from_json(&doc).unwrap();
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed unexpectedly");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let mut rbuf = Vec::new();
+    assert!(matches!(
+        read_msg(&mut raw, &mut rbuf),
+        wire::ServerMsg::HelloOk { quota: 2, .. }
+    ));
+
+    let grid = Grid2D::from_fn(96, 96, |y, x| ((2 * y + x) % 5) as f64);
+    let mut burst = Vec::new();
+    for id in 1..=4u64 {
+        let mut h = submit_header("heat2d", kernels::heat2d(), &[96, 96], 60);
+        h.id = id;
+        wire::encode(
+            &wire::Frame::Header(wire::ClientMsg::Submit(h).to_json()),
+            &mut burst,
+        );
+        wire::encode(&wire::Frame::Payload(grid.to_dense()), &mut burst);
+    }
+    raw.write_all(&burst).unwrap();
+
+    let mut accepted = 0;
+    let mut quota_rejected = 0;
+    for _ in 0..4 {
+        match read_msg(&mut raw, &mut rbuf) {
+            wire::ServerMsg::Accepted { .. } => accepted += 1,
+            wire::ServerMsg::Rejected {
+                reason: RejectReason::QuotaExceeded,
+                retry_after_ms,
+                ..
+            } => {
+                assert!(retry_after_ms >= 1);
+                quota_rejected += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(accepted, 2, "exactly the quota is admitted");
+    assert_eq!(quota_rejected, 2, "the rest are refused at the gate");
+    drop(raw);
+
+    // the per-tenant counters export the same story
+    assert!(wait_until(Duration::from_secs(60), || {
+        let s = server.service().stats();
+        s.tenants.get("noisy").is_some_and(|t| t.rejected == 2)
+    }));
+    let stats = server.shutdown();
+    assert_eq!(stats.tenants["noisy"].submitted, 2);
+    assert_eq!(stats.tenants["noisy"].rejected, 2);
+}
+
+#[test]
+fn disconnect_mid_job_releases_the_tenant_quota() {
+    let server = start_server(
+        ServeConfig {
+            threads: 1,
+            workers: 1,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            tenant_quota: 1,
+            ..NetConfig::default()
+        },
+    );
+    let grid = Grid2D::from_fn(96, 96, |y, x| ((y ^ x) % 7) as f64);
+
+    // client A occupies the tenant's whole quota, then vanishes
+    // without reading its result
+    let mut a = NetClient::connect(server.addr(), "flaky").unwrap();
+    a.submit(
+        submit_header("heat2d", kernels::heat2d(), &[96, 96], 80),
+        &grid.to_dense(),
+    )
+    .unwrap();
+    drop(a); // no bye: a mid-job disconnect
+
+    // client B (same tenant) must eventually be admitted: the reap
+    // released A's quota slot whether or not A's round had finished
+    let mut b = NetClient::connect(server.addr(), "flaky").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let id = loop {
+        match b.submit(
+            submit_header("heat2d", kernels::heat2d(), &[96, 96], 4),
+            &grid.to_dense(),
+        ) {
+            Ok(id) => break id,
+            Err(NetError::Rejected { retry_after, .. }) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "quota never released after disconnect"
+                );
+                std::thread::sleep(retry_after.min(Duration::from_millis(20)));
+            }
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    };
+    while let JobEvent::Progress { .. } = b.next_event(id).unwrap() {}
+    b.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn cancel_releases_the_quota_and_acknowledges() {
+    let server = start_server(
+        small_cfg(),
+        NetConfig {
+            tenant_quota: 1,
+            ..NetConfig::default()
+        },
+    );
+    let grid = Grid2D::from_fn(96, 96, |y, x| ((y + 3 * x) % 8) as f64);
+    let mut client = NetClient::connect(server.addr(), "t").unwrap();
+    // a long multi-round job: cancelling right after acceptance lands
+    // while rounds are still pending
+    let mut h = submit_header("heat2d", kernels::heat2d(), &[96, 96], 400);
+    h.rounds = 8;
+    let id = client.submit(h, &grid.to_dense()).unwrap();
+    client.cancel(id).unwrap();
+    // the quota slot is free again immediately
+    let id2 = client
+        .submit(
+            submit_header("heat2d", kernels::heat2d(), &[96, 96], 2),
+            &grid.to_dense(),
+        )
+        .unwrap();
+    while let JobEvent::Progress { .. } = client.next_event(id2).unwrap() {}
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn half_open_connections_are_reaped_by_the_idle_timeout() {
+    let server = start_server(
+        small_cfg(),
+        NetConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..NetConfig::default()
+        },
+    );
+    // connect and say nothing — a half-open peer
+    let zombie = std::net::TcpStream::connect(server.addr()).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || server.connections() == 1),
+        "zombie accepted"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || server.connections() == 0),
+        "zombie reaped by idle timeout"
+    );
+    drop(zombie);
+
+    // active connections are not reaped while a job is in flight or
+    // traffic flows: a client completing work within the window works
+    let mut client = NetClient::connect(server.addr(), "t").unwrap();
+    let grid = Grid2D::from_fn(32, 32, |y, x| (y + x) as f64);
+    client
+        .run(
+            submit_header("heat2d", kernels::heat2d(), &[32, 32], 2),
+            &grid.to_dense(),
+        )
+        .unwrap();
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn http_scrape_surface_serves_healthz_and_metrics() {
+    let server = start_server(small_cfg(), NetConfig::default());
+    // run one job so the counters are non-trivial
+    let mut client = NetClient::connect(server.addr(), "scrape").unwrap();
+    let grid = Grid2D::from_fn(32, 32, |y, x| (y * x % 5) as f64);
+    client
+        .run(
+            submit_header("heat2d", kernels::heat2d(), &[32, 32], 3),
+            &grid.to_dense(),
+        )
+        .unwrap();
+
+    let (code, body) = http_get(server.addr(), "/healthz").unwrap();
+    assert_eq!(code, 200);
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("status").and_then(json::Value::as_str), Some("ok"));
+
+    // /metrics is the full stats document, parseable by the pinned
+    // schema, with the tenant counters inside
+    let (code, body) = http_get(server.addr(), "/metrics").unwrap();
+    assert_eq!(code, 200);
+    let snap = StatsSnapshot::from_json(&json::parse(&body).unwrap())
+        .expect("metrics document matches the StatsSnapshot schema");
+    assert!(snap.jobs_completed >= 1);
+    assert_eq!(snap.tenants["scrape"].completed, 1);
+
+    let (code, _) = http_get(server.addr(), "/nope").unwrap();
+    assert_eq!(code, 404);
+
+    // the in-band stats message returns the same document shape
+    let doc = client.stats().unwrap();
+    assert!(StatsSnapshot::from_json(&doc).is_some());
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_releases_pool_threads() {
+    // hold a pool handle: after shutdown only this handle and the
+    // shared registry's own clone may remain — anything more is a leak
+    let pool = PoolHandle::shared(2);
+    let server = start_server(small_cfg(), NetConfig::default());
+    let mut client = NetClient::connect(server.addr(), "t").unwrap();
+    let grid = Grid2D::from_fn(48, 48, |y, x| ((y + x) % 3) as f64);
+    client
+        .run(
+            submit_header("heat2d", kernels::heat2d(), &[48, 48], 4),
+            &grid.to_dense(),
+        )
+        .unwrap();
+    client.bye().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_completed, 1);
+    assert!(
+        wait_until(Duration::from_secs(10), || pool.strong_count() == 2),
+        "server shutdown must release every plan's pool handle (count={})",
+        pool.strong_count()
+    );
+}
