@@ -23,6 +23,7 @@ fn cases() -> Vec<(&'static str, Pattern)> {
         ("3D-Heat", kernels::heat3d()),
         ("3D27P", kernels::box3d27p()),
         ("3D125P", kernels::box3d125p()),
+        ("3DStar-R2", kernels::star3d_r2()),
     ]
 }
 

@@ -1,0 +1,198 @@
+//! `stencil-bench retune`: drive the adaptive retuning loop with a
+//! seeded workload whose mix shifts mid-run, and report how fast the
+//! decider adapts — jobs and wall milliseconds from the shift to the
+//! first registry hot-swap — plus per-plan p50 latency at the shift
+//! point and at the end of the run.
+//!
+//! The service starts under `Tuning::Static` (cost-model plans), with
+//! the adapt loop enabled but its background thread disabled
+//! (`interval == 0`): the driver calls `retune_tick()` itself between
+//! jobs, so the decision points are deterministic even though the
+//! probe *verdicts* are measured live through an isolated scratch
+//! tune cache. Phase A serves a heat2d-heavy mix; phase B flips the
+//! mix to box2d9p, heating a different registry key. The driver exits
+//! 0 whether or not a swap fires (on a loaded CI host the static
+//! choice can genuinely be the winner); the deterministic swap
+//! assertion lives in the seeded virtual-clock test suite, not here.
+
+use std::time::{Duration, Instant};
+use stencil_bench::workload::SplitMix64;
+use stencil_bench::{Args, Table};
+use stencil_core::{kernels, Pattern, Tuning};
+use stencil_grid::Grid2D;
+use stencil_serve::{AdaptConfig, JobDomain, JobSpec, Manifest, ServeConfig, StencilService};
+use stencil_tune::probe::Budget;
+use stencil_tune::AutoTuner;
+
+struct Mix {
+    name: &'static str,
+    pattern: Pattern,
+    steps: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.threads();
+    // smoke: tiny CI sizes; paper: enough traffic for stable quantiles
+    let (d2, steps, jobs_per_phase, min_samples) = if args.quick {
+        (96, 4, 24, 8)
+    } else if args.paper {
+        (512, 12, 160, 32)
+    } else {
+        (256, 8, 80, 16)
+    };
+
+    // Probes go through an isolated scratch cache so a bench run never
+    // pollutes (or is steered by) the real per-host tune cache.
+    let cache = std::env::temp_dir().join(format!("stencil-retune-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    stencil_tune::install_with(AutoTuner::with_cache_path(&cache).budget(Budget::from_millis(25)));
+
+    let mixes = [
+        Mix {
+            name: "heat2d",
+            pattern: kernels::heat2d(),
+            steps,
+        },
+        Mix {
+            name: "box2d9p",
+            pattern: kernels::box2d9p(),
+            steps,
+        },
+    ];
+
+    println!(
+        "stencil-bench retune — {jobs}+{jobs} jobs @ {d2}x{d2}, mix shift at midpoint, \
+         {threads} pool threads ({backend})",
+        jobs = jobs_per_phase,
+        backend = stencil_simd::backend_summary()
+    );
+
+    let service = StencilService::start(ServeConfig {
+        threads,
+        workers: 1,
+        tuning: Tuning::Static,
+        adapt: AdaptConfig {
+            enabled: true,
+            margin: 0.05,
+            min_samples,
+            lane_budget_ms: if args.quick { 10 } else { 25 },
+            // no background thread: the driver ticks the decider
+            // itself, so decision points are reproducible
+            interval: Duration::ZERO,
+        },
+        ..ServeConfig::default()
+    });
+    let mut manifest = Manifest::new(Tuning::Static);
+    for m in &mixes {
+        manifest.push_kernel(m.name, Some(&[d2, d2]));
+    }
+    let warm = service.warm(&manifest);
+    println!("warm start: {} plan(s)", warm.loaded);
+
+    let mut rng = SplitMix64::new(0x5eed_2e7e);
+    let wall = Instant::now();
+    let mut shift_at: Option<(Instant, StatsSnapshotAt)> = None;
+    let mut adapt: Option<(usize, f64)> = None; // (jobs since shift, ms since shift)
+    struct StatsSnapshotAt {
+        swaps: u64,
+        snapshot: stencil_serve::StatsSnapshot,
+    }
+
+    let total = 2 * jobs_per_phase;
+    for job in 0..total {
+        let phase_b = job >= jobs_per_phase;
+        if phase_b && shift_at.is_none() {
+            let snapshot = service.stats();
+            println!(
+                "mix shift after {job} jobs: heat2d-heavy -> box2d9p-heavy \
+                 (swaps so far: {})",
+                snapshot.swaps
+            );
+            shift_at = Some((
+                Instant::now(),
+                StatsSnapshotAt {
+                    swaps: snapshot.swaps,
+                    snapshot,
+                },
+            ));
+        }
+        // 90/10 mix, flipped at the shift: the hot key changes mid-run
+        let heavy = rng.next_f64() < 0.9;
+        let m = &mixes[usize::from(heavy == phase_b)];
+        let fill = rng.next_u64();
+        let domain = JobDomain::D2(Grid2D::from_fn(d2, d2, |y, x| {
+            ((y * 13 + x * 5) as f64 + (fill % 17) as f64) % 17.0
+        }));
+        service
+            .submit(JobSpec::new(m.pattern.clone(), domain, m.steps))
+            .expect("in-manifest jobs are accepted")
+            .wait()
+            .expect("jobs execute");
+        let swapped = service.retune_tick();
+        if swapped > 0 {
+            println!("tick after job {job}: {swapped} hot-swap(s)");
+        }
+        if let (Some((t0, at)), None) = (&shift_at, &adapt) {
+            if service.stats().swaps > at.swaps {
+                adapt = Some((job + 1 - jobs_per_phase, t0.elapsed().as_secs_f64() * 1e3));
+            }
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    let (_, at_shift) = shift_at.expect("the run crossed the midpoint");
+
+    let mut table = Table::new("retune adaptation", "mixed");
+    table.put("run", "jobs", Some(total as f64));
+    table.put("run", "jobs_per_s", Some(total as f64 / wall_s));
+    table.put("run", "swaps", Some(stats.swaps as f64));
+    table.put("run", "challenges", Some(stats.challenges as f64));
+    table.put(
+        "run",
+        "challenges_rejected",
+        Some(stats.challenges_rejected as f64),
+    );
+    table.put("run", "adapt_jobs", adapt.map(|(jobs, _)| jobs as f64));
+    table.put("run", "adapt_ms", adapt.map(|(_, ms)| ms));
+    table.put("run", "p50_ms", Some(stats.p50_us as f64 / 1e3));
+    table.put("run", "p99_ms", Some(stats.p99_us as f64 / 1e3));
+
+    // Per-plan p50 at the shift point vs the end of the run. The
+    // histograms are cumulative, so the delta understates a win — but
+    // a swap that helps still drags the final quantile down.
+    let mut plans = Table::new("retune per-plan p50", "µs");
+    for (key, end) in &stats.plans {
+        let short: String = key.chars().take(40).collect();
+        let before = at_shift.snapshot.plans.get(key);
+        plans.put(&short, "p50_at_shift_us", before.map(|t| t.p50_us as f64));
+        plans.put(&short, "p50_final_us", Some(end.p50_us as f64));
+        plans.put(&short, "epoch", Some(end.epoch as f64));
+        plans.put(&short, "samples", Some(end.samples as f64));
+    }
+    table.print();
+    plans.print();
+
+    match adapt {
+        Some((jobs, ms)) => {
+            println!("time-to-adapt: {jobs} job(s), {ms:.1} ms after the mix shift")
+        }
+        None => println!(
+            "no post-shift hot-swap fired ({} challenge(s), {} rejected) — \
+             the incumbent held; not an error",
+            stats.challenges, stats.challenges_rejected
+        ),
+    }
+
+    assert_eq!(
+        stats.jobs_completed as usize, total,
+        "every submitted job must complete"
+    );
+    assert_eq!(stats.jobs_failed, 0, "no job may fail");
+
+    if let Some(path) = &args.json {
+        Table::dump_json(&[&table, &plans], path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    let _ = std::fs::remove_file(&cache);
+}

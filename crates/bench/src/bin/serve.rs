@@ -95,6 +95,7 @@ fn main() {
             max_shards: threads.max(2),
             min_slab: 16,
         },
+        ..ServeConfig::default()
     });
     let mut manifest = Manifest::new(tuning);
     for m in &mixes {

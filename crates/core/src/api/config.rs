@@ -143,6 +143,7 @@ pub struct Solver {
     pub(crate) tuning: Tuning,
     pub(crate) domain_hint: Option<Vec<usize>>,
     pub(crate) ring3: Option<Ring3>,
+    pub(crate) epoch: u64,
 }
 
 impl Solver {
@@ -159,6 +160,7 @@ impl Solver {
             tuning: Tuning::Static,
             domain_hint: None,
             ring3: None,
+            epoch: 0,
         }
     }
 
@@ -238,6 +240,19 @@ impl Solver {
     /// values are a compile-time [`PlanError::InvalidRing`].
     pub fn ring3(mut self, r: Ring3) -> Self {
         self.ring3 = Some(r);
+        self
+    }
+
+    /// Tag the compiled plan with an identity epoch (default 0).
+    ///
+    /// The epoch changes nothing about execution — it is an opaque
+    /// generation counter carried by the [`Plan`] so callers that
+    /// hot-swap plans at runtime (the serve registry's adaptive
+    /// retuning) can tell which generation produced a result: jobs
+    /// holding an older `Arc<Plan>` finish on that exact plan,
+    /// bit-exactly, and report its epoch.
+    pub fn epoch(mut self, e: u64) -> Self {
+        self.epoch = e;
         self
     }
 

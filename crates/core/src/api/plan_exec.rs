@@ -108,6 +108,9 @@ pub struct Plan {
     tail_kernel: Option<FoldedKernel>,
     /// Resolved z-ring geometry (`Some` exactly for 3D register plans).
     ring3: Option<Ring3>,
+    /// Opaque identity epoch ([`Solver::epoch`]): a generation counter
+    /// for plan hot-swapping, with no effect on execution.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for Plan {
@@ -121,6 +124,7 @@ impl std::fmt::Debug for Plan {
             .field("m", &self.m)
             .field("effective_radius", &self.folded.radius())
             .field("ring3", &self.ring3)
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -316,6 +320,7 @@ impl Plan {
             kernel,
             tail_kernel,
             ring3,
+            epoch: cfg.epoch,
         })
     }
 
@@ -354,6 +359,13 @@ impl Plan {
     /// Never `Some(invalid)`: compile validates pinned geometries.
     pub fn ring3(&self) -> Option<Ring3> {
         self.ring3
+    }
+
+    /// Identity epoch this plan was compiled with ([`Solver::epoch`]).
+    /// Purely an identity tag for hot-swap bookkeeping — two plans that
+    /// differ only in epoch execute identically, bit for bit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Spatial dimensionality of the compiled pattern.

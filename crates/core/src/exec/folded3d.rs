@@ -41,7 +41,10 @@
 
 use crate::exec::folded::{scalar_col_3d, FoldedKernel, PlanV, MAX_F, MAX_R3};
 use crate::pattern::Pattern;
+use core::any::{Any, TypeId};
+use core::cell::RefCell;
 use core::ops::Range;
+use std::collections::HashMap;
 use stencil_grid::{Grid3D, PingPong};
 use stencil_simd::SimdF64;
 
@@ -120,6 +123,44 @@ pub fn step_range_3d_ring<V: SimdF64>(
     }
 }
 
+/// Per-worker scratch backing one [`step_ring_r`] call: the two column
+/// panes and the cross-slab carry. Hoisted into a thread-local so the
+/// tessellate path — many small trapezoid tile calls per worker per
+/// sweep — stops paying two heap allocations per tile. Keyed by the
+/// SIMD backend type, since the kernel is monomorphized over it.
+struct Scratch<V: SimdF64> {
+    cols: Vec<[V; 8]>,
+    carry: Vec<[V; MAX_R3]>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Check out this thread's scratch for backend `V` (empty buffers on
+/// first use); [`put_scratch`] returns it. Checkout semantics — rather
+/// than a borrow held across the sweep — keep the `RefCell` borrow
+/// scoped to the map access alone, so no reachable call graph can
+/// observe it borrowed.
+fn take_scratch<V: SimdF64>() -> Scratch<V> {
+    SCRATCH.with(|cell| {
+        cell.borrow_mut()
+            .remove(&TypeId::of::<V>())
+            .and_then(|b| b.downcast::<Scratch<V>>().ok())
+            .map(|b| *b)
+            .unwrap_or(Scratch {
+                cols: Vec::new(),
+                carry: Vec::new(),
+            })
+    })
+}
+
+fn put_scratch<V: SimdF64>(sc: Scratch<V>) {
+    SCRATCH.with(|cell| {
+        cell.borrow_mut().insert(TypeId::of::<V>(), Box::new(sc));
+    });
+}
+
 fn step_ring_r<V: SimdF64, const R: usize>(
     k: &FoldedKernel,
     ring: Ring3,
@@ -151,15 +192,22 @@ fn step_ring_r<V: SimdF64, const R: usize>(
     // filled the other — so interior slab boundaries read block-computed
     // columns on both sides. cols[pane][(b * depth + zi) * nids + u]
     // holds block `b`'s columns of dense counterpart `u` at strip
-    // index `zi`. Allocated once per call, reused by every strip.
+    // index `zi`. Checked out of the per-worker scratch, reused by
+    // every strip — and across calls: no zeroing, because every pane
+    // entry is written by a phase-A march before phase B reads it, and
+    // the carry is read only behind `b0 != 0`, after the previous
+    // slab's phase B rewrote it, so stale values from an earlier tile
+    // can never reach an output (the resize fill only seeds growth).
     let pane_len = slab * depth * nids;
-    let mut cols = vec![[V::zero(); 8]; 2 * pane_len];
+    let mut scratch = take_scratch::<V>();
+    scratch.cols.resize(2 * pane_len, [V::zero(); 8]);
     // Shifts reuse across x-slabs: the last R columns of each slab's
     // last block, kept per strip z so the next slab's left edge is
     // register data too. Only the sweep's own edges (x = xlo and the
     // last block's right halo) are ever assembled from scalar loads —
     // the same two per (z, y-block) the legacy pipeline pays.
-    let mut carry = vec![[V::zero(); MAX_R3]; depth * nids];
+    scratch.carry.resize(depth * nids, [V::zero(); MAX_R3]);
+    let Scratch { cols, carry } = &mut scratch;
 
     let mut y = ys.start;
     while y + vl <= ys.end {
@@ -192,7 +240,7 @@ fn step_ring_r<V: SimdF64, const R: usize>(
                 }
             };
             let mut cur = 0usize;
-            march(&mut cols, cur, 0, slab.min(nfull));
+            march(cols, cur, 0, slab.min(nfull));
             let mut b0 = 0usize;
             while b0 < nfull {
                 let nb = slab.min(nfull - b0);
@@ -201,7 +249,7 @@ fn step_ring_r<V: SimdF64, const R: usize>(
                 let next_nb = slab.min(nfull.saturating_sub(next_b0));
                 if next_nb > 0 {
                     // phase A of the next slab, ahead of this phase B
-                    march(&mut cols, 1 - cur, next_b0, next_nb);
+                    march(cols, 1 - cur, next_b0, next_nb);
                 }
                 // phase B: per z, horizontal fold + weighted transpose
                 let pane = cur * pane_len;
@@ -291,6 +339,7 @@ fn step_ring_r<V: SimdF64, const R: usize>(
     if y < ys.end {
         crate::exec::scalar::step_range_3d(src, dst, k.folded(), zs.clone(), y..ys.end, xs);
     }
+    put_scratch(scratch);
 }
 
 /// Load the `(vl + 2R)` row vectors of plane `zp` at `(y0, bx)`.

@@ -78,6 +78,30 @@ pub fn box3d125p() -> Pattern {
     Pattern::new_3d(2, &[1.0 / 125.0; 125])
 }
 
+/// 3D 13-point star stencil of radius 2: center 0.4, axis neighbours
+/// 0.08 at distance 1 and 0.02 at distance 2. The radius-2 *star*
+/// companion to [`box3d125p`] — same deep fold window (folded `m = 2`
+/// reaches radius 4 = `MAX_R3`), but load-bound like [`heat3d`], so it
+/// stresses the ring pipeline's plane reuse rather than its arithmetic.
+pub fn star3d_r2() -> Pattern {
+    let mut w = vec![0.0; 125];
+    let idx = |dz: usize, dy: usize, dx: usize| dz * 25 + dy * 5 + dx;
+    w[idx(2, 2, 2)] = 0.4;
+    for (axis, weight) in [(1usize, 0.08), (2usize, 0.02)] {
+        for (dz, dy, dx) in [
+            (2 - axis, 2, 2),
+            (2 + axis, 2, 2),
+            (2, 2 - axis, 2),
+            (2, 2 + axis, 2),
+            (2, 2, 2 - axis),
+            (2, 2, 2 + axis),
+        ] {
+            w[idx(dz, dy, dx)] = weight;
+        }
+    }
+    Pattern::new_3d(2, &w)
+}
+
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone)]
 pub struct BenchmarkSpec {
@@ -178,6 +202,8 @@ mod tests {
         assert_eq!(gb().points(), 9);
         assert_eq!(heat3d().points(), 7);
         assert_eq!(box3d27p().points(), 27);
+        assert_eq!(box3d125p().points(), 125);
+        assert_eq!(star3d_r2().points(), 13);
     }
 
     #[test]
@@ -185,15 +211,26 @@ mod tests {
         assert_eq!(heat1d().shape(), Shape::Star);
         assert_eq!(heat2d().shape(), Shape::Star);
         assert_eq!(heat3d().shape(), Shape::Star);
+        assert_eq!(star3d_r2().shape(), Shape::Star);
         assert_eq!(box2d9p().shape(), Shape::Box);
         assert_eq!(gb().shape(), Shape::Box);
         assert_eq!(box3d27p().shape(), Shape::Box);
+        assert_eq!(box3d125p().shape(), Shape::Box);
     }
 
     #[test]
     fn stability_mass() {
         // averaging kernels: weight sum 1 keeps sweeps bounded
-        for p in [heat1d(), d1p5(), heat2d(), box2d9p(), heat3d(), box3d27p()] {
+        for p in [
+            heat1d(),
+            d1p5(),
+            heat2d(),
+            box2d9p(),
+            heat3d(),
+            box3d27p(),
+            box3d125p(),
+            star3d_r2(),
+        ] {
             assert!((p.weight_sum() - 1.0).abs() < 1e-12, "{p:?}");
         }
         // GB is a weighted average too

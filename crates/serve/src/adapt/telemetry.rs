@@ -1,0 +1,269 @@
+//! Production-traffic telemetry for the adaptive retuning loop: an
+//! injectable clock and per-plan latency accounting.
+//!
+//! Every decider verdict must be reproducible, so nothing in the adapt
+//! family reads `Instant::now()` directly — time flows through a
+//! [`SharedClock`], which is the wall clock in production and a
+//! manually-advanced [`VirtualClock`] in tests and the CI smoke
+//! scenario. Latency itself is recorded per registry key in a
+//! [`TrafficMap`] living on the stats surface: a log-bucketed,
+//! constant-size histogram plus a samples-since-last-challenge window
+//! counter the decider uses to find hot keys.
+
+use crate::metrics::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use stencil_runtime::sync::Mutex;
+
+/// A monotonic time source: `now` is the duration since an arbitrary
+/// (per-clock) origin. Implementations must be cheap — the service
+/// reads the clock once per submission and once per completion.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: `Instant`-based, anchored lazily at first
+/// read so a freshly-built clock starts near zero.
+#[derive(Debug, Default)]
+pub struct WallClock {
+    anchor: OnceLock<Instant>,
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.anchor.get_or_init(Instant::now).elapsed()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests: time only moves
+/// when [`VirtualClock::advance`] is called, so every latency sample
+/// and every decider window is exactly reproducible.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.us.load(Ordering::Relaxed))
+    }
+}
+
+/// A cloneable handle to a [`Clock`], embeddable in `ServeConfig`
+/// (which stays `derive(Clone)`; the Debug impl hides the trait
+/// object).
+#[derive(Clone)]
+pub struct SharedClock(Arc<dyn Clock>);
+
+impl SharedClock {
+    /// Wrap any clock implementation.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self(clock)
+    }
+
+    /// The production wall clock.
+    pub fn wall() -> Self {
+        Self(Arc::new(WallClock::default()))
+    }
+
+    /// Current time since the clock's origin.
+    pub fn now(&self) -> Duration {
+        self.0.now()
+    }
+}
+
+impl Default for SharedClock {
+    fn default() -> Self {
+        Self::wall()
+    }
+}
+
+impl std::fmt::Debug for SharedClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SharedClock").field(&self.0).finish()
+    }
+}
+
+/// Live latency telemetry for one registry key (one plan generation at
+/// a time serves it; the epoch gauge says which).
+#[derive(Debug)]
+pub struct PlanTraffic {
+    /// Per-key end-to-end latency histogram (log-bucketed, constant
+    /// size — same shape as the service-wide one).
+    pub latency: LatencyHistogram,
+    /// Samples recorded since the decider last challenged this key.
+    /// Reset after *every* challenge, won or lost, so a key must earn a
+    /// fresh `min_samples` of traffic before it is re-examined — the
+    /// hysteresis that prevents swap-flapping at the margin boundary.
+    window: AtomicU64,
+    /// Epoch of the plan generation that served the latest sample.
+    epoch: AtomicU64,
+    /// Domain extents of the first job recorded under this key — the
+    /// challenger probe's domain hint (keys already bucket by shape
+    /// class, so any member of the class is representative).
+    hint: Vec<usize>,
+}
+
+impl PlanTraffic {
+    fn new(hint: Vec<usize>) -> Self {
+        Self {
+            latency: LatencyHistogram::default(),
+            window: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            hint,
+        }
+    }
+
+    /// Samples since the last challenge of this key.
+    pub fn window(&self) -> u64 {
+        self.window.load(Ordering::Relaxed)
+    }
+
+    /// Restart the hot-key window (called by the decider after every
+    /// challenge).
+    pub fn reset_window(&self) {
+        self.window.store(0, Ordering::Relaxed);
+    }
+
+    /// Epoch of the plan generation behind the latest sample.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The recorded domain extents (challenger probe hint).
+    pub fn hint(&self) -> &[usize] {
+        &self.hint
+    }
+}
+
+/// Per-registry-key traffic telemetry, shared between the executor
+/// workers (writers) and the decider / snapshot readers.
+#[derive(Default)]
+pub struct TrafficMap {
+    map: Mutex<BTreeMap<String, Arc<PlanTraffic>>>,
+}
+
+impl fmt::Debug for TrafficMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrafficMap")
+            .field("keys", &self.map.lock().len())
+            .finish()
+    }
+}
+
+impl TrafficMap {
+    /// Record one completed job under `key`: bumps the key's histogram
+    /// and hot-key window, and stamps the serving plan's epoch. The
+    /// entry is created on first touch with `hint()`'s extents as the
+    /// challenger probe hint.
+    pub fn record(
+        &self,
+        key: &str,
+        latency: Duration,
+        epoch: u64,
+        hint: impl FnOnce() -> Vec<usize>,
+    ) {
+        let entry = {
+            let mut map = self.map.lock();
+            match map.get(key) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    let e = Arc::new(PlanTraffic::new(hint()));
+                    map.insert(key.to_string(), Arc::clone(&e));
+                    e
+                }
+            }
+        };
+        entry.latency.record(latency);
+        entry.window.fetch_add(1, Ordering::Relaxed);
+        entry.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The traffic entry for `key`, if any job ever completed under it.
+    pub fn get(&self, key: &str) -> Option<Arc<PlanTraffic>> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Every `(key, traffic)` pair, sorted by key (stable iteration
+    /// order keeps decider verdicts reproducible).
+    pub fn entries(&self) -> Vec<(String, Arc<PlanTraffic>)> {
+        self.map
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Keys whose samples-since-challenge window reached `min_samples`
+    /// — the decider's hot-key scan.
+    pub fn hot(&self, min_samples: u64) -> Vec<(String, Arc<PlanTraffic>)> {
+        self.entries()
+            .into_iter()
+            .filter(|(_, t)| t.window() >= min_samples.max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let vc = Arc::new(VirtualClock::new());
+        let clock = SharedClock::new(Arc::clone(&vc) as Arc<dyn Clock>);
+        assert_eq!(clock.now(), Duration::ZERO);
+        vc.advance(Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(250));
+        vc.advance(Duration::from_millis(3));
+        assert_eq!(clock.now(), Duration::from_micros(3250));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = SharedClock::wall();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn traffic_windows_accumulate_and_reset() {
+        let t = TrafficMap::default();
+        for i in 0..5 {
+            t.record("k", Duration::from_micros(10 + i), 0, || vec![64, 64]);
+        }
+        t.record("other", Duration::from_micros(9), 2, || vec![32]);
+        assert_eq!(t.hot(5).len(), 1);
+        let (key, traffic) = &t.hot(5)[0];
+        assert_eq!(key, "k");
+        assert_eq!(traffic.window(), 5);
+        assert_eq!(traffic.latency.count(), 5);
+        assert_eq!(traffic.hint(), &[64, 64]);
+        traffic.reset_window();
+        assert_eq!(traffic.window(), 0);
+        assert!(t.hot(1).iter().all(|(k, _)| k == "other"));
+        // the histogram survives the window reset; the epoch gauge
+        // tracks the latest sample's generation
+        assert_eq!(t.get("k").unwrap().latency.count(), 5);
+        assert_eq!(t.get("other").unwrap().epoch(), 2);
+    }
+}

@@ -30,6 +30,12 @@
 //! * [`service`] — [`StencilService`]: executor workers tying the
 //!   pieces together, with graceful shutdown that reclaims the shared
 //!   pool.
+//! * [`adapt`] — online workload-adaptive retuning: per-plan
+//!   production-traffic telemetry (injectable clock, per-key latency
+//!   histograms), a budgeted background challenger lane re-running the
+//!   `stencil-tune` hill-climb on hot keys, and margin-gated registry
+//!   hot-swaps whose verdicts persist to the per-host tune cache.
+//!   In-flight jobs finish on their old plan generation bit-exactly.
 //! * [`net`] — the network front end: a length-prefixed TCP protocol
 //!   over the service (hand-rolled framing on `std::net`), per-tenant
 //!   admission quotas, streamed progress for multi-round jobs, and a
@@ -69,6 +75,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adapt;
 pub mod manifest;
 pub mod metrics;
 pub mod net;
@@ -77,8 +84,12 @@ pub mod registry;
 pub mod service;
 pub mod shard;
 
+pub use adapt::{
+    AdaptConfig, ChallengeVerdict, ChallengerLane, Decider, PlanChoice, ProbeLane, ScriptedLane,
+    SharedClock, VirtualClock,
+};
 pub use manifest::{Manifest, ManifestEntry};
-pub use metrics::{LatencyHistogram, ServeStats, StatsSnapshot, TenantCounters};
+pub use metrics::{LatencyHistogram, PlanTelemetry, ServeStats, StatsSnapshot, TenantCounters};
 pub use net::{NetClient, NetConfig, NetError, NetServer, SubmitHeader};
 pub use registry::{PlanRegistry, WarmReport};
 pub use service::{

@@ -270,6 +270,8 @@ pub fn kernel_by_name(name: &str) -> Option<Pattern> {
         "gb" => kernels::gb(),
         "heat3d" | "star3d" => kernels::heat3d(),
         "box3d27p" => kernels::box3d27p(),
+        "box3d125p" => kernels::box3d125p(),
+        "star3d_r2" => kernels::star3d_r2(),
         _ => return None,
     })
 }
@@ -387,7 +389,16 @@ mod tests {
     #[test]
     fn every_table1_kernel_name_resolves() {
         for name in [
-            "heat1d", "d1p5", "heat2d", "box2d9p", "gb", "heat3d", "box3d27p", "star3d",
+            "heat1d",
+            "d1p5",
+            "heat2d",
+            "box2d9p",
+            "gb",
+            "heat3d",
+            "box3d27p",
+            "star3d",
+            "box3d125p",
+            "star3d_r2",
         ] {
             assert!(kernel_by_name(name).is_some(), "{name}");
         }

@@ -9,6 +9,7 @@
 //! is a plain-data copy taken at a point in time — cheap enough to poll
 //! from a metrics scraper loop.
 
+use crate::adapt::telemetry::TrafficMap;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -151,6 +152,17 @@ pub struct ServeStats {
     /// End-to-end job latency (submit to completion, queue wait
     /// included).
     pub latency: LatencyHistogram,
+    /// Per-registry-key latency telemetry (the adaptive retuning
+    /// decider's hot-key input), recorded alongside `latency` for
+    /// every executed job.
+    pub traffic: TrafficMap,
+    /// Registry entries hot-swapped by the retuning decider.
+    pub swaps: AtomicU64,
+    /// Challenger sessions the decider started.
+    pub challenges: AtomicU64,
+    /// Challenges that did not end in a swap (lost, margin-short, no
+    /// verdict, or the winner failed to compile).
+    pub challenges_rejected: AtomicU64,
     warnings: Mutex<Vec<String>>,
     /// Per-tenant admission counters (network front end). Rarely
     /// contended: one writer (the poll loop) plus snapshot readers.
@@ -206,6 +218,22 @@ impl ServeStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let warnings = self.warnings.lock().clone();
         let tenants = self.tenants.lock().clone();
+        let plans = self
+            .traffic
+            .entries()
+            .into_iter()
+            .map(|(key, t)| {
+                (
+                    key,
+                    PlanTelemetry {
+                        samples: t.latency.count(),
+                        p50_us: t.latency.quantile_us(0.50),
+                        p99_us: t.latency.quantile_us(0.99),
+                        epoch: t.epoch(),
+                    },
+                )
+            })
+            .collect();
         let ld = Ordering::Relaxed;
         StatsSnapshot {
             jobs_submitted: self.jobs_submitted.load(ld),
@@ -223,6 +251,9 @@ impl ServeStats {
             max_batch: self.max_batch.load(ld),
             sharded_jobs: self.sharded_jobs.load(ld),
             shards_executed: self.shards_executed.load(ld),
+            swaps: self.swaps.load(ld),
+            challenges: self.challenges.load(ld),
+            challenges_rejected: self.challenges_rejected.load(ld),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
             mean_us: self.latency.mean_us(),
@@ -231,8 +262,26 @@ impl ServeStats {
                 .unwrap_or(0),
             warnings,
             tenants,
+            plans,
         }
     }
+}
+
+/// Per-plan (registry-key) latency telemetry inside a
+/// [`StatsSnapshot`] — what the `/metrics` scrape surface exposes per
+/// serving plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanTelemetry {
+    /// Latency samples recorded under the key (lifetime, not the
+    /// decider's hot-key window).
+    pub samples: u64,
+    /// Median latency under the key, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency under the key, microseconds.
+    pub p99_us: u64,
+    /// Epoch of the plan generation that served the latest sample —
+    /// bumps by one on every retuning hot-swap.
+    pub epoch: u64,
 }
 
 /// Plain-data copy of [`ServeStats`] at a point in time.
@@ -268,6 +317,12 @@ pub struct StatsSnapshot {
     pub sharded_jobs: u64,
     /// Total slabs executed.
     pub shards_executed: u64,
+    /// Registry entries hot-swapped by the retuning decider.
+    pub swaps: u64,
+    /// Challenger sessions started.
+    pub challenges: u64,
+    /// Challenges that did not end in a swap.
+    pub challenges_rejected: u64,
     /// Median end-to-end latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile end-to-end latency, microseconds.
@@ -284,6 +339,9 @@ pub struct StatsSnapshot {
     /// Per-tenant admission counters keyed by tenant name (empty when
     /// the service runs without the network front end).
     pub tenants: BTreeMap<String, TenantCounters>,
+    /// Per-plan latency telemetry keyed by registry key (empty until a
+    /// job completes).
+    pub plans: BTreeMap<String, PlanTelemetry>,
 }
 
 impl StatsSnapshot {
@@ -319,6 +377,9 @@ impl StatsSnapshot {
         num("max_batch", self.max_batch as f64);
         num("sharded_jobs", self.sharded_jobs as f64);
         num("shards_executed", self.shards_executed as f64);
+        num("swaps", self.swaps as f64);
+        num("challenges", self.challenges as f64);
+        num("challenges_rejected", self.challenges_rejected as f64);
         num("p50_us", self.p50_us as f64);
         num("p99_us", self.p99_us as f64);
         num("mean_us", self.mean_us);
@@ -339,6 +400,19 @@ impl StatsSnapshot {
             })
             .collect();
         m.insert("tenants".to_string(), Value::Obj(tenants));
+        let plans = self
+            .plans
+            .iter()
+            .map(|(key, t)| {
+                let mut row = std::collections::BTreeMap::new();
+                row.insert("samples".to_string(), Value::Num(t.samples as f64));
+                row.insert("p50_us".to_string(), Value::Num(t.p50_us as f64));
+                row.insert("p99_us".to_string(), Value::Num(t.p99_us as f64));
+                row.insert("epoch".to_string(), Value::Num(t.epoch as f64));
+                (key.clone(), Value::Obj(row))
+            })
+            .collect();
+        m.insert("plans".to_string(), Value::Obj(plans));
         Value::Obj(m)
     }
 
@@ -370,6 +444,9 @@ impl StatsSnapshot {
             max_batch: u("max_batch")?,
             sharded_jobs: u("sharded_jobs")?,
             shards_executed: u("shards_executed")?,
+            swaps: u("swaps")?,
+            challenges: u("challenges")?,
+            challenges_rejected: u("challenges_rejected")?,
             p50_us: u("p50_us")?,
             p99_us: u("p99_us")?,
             mean_us: n("mean_us")?,
@@ -396,6 +473,29 @@ impl StatsSnapshot {
                                 submitted: c("submitted")?,
                                 rejected: c("rejected")?,
                                 completed: c("completed")?,
+                            },
+                        ))
+                    })
+                    .collect::<Option<BTreeMap<_, _>>>()?,
+                _ => return None,
+            },
+            plans: match doc.get("plans")? {
+                Value::Obj(rows) => rows
+                    .iter()
+                    .map(|(key, row)| {
+                        let c = |k: &str| {
+                            row.get(k)
+                                .and_then(Value::as_num)
+                                .filter(|&v| v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64)
+                                .map(|v| v as u64)
+                        };
+                        Some((
+                            key.clone(),
+                            PlanTelemetry {
+                                samples: c("samples")?,
+                                p50_us: c("p50_us")?,
+                                p99_us: c("p99_us")?,
+                                epoch: c("epoch")?,
                             },
                         ))
                     })
@@ -441,6 +541,15 @@ mod tests {
             t.completed = 4;
         });
         s.tenant_update("initech", |t| t.rejected += 2);
+        s.swaps.store(1, Ordering::Relaxed);
+        s.challenges.store(3, Ordering::Relaxed);
+        s.challenges_rejected.store(2, Ordering::Relaxed);
+        s.traffic.record(
+            "sig|small|static|pooled",
+            Duration::from_micros(120),
+            4,
+            || vec![64, 64],
+        );
         let snap = s.snapshot();
         let text = snap.to_json().pretty();
         let back = StatsSnapshot::from_json(&stencil_tune::json::parse(&text).unwrap()).unwrap();
@@ -450,6 +559,13 @@ mod tests {
         assert_eq!(back.tenants.len(), 2);
         assert_eq!(back.tenants["acme"].completed, 4);
         assert_eq!(back.tenants["initech"].rejected, 2);
+        assert_eq!(back.swaps, 1);
+        assert_eq!(back.challenges, 3);
+        assert_eq!(back.challenges_rejected, 2);
+        let plan = &back.plans["sig|small|static|pooled"];
+        assert_eq!(plan.samples, 1);
+        assert_eq!(plan.epoch, 4);
+        assert!(plan.p50_us >= 120);
     }
 
     #[test]
@@ -471,6 +587,24 @@ mod tests {
             m.remove("tenants");
         }
         assert!(StatsSnapshot::from_json(&missing).is_none());
+        // so is the per-plan telemetry map, and its rows are validated
+        // like the tenant rows
+        let mut no_plans = s.snapshot().to_json();
+        if let Value::Obj(m) = &mut no_plans {
+            m.remove("plans");
+        }
+        assert!(StatsSnapshot::from_json(&no_plans).is_none());
+        s.traffic
+            .record("k", Duration::from_micros(10), 0, Vec::new);
+        let mut bad_plan = s.snapshot().to_json();
+        if let Value::Obj(m) = &mut bad_plan {
+            if let Some(Value::Obj(rows)) = m.get_mut("plans") {
+                if let Some(Value::Obj(row)) = rows.get_mut("k") {
+                    row.insert("epoch".into(), Value::Num(1.5));
+                }
+            }
+        }
+        assert!(StatsSnapshot::from_json(&bad_plan).is_none());
     }
 
     #[test]

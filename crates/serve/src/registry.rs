@@ -270,6 +270,33 @@ impl PlanRegistry {
         Ok((key, plan))
     }
 
+    /// The plan currently registered under a raw key, if any — no
+    /// hit/miss accounting (this is the retuning decider's
+    /// introspection path, not the serving path).
+    pub fn plan_for_key(&self, key: &str) -> Option<Arc<Plan>> {
+        self.plans.lock().get(key).cloned()
+    }
+
+    /// Atomically replace the plan registered under `key` — the
+    /// retuning hot-swap. Same invalidation discipline as a cold-key
+    /// recovery: the stale shard lanes are dropped (the `Arc::ptr_eq`
+    /// tag in [`PlanRegistry::lane_plans`] would refuse them anyway)
+    /// and any cold marker is cleared. Jobs already resolved keep
+    /// their `Arc<Plan>` and finish on the old generation bit-exactly;
+    /// only jobs resolved after this call see the new plan.
+    pub fn swap_plan(&self, key: &str, plan: Arc<Plan>) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let epoch = plan.epoch();
+        self.plans.lock().insert(key.to_string(), plan);
+        self.lanes.lock().remove(key);
+        self.cold.lock().remove(key);
+        self.stats.swaps.fetch_add(1, Relaxed);
+        self.stats.warn(format!(
+            "retune: hot-swapped the plan for {key:?} (now epoch {epoch}); in-flight \
+             jobs finish on the previous generation"
+        ));
+    }
+
     fn compile(
         &self,
         pattern: &Pattern,
@@ -509,6 +536,42 @@ mod tests {
                 PlanShape::BlockFree
             )
             .is_some());
+    }
+
+    #[test]
+    fn swap_plan_replaces_the_entry_and_invalidates_stale_lanes() {
+        let (reg, stats) = registry();
+        let p = kernels::box2d9p();
+        let plan = reg
+            .get_or_compile(&p, None, Tuning::Static, PlanShape::BlockFree)
+            .unwrap();
+        let key = PlanRegistry::key(&p, None, Tuning::Static, PlanShape::BlockFree);
+        let lanes = reg.lane_plans(&key, &plan, 2).unwrap();
+        // a challenger generation: same configuration, next epoch
+        let fresh = Arc::new(
+            Solver::new(p.clone())
+                .method(plan.method())
+                .tiling(plan.tiling())
+                .width(plan.width())
+                .pool(reg.pool().clone())
+                .epoch(plan.epoch() + 1)
+                .compile()
+                .unwrap(),
+        );
+        reg.swap_plan(&key, Arc::clone(&fresh));
+        let now = reg.plan_for_key(&key).unwrap();
+        assert!(Arc::ptr_eq(&now, &fresh));
+        assert_eq!(now.epoch(), plan.epoch() + 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.swaps, 1);
+        assert!(snap.warnings.iter().any(|w| w.contains("hot-swapped")));
+        // the stale lane set was dropped: the next sharded request
+        // rebuilds against the new generation
+        let rebuilt = reg.lane_plans(&key, &fresh, 2).unwrap();
+        assert!(!Arc::ptr_eq(&lanes, &rebuilt));
+        // the old Arc is untouched — an in-flight job holding it
+        // finishes on its own generation
+        assert_eq!(plan.epoch(), 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! assert_eq!(stats.jobs_completed, 1);
 //! ```
 
+use crate::adapt::{AdaptConfig, Decider, ProbeLane, SharedClock};
 use crate::metrics::{ServeStats, StatsSnapshot};
 use crate::queue::{Bounded, PushError};
 use crate::registry::{PlanRegistry, PlanShape, WarmReport};
@@ -33,7 +34,7 @@ use crate::shard::{self, ShardPolicy};
 use crate::Manifest;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stencil_core::{Pattern, Plan, PlanError, Tuning};
 use stencil_grid::{Grid1D, Grid2D, Grid3D};
 use stencil_runtime::sync::{Condvar, Mutex};
@@ -106,6 +107,11 @@ pub struct JobResult {
     pub batched: bool,
     /// End-to-end latency, submission to completion.
     pub latency: Duration,
+    /// Epoch of the plan generation that executed the job. Bumps when
+    /// the retuning decider hot-swaps the job's registry entry — a job
+    /// resolved before a swap finishes on (and reports) the old
+    /// generation.
+    pub epoch: u64,
 }
 
 /// Why a job was refused or failed.
@@ -164,6 +170,12 @@ pub struct ServeConfig {
     pub tuning: Tuning,
     /// When and how much to shard large 2D/3D jobs.
     pub shard: ShardPolicy,
+    /// Time source for latency telemetry (wall clock by default; tests
+    /// and the CI retune scenario inject a
+    /// [`VirtualClock`](crate::adapt::VirtualClock)).
+    pub clock: SharedClock,
+    /// Adaptive retuning knobs (disabled by default).
+    pub adapt: AdaptConfig,
 }
 
 impl Default for ServeConfig {
@@ -175,6 +187,8 @@ impl Default for ServeConfig {
             batch_max: 8,
             tuning: Tuning::Static,
             shard: ShardPolicy::default(),
+            clock: SharedClock::wall(),
+            adapt: AdaptConfig::default(),
         }
     }
 }
@@ -296,12 +310,13 @@ struct Job {
     domain: JobDomain,
     steps: usize,
     ticket: TicketHandle,
-    submitted: Instant,
+    /// Submission time on the service clock (virtual in tests).
+    submitted: Duration,
 }
 
 struct Inner {
     cfg: ServeConfig,
-    registry: PlanRegistry,
+    registry: Arc<PlanRegistry>,
     queue: Bounded<Job>,
     stats: Arc<ServeStats>,
     closing: AtomicBool,
@@ -312,6 +327,11 @@ struct Inner {
 pub struct StencilService {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Present when `cfg.adapt.enabled`: the retuning control loop,
+    /// tickable by hand ([`StencilService::retune_tick`]) and, with a
+    /// non-zero `adapt.interval`, driven by `adapt_thread`.
+    decider: Option<Arc<Decider>>,
+    adapt_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl StencilService {
@@ -322,7 +342,11 @@ impl StencilService {
     pub fn start(cfg: ServeConfig) -> Self {
         let stats = Arc::new(ServeStats::new());
         let inner = Arc::new(Inner {
-            registry: PlanRegistry::new(cfg.threads, cfg.shard, Arc::clone(&stats)),
+            registry: Arc::new(PlanRegistry::new(
+                cfg.threads,
+                cfg.shard,
+                Arc::clone(&stats),
+            )),
             queue: Bounded::new(cfg.queue_capacity),
             stats,
             closing: AtomicBool::new(false),
@@ -337,7 +361,65 @@ impl StencilService {
                     .expect("failed to spawn executor worker")
             })
             .collect();
-        Self { inner, workers }
+        let decider = inner.cfg.adapt.enabled.then(|| {
+            Arc::new(Decider::new(
+                inner.cfg.adapt.clone(),
+                Arc::clone(&inner.registry),
+                Arc::clone(&inner.stats),
+                Box::new(ProbeLane::new()),
+            ))
+        });
+        // the background lane: low-duty decider ticks between sleeps,
+        // joined on shutdown. A zero interval means manual ticks only —
+        // what deterministic tests and the bench driver use.
+        let adapt_thread = decider.as_ref().and_then(|d| {
+            let interval = inner.cfg.adapt.interval;
+            if interval.is_zero() {
+                return None;
+            }
+            let decider = Arc::clone(d);
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("stencil-serve-retune".into())
+                    .spawn(move || {
+                        // sleep in short slices so shutdown joins
+                        // promptly even under a long tick interval
+                        let slice = Duration::from_millis(10).min(interval);
+                        let mut slept = Duration::ZERO;
+                        while !inner.closing.load(Ordering::Acquire) {
+                            std::thread::sleep(slice);
+                            slept += slice;
+                            if slept >= interval {
+                                slept = Duration::ZERO;
+                                decider.tick();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn retune decider"),
+            )
+        });
+        Self {
+            inner,
+            workers,
+            decider,
+            adapt_thread,
+        }
+    }
+
+    /// Run one retuning decider pass by hand; returns how many registry
+    /// entries were hot-swapped (always 0 when `adapt.enabled` is
+    /// off). With `adapt.interval == 0` this is the *only* way ticks
+    /// run, which is what makes seeded scenarios reproducible.
+    pub fn retune_tick(&self) -> usize {
+        self.decider.as_ref().map(|d| d.tick()).unwrap_or(0)
+    }
+
+    /// The registry as a shared handle — lets an external retuning
+    /// decider (e.g. a [`ScriptedLane`](crate::adapt::ScriptedLane)
+    /// harness in tests) operate on the live service's plans.
+    pub fn registry_handle(&self) -> Arc<PlanRegistry> {
+        Arc::clone(&self.inner.registry)
     }
 
     /// Pre-compile every pattern a manifest declares (warm-at-startup;
@@ -448,7 +530,7 @@ impl StencilService {
             domain: spec.domain,
             steps: spec.steps,
             ticket: TicketHandle(Arc::clone(&ticket)),
-            submitted: Instant::now(),
+            submitted: inner.cfg.clock.now(),
         };
         let pushed = if block {
             inner.queue.push(job)
@@ -483,6 +565,9 @@ impl StencilService {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(t) = self.adapt_thread.take() {
+            let _ = t.join();
+        }
         let stats = self.inner.stats.snapshot();
         // the registry (and its plans, each pinning the shared pool)
         // lives inside `inner`: it must be dropped *before* the purge,
@@ -501,6 +586,9 @@ impl Drop for StencilService {
         self.inner.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(t) = self.adapt_thread.take() {
+            let _ = t.join();
         }
     }
 }
@@ -537,8 +625,16 @@ fn worker_loop(inner: &Inner) {
 
 fn execute(inner: &Inner, job: Job, batched: bool) {
     let outcome = run_job(inner, &job);
-    let latency = job.submitted.elapsed();
+    let latency = inner.cfg.clock.now().saturating_sub(job.submitted);
+    let epoch = job.plan.epoch();
     inner.stats.latency.record(latency);
+    // per-plan telemetry: the retuning decider's hot-key input. The
+    // extents closure only runs when this key's first job creates the
+    // entry.
+    inner
+        .stats
+        .traffic
+        .record(&job.key, latency, epoch, || job.domain.extents());
     match outcome {
         Ok((output, shards)) => {
             inner.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -554,6 +650,7 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
                 shards,
                 batched,
                 latency,
+                epoch,
             }));
         }
         Err(e) => {
@@ -605,6 +702,7 @@ mod tests {
                 min_points: 1 << 30, // effectively off unless a test opts in
                 ..ShardPolicy::default()
             },
+            ..ServeConfig::default()
         }
     }
 

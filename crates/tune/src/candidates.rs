@@ -211,6 +211,160 @@ pub fn generate(
     out
 }
 
+/// Hill-climb neighborhood around an `incumbent` configuration — the
+/// challenger generator for online retuning. Unlike [`generate`], which
+/// searches outward from the *cost model's* ranking, this searches
+/// outward from a configuration that already won a probe: the incumbent
+/// itself first (a fresh measurement under today's conditions), then
+/// every single-axis move — time block halved/doubled, z-ring
+/// depth/slab halved/doubled, the width narrowed — and finally the
+/// top-ranked *other* methods at their natural tiling. The method
+/// alternates deliberately ignore probe-history dominance: a dominated
+/// method re-enters here, so a changed machine or drifted workload gets
+/// its periodic re-probe for free.
+pub fn neighborhood(
+    p: &Pattern,
+    incumbent: &Candidate,
+    threads: usize,
+    top_k: usize,
+) -> Vec<Candidate> {
+    let dims = p.dims();
+    let mut out: Vec<Candidate> = Vec::new();
+    let push = |c: Candidate, out: &mut Vec<Candidate>| {
+        if !composes(c.method, c.tiling, dims) {
+            return;
+        }
+        if let Method::Folded { m } = c.method {
+            if !fold_fits(p, m, c.width) {
+                return;
+            }
+        }
+        if let Some(r) = c.ring {
+            if !r.valid() {
+                return;
+            }
+        }
+        // dedup on the configuration axes only: the same move can be
+        // reached with different (or NaN) scores
+        if !out.iter().any(|e| {
+            e.method == c.method && e.tiling == c.tiling && e.width == c.width && e.ring == c.ring
+        }) {
+            out.push(c);
+        }
+    };
+    push(*incumbent, &mut out);
+    // single-axis tiling moves
+    let tb_moves = |tb: usize| [tb * 2, tb / 2].into_iter().filter(|&t| t >= 1);
+    match incumbent.tiling {
+        Tiling::Tessellate { time_block } => {
+            for tb in tb_moves(time_block) {
+                push(
+                    Candidate {
+                        tiling: Tiling::Tessellate { time_block: tb },
+                        ..*incumbent
+                    },
+                    &mut out,
+                );
+            }
+        }
+        Tiling::Split { time_block } => {
+            for tb in tb_moves(time_block) {
+                push(
+                    Candidate {
+                        tiling: Tiling::Split { time_block: tb },
+                        ..*incumbent
+                    },
+                    &mut out,
+                );
+            }
+        }
+        Tiling::Spatial { block: (a, b) } => {
+            for block in [(a * 2, b), (a.max(2) / 2, b), (a, b * 2), (a, b.max(2) / 2)] {
+                push(
+                    Candidate {
+                        tiling: Tiling::Spatial { block },
+                        ..*incumbent
+                    },
+                    &mut out,
+                );
+            }
+        }
+        Tiling::None | Tiling::Auto => {
+            // block-free incumbent: tiling at the static default is the
+            // one move on this axis
+            push(
+                Candidate {
+                    tiling: Tiling::Tessellate {
+                        time_block: default_time_block(dims),
+                    },
+                    ..*incumbent
+                },
+                &mut out,
+            );
+        }
+    }
+    // single-axis z-ring moves (3D register methods only)
+    for ring in match incumbent.ring {
+        Some(r) => vec![
+            Some(Ring3 {
+                depth: r.depth * 2,
+                ..r
+            }),
+            Some(Ring3 {
+                depth: r.depth.max(2) / 2,
+                ..r
+            }),
+            Some(Ring3 {
+                slab: r.slab * 2,
+                ..r
+            }),
+            Some(Ring3 {
+                slab: r.slab.max(2) / 2,
+                ..r
+            }),
+        ],
+        None => rings_for(incumbent.method, dims, None),
+    } {
+        if ring != incumbent.ring {
+            push(Candidate { ring, ..*incumbent }, &mut out);
+        }
+    }
+    // width narrowing (the W8-vs-W4 downclocking question, revisited)
+    if incumbent.width == Width::W8 {
+        push(
+            Candidate {
+                width: Width::W4,
+                ..*incumbent
+            },
+            &mut out,
+        );
+    }
+    // method alternates at their natural tiling — including methods the
+    // probe history has marked dominated
+    for (method, score) in ranked_methods_at(p, incumbent.width)
+        .into_iter()
+        .take(top_k.max(1))
+    {
+        if method == incumbent.method {
+            continue;
+        }
+        let tiling = stencil_core::tune::auto_tiling(dims, method, threads);
+        for ring in rings_for(method, dims, None) {
+            push(
+                Candidate {
+                    method,
+                    tiling,
+                    width: incumbent.width,
+                    ring,
+                    score,
+                },
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
 /// Tiling candidates for one method: its natural pairing first, then
 /// the neighborhood moves.
 fn tilings_for(method: Method, dims: usize, threads: usize) -> Vec<Tiling> {
@@ -274,6 +428,8 @@ pub fn table1_patterns() -> Vec<(&'static str, Pattern)> {
         ("GB", kernels::gb()),
         ("3D-Heat", kernels::heat3d()),
         ("3D27P", kernels::box3d27p()),
+        ("3D125P", kernels::box3d125p()),
+        ("3DStar-R2", kernels::star3d_r2()),
     ]
 }
 

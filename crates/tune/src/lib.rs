@@ -235,6 +235,131 @@ impl AutoTuner {
             req.domain_hint,
         )
     }
+
+    /// Probe the hill-climb neighborhood of an `incumbent` configuration
+    /// — the challenger session of online retuning. Unlike
+    /// [`MeasuredTuner::tune`], this ignores any cache hit (the point is
+    /// to re-measure under *today's* machine and workload), probes the
+    /// incumbent itself alongside its [`candidates::neighborhood`]
+    /// moves — dominated methods included, which is how periodic
+    /// dominance re-probe falls out — and touches neither the cache
+    /// image nor the disk: the caller decides whether the verdict is
+    /// worth keeping ([`AutoTuner::persist_verdict`]).
+    ///
+    /// `budget` is per call, independent of the tuner's own probe
+    /// budget, so a low-priority background lane can spend a few tens of
+    /// milliseconds per challenge without reconfiguring the tuner.
+    pub fn challenge(
+        &self,
+        req: &TuneRequest<'_>,
+        incumbent: &candidates::Candidate,
+        budget: &Budget,
+    ) -> Result<ChallengeOutcome, TuneFailure> {
+        let cands = candidates::neighborhood(req.pattern, incumbent, req.threads, self.top_k);
+        let class = cache::shape_class(req.domain_hint);
+        let domain = ProbeDomain::build(req.pattern, class);
+        let report = probe::run(
+            req.pattern,
+            &cands,
+            req.threads,
+            &domain,
+            budget,
+            &self.probes,
+        );
+        let Some(best) = report.best() else {
+            return Err(TuneFailure::Failed {
+                reason: format!(
+                    "challenge: every candidate failed to compile or run ({} skipped)",
+                    report.skipped
+                ),
+            });
+        };
+        let incumbent_rate = report
+            .outcomes
+            .iter()
+            .find(|o| {
+                o.candidate.method == incumbent.method
+                    && o.candidate.tiling == incumbent.tiling
+                    && o.candidate.width == incumbent.width
+                    && o.candidate.ring == incumbent.ring
+            })
+            .map(|o| o.rate);
+        let mut method_rates: Vec<(stencil_core::Method, f64)> = Vec::new();
+        for o in &report.outcomes {
+            if let Some(mr) = method_rates
+                .iter_mut()
+                .find(|(m, _)| *m == o.candidate.method)
+            {
+                mr.1 = mr.1.max(o.rate);
+            } else {
+                method_rates.push((o.candidate.method, o.rate));
+            }
+        }
+        Ok(ChallengeOutcome {
+            best: best.candidate,
+            rate: best.rate,
+            incumbent_rate,
+            probes: report.outcomes.len(),
+            spent_ms: report.spent.as_secs_f64() * 1e3,
+            method_rates,
+        })
+    }
+
+    /// Persist a [`challenge`](AutoTuner::challenge) verdict under the
+    /// request's cache key, so the next warm-start resolves straight to
+    /// the session's winner. The prior entry's per-method probe history
+    /// is carried forward for methods this session did not re-measure —
+    /// the dominance bookkeeping keeps accumulating across challenges.
+    pub fn persist_verdict(&self, req: &TuneRequest<'_>, outcome: &ChallengeOutcome) {
+        let key = self.key_for(req);
+        let mut method_rates = outcome.method_rates.clone();
+        self.with_cache(|c| {
+            if let Some(prev) = c.get(&key) {
+                for &(m, r) in &prev.method_rates {
+                    if !method_rates.iter().any(|&(pm, _)| pm == m) {
+                        method_rates.push((m, r));
+                    }
+                }
+            }
+            c.put(CacheEntry {
+                key: key.clone(),
+                method: outcome.best.method,
+                tiling: outcome.best.tiling,
+                width: outcome.best.width,
+                ring: outcome.best.ring,
+                rate: outcome.rate,
+                model_method: candidates::model_choice(req.pattern, req.width, req.tiling),
+                probes: outcome.probes,
+                spent_ms: outcome.spent_ms,
+                method_rates: std::mem::take(&mut method_rates),
+            });
+            if let Ok(Some(disk)) = TuneCache::load(&self.cache_path) {
+                c.merge_missing_from(disk);
+            }
+            if let Err(e) = c.save(&self.cache_path) {
+                eprintln!("stencil-tune: could not persist {:?}: {e}", self.cache_path);
+            }
+        });
+    }
+}
+
+/// Result of one [`AutoTuner::challenge`] probe session.
+#[derive(Debug, Clone)]
+pub struct ChallengeOutcome {
+    /// The session's winning configuration (possibly the incumbent).
+    pub best: candidates::Candidate,
+    /// The winner's measured rate (points × steps per second).
+    pub rate: f64,
+    /// The incumbent's own re-measured rate in the same session, when
+    /// the budget reached it (it is probed first).
+    pub incumbent_rate: Option<f64>,
+    /// Probe sweeps completed.
+    pub probes: usize,
+    /// Wall-clock spent probing, in milliseconds.
+    pub spent_ms: f64,
+    /// Best rate per probed method — the probe history fed back into
+    /// the cache by [`AutoTuner::persist_verdict`].
+    pub method_rates: Vec<(stencil_core::Method, f64)>,
 }
 
 /// Fraction of a session's best rate below which a probed method counts

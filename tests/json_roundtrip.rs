@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use stencil_lab::serve::{StatsSnapshot, TenantCounters};
+use stencil_lab::serve::{PlanTelemetry, StatsSnapshot, TenantCounters};
 use stencil_lab::tune::json::{parse, Value};
 
 /// Map sampled code points onto `char`s, biasing toward the cases the
@@ -79,11 +79,12 @@ proptest! {
 
     #[test]
     fn serve_stats_dumps_round_trip(
-        counters in prop::collection::vec(0u64..1_000_000_000, 17),
+        counters in prop::collection::vec(0u64..1_000_000_000, 20),
         mean in 0.0f64..1.0e9,
         warn_codes in prop::collection::vec(0u32..0x3000, 0..12),
         tenant_codes in prop::collection::vec(0u32..0x3000, 1..10),
         tenant_counters in prop::collection::vec(0u64..1_000_000_000, 3),
+        plan_counters in prop::collection::vec(0u64..1_000_000_000, 4),
     ) {
         // the serve metrics document uses the same writer; any counter
         // values and any warning text must survive the trip
@@ -107,6 +108,9 @@ proptest! {
             p99_us: counters[15],
             mean_us: mean,
             tuner_probes: counters[0] ^ counters[1],
+            swaps: counters[17],
+            challenges: counters[18],
+            challenges_rejected: counters[19],
             warnings: vec![chars_from(&warn_codes)],
             // awkward tenant names (quotes, control chars, unicode)
             // must survive as object keys too
@@ -116,6 +120,17 @@ proptest! {
                     submitted: tenant_counters[0],
                     rejected: tenant_counters[1],
                     completed: tenant_counters[2],
+                },
+            )]),
+            // registry keys contain '|' and arbitrary shape tokens —
+            // the per-plan telemetry rows must survive them as keys
+            plans: BTreeMap::from([(
+                chars_from(&tenant_codes) + "|small|static|pooled",
+                PlanTelemetry {
+                    samples: plan_counters[0],
+                    p50_us: plan_counters[1],
+                    p99_us: plan_counters[2],
+                    epoch: plan_counters[3],
                 },
             )]),
         };
@@ -132,6 +147,10 @@ proptest! {
 fn serve_stats_json_schema_is_pinned() {
     let snap = StatsSnapshot {
         tenants: BTreeMap::from([("acme".to_string(), TenantCounters::default())]),
+        plans: BTreeMap::from([(
+            "sig|small|static|pooled".to_string(),
+            PlanTelemetry::default(),
+        )]),
         ..StatsSnapshot::from_json(
             &parse(
                 &stencil_lab::serve::ServeStats::new()
@@ -153,6 +172,8 @@ fn serve_stats_json_schema_is_pinned() {
         [
             "batched_jobs",
             "batches",
+            "challenges",
+            "challenges_rejected",
             "cold_fallbacks",
             "cold_recoveries",
             "jobs_completed",
@@ -166,9 +187,11 @@ fn serve_stats_json_schema_is_pinned() {
             "plan_hit_ratio",
             "plan_hits",
             "plan_misses",
+            "plans",
             "queue_depth",
             "sharded_jobs",
             "shards_executed",
+            "swaps",
             "tenants",
             "tuner_probes",
             "warm_loaded",
@@ -183,4 +206,12 @@ fn serve_stats_json_schema_is_pinned() {
     };
     let row_keys: Vec<&str> = row.keys().map(String::as_str).collect();
     assert_eq!(row_keys, ["completed", "rejected", "submitted"]);
+    let Some(Value::Obj(rows)) = m.get("plans") else {
+        panic!("plans must be an object keyed by registry key")
+    };
+    let Some(Value::Obj(row)) = rows.get("sig|small|static|pooled") else {
+        panic!("plan telemetry rows must be objects")
+    };
+    let row_keys: Vec<&str> = row.keys().map(String::as_str).collect();
+    assert_eq!(row_keys, ["epoch", "p50_us", "p99_us", "samples"]);
 }

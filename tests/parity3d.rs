@@ -45,6 +45,7 @@ fn cases() -> Vec<(&'static str, Pattern)> {
         ("heat3d", kernels::heat3d()),
         ("box3d27p", kernels::box3d27p()),
         ("box3d125p", kernels::box3d125p()),
+        ("star3d_r2", kernels::star3d_r2()),
     ]
 }
 

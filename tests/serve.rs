@@ -11,12 +11,18 @@
 //! * Backpressure is a typed, observable signal, and the stats dump
 //!   round-trips through the shared hand-rolled JSON.
 
+use std::sync::Arc;
+use std::time::Duration;
+use stencil_lab::core::api::Width;
 use stencil_lab::core::kernels;
+use stencil_lab::serve::adapt::unconstrained_request;
+use stencil_lab::serve::registry::PlanShape;
 use stencil_lab::serve::{
-    JobDomain, JobSpec, Manifest, ServeConfig, ServeError, ShardPolicy, StatsSnapshot,
-    StencilService,
+    AdaptConfig, ChallengeVerdict, Decider, JobDomain, JobSpec, LatencyHistogram, Manifest,
+    PlanChoice, ScriptedLane, ServeConfig, ServeError, ShardPolicy, SharedClock, StatsSnapshot,
+    StencilService, VirtualClock,
 };
-use stencil_lab::{Grid2D, Grid3D, Tuning};
+use stencil_lab::{Grid2D, Grid3D, Method, Tiling, Tuning};
 
 fn sharded_cfg() -> ServeConfig {
     ServeConfig {
@@ -30,6 +36,7 @@ fn sharded_cfg() -> ServeConfig {
             max_shards: 3,
             min_slab: 8,
         },
+        ..ServeConfig::default()
     }
 }
 
@@ -321,4 +328,307 @@ fn manifest_file_drives_warm_start_and_stats_round_trip() {
     let back = StatsSnapshot::from_json(&stencil_lab::tune::json::parse(&text).unwrap()).unwrap();
     assert_eq!(back, stats);
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive retuning (the `serve::adapt` family)
+// ---------------------------------------------------------------------------
+
+/// The log-bucketed histogram against a sorted-reference oracle: for
+/// every quantile, the reported value must be the upper bound of the
+/// bucket holding the exact rank-order statistic of the sample set.
+#[test]
+fn histogram_quantiles_match_a_sorted_reference_oracle() {
+    let h = LatencyHistogram::default();
+    // deterministic LCG: spans ~6 decades of microseconds
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut samples = Vec::new();
+    for _ in 0..997 {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let us = (x >> 33) % 900_000 + 1;
+        samples.push(us);
+        h.record(Duration::from_micros(us));
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let v = sorted[rank - 1];
+        // oracle: the bucket of value v is floor(log2 v); the histogram
+        // reports that bucket's upper bound
+        let floor_log2 = 63 - u64::from(v.leading_zeros());
+        let expect = 1u64 << (floor_log2 + 1).min(63);
+        assert_eq!(h.quantile_us(q), expect, "q={q} rank={rank} v={v}");
+    }
+}
+
+fn flip_width(w: Width) -> Width {
+    match w {
+        Width::W4 => Width::W8,
+        _ => Width::W4,
+    }
+}
+
+/// A scripted verdict whose challenger differs from the incumbent (the
+/// width flips) — always compilable for the 2D kernels used here.
+fn scripted_verdict(incumbent_width: Width, rate: f64, incumbent_rate: f64) -> ChallengeVerdict {
+    ChallengeVerdict {
+        choice: PlanChoice {
+            method: Method::MultipleLoads,
+            tiling: Tiling::None,
+            width: flip_width(incumbent_width),
+            ring: None,
+        },
+        rate,
+        incumbent_rate,
+        probes: 3,
+        spent_ms: 1.0,
+        method_rates: vec![(Method::MultipleLoads, rate)],
+    }
+}
+
+fn unsharded_cfg() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        workers: 1,
+        queue_capacity: 8,
+        batch_max: 1,
+        tuning: Tuning::Static,
+        shard: ShardPolicy {
+            min_points: usize::MAX,
+            ..ShardPolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Decider hysteresis against live service traffic: a margin-edge
+/// challenger does not swap (and resets the hot window, so there is no
+/// immediate re-trial), a clear winner swaps exactly once, and a
+/// post-swap losing challenge never flaps the registry back.
+#[test]
+fn decider_hysteresis_prevents_swap_flapping_at_the_margin_boundary() {
+    const HOT: u64 = 6;
+    let svc = StencilService::start(unsharded_cfg());
+    let g = Grid2D::from_fn(56, 48, |y, x| ((y * 7 + x * 3) % 11) as f64);
+    let spec = || JobSpec::new(kernels::heat2d(), JobDomain::D2(g.clone()), 2);
+    let serve_hot = |n: u64| {
+        for _ in 0..n {
+            svc.submit(spec()).unwrap().wait().unwrap();
+        }
+    };
+    serve_hot(HOT);
+    let (incumbent, _) = svc.plan_for(&spec()).unwrap();
+    let w = incumbent.width();
+    // script: margin-edge loser (1.10 == 1.0 * (1 + margin), strict
+    // comparison -> not a win), then a clear winner, then a loser
+    let lane = ScriptedLane::new(vec![
+        scripted_verdict(w, 1.10, 1.0),
+        scripted_verdict(w, 2.0, 1.0),
+        scripted_verdict(w, 0.5, 1.0),
+    ]);
+    let decider = Decider::new(
+        AdaptConfig {
+            enabled: true,
+            margin: 0.10,
+            min_samples: HOT,
+            interval: Duration::ZERO,
+            ..AdaptConfig::default()
+        },
+        svc.registry_handle(),
+        svc.stats_handle(),
+        Box::new(lane),
+    );
+    // margin edge: challenged, not swapped...
+    assert_eq!(decider.tick(), 0);
+    // ...and the losing challenge reset the window — an immediate
+    // second tick finds no hot key (the anti-flapping hysteresis)
+    assert_eq!(decider.tick(), 0);
+    let stats = svc.stats();
+    assert_eq!((stats.challenges, stats.swaps), (1, 0));
+
+    // a clear winner after a fresh hot window swaps exactly once
+    serve_hot(HOT);
+    assert_eq!(decider.tick(), 1);
+    let key = svc.stats().plans.keys().next().unwrap().clone();
+    let swapped = svc.registry_handle().plan_for_key(&key).unwrap();
+    assert_eq!(swapped.epoch(), incumbent.epoch() + 1);
+    assert_eq!(swapped.width(), flip_width(w));
+
+    // a post-swap loser leaves the new incumbent untouched
+    serve_hot(HOT);
+    assert_eq!(decider.tick(), 0);
+    assert!(Arc::ptr_eq(
+        &svc.registry_handle().plan_for_key(&key).unwrap(),
+        &swapped
+    ));
+    let stats = svc.shutdown();
+    assert_eq!(stats.challenges, 3);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.challenges_rejected, 2);
+}
+
+/// A hot-swap must never change the bits of jobs already resolved:
+/// plan resolution happens at submit, so queued/in-flight jobs hold
+/// their `Arc<Plan>` across the swap, finish on the old generation
+/// (observable through `JobResult::epoch`) and produce exactly the old
+/// plan's bits; jobs submitted after the swap run the new generation.
+#[test]
+fn hot_swap_mid_stream_never_changes_in_flight_result_bits() {
+    use stencil_lab::Solver;
+    let svc = StencilService::start(unsharded_cfg());
+    let g = Grid2D::from_fn(72, 64, |y, x| ((y * 31 + x * 7) % 23) as f64 * 0.25);
+    let steps = 3;
+    let spec = || JobSpec::new(kernels::heat2d(), JobDomain::D2(g.clone()), steps);
+    let (old_plan, _) = svc.plan_for(&spec()).unwrap();
+    assert_eq!(old_plan.epoch(), 0);
+
+    // two jobs resolved against the incumbent; the swap lands while
+    // they are queued or in flight
+    let a = svc.submit(spec()).unwrap();
+    let b = svc.submit(spec()).unwrap();
+
+    let registry = svc.registry_handle();
+    let (key, same) = registry
+        .entry_for(
+            &kernels::heat2d(),
+            Some(&[72, 64]),
+            Tuning::Static,
+            PlanShape::Pooled,
+        )
+        .unwrap();
+    assert!(Arc::ptr_eq(&same, &old_plan), "key derivation drifted");
+    let new_plan = Arc::new(
+        Solver::new(kernels::heat2d())
+            .method(Method::MultipleLoads)
+            .tiling(Tiling::None)
+            .width(flip_width(old_plan.width()))
+            .tuning(Tuning::Static)
+            .pool(registry.pool().clone())
+            .domain_hint(&[72, 64])
+            .epoch(old_plan.epoch() + 1)
+            .compile()
+            .unwrap(),
+    );
+    registry.swap_plan(&key, Arc::clone(&new_plan));
+
+    let want_old = old_plan.run_2d(&g, steps).unwrap().to_dense();
+    for ticket in [a, b] {
+        let r = ticket.wait().unwrap();
+        assert_eq!(r.epoch, 0, "in-flight jobs finish on the old generation");
+        let out = match r.output {
+            JobDomain::D2(out) => out,
+            _ => panic!("wrong dimensionality"),
+        };
+        assert_eq!(
+            bits(&want_old),
+            bits(&out.to_dense()),
+            "a swap mid-stream must not change in-flight result bits"
+        );
+    }
+
+    // a job submitted after the swap runs the new generation
+    let r = svc.submit(spec()).unwrap().wait().unwrap();
+    assert_eq!(r.epoch, 1);
+    let out = match r.output {
+        JobDomain::D2(out) => out,
+        _ => panic!("wrong dimensionality"),
+    };
+    let want_new = new_plan.run_2d(&g, steps).unwrap().to_dense();
+    assert_eq!(bits(&want_new), bits(&out.to_dense()));
+    assert_eq!(svc.shutdown().swaps, 1);
+}
+
+/// The seeded end-to-end scenario the CI `retune-smoke` lane pins:
+/// under a virtual clock and a scripted challenger, the decider
+/// produces exactly one deterministic hot-swap, the swapped plan
+/// serves bit-exactly, and the verdict lands in the per-host tune
+/// cache under the unconstrained key a warm-start would resolve.
+#[test]
+fn seeded_virtual_clock_retune_swaps_once_and_persists_the_verdict() {
+    use stencil_lab::AutoTuner;
+    const HOT: u64 = 12;
+    let cache =
+        std::env::temp_dir().join(format!("stencil-retune-e2e-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+
+    let vclock = Arc::new(VirtualClock::new());
+    let svc = StencilService::start(ServeConfig {
+        clock: SharedClock::new(Arc::clone(&vclock) as Arc<_>),
+        ..unsharded_cfg()
+    });
+    let g = Grid2D::from_fn(64, 64, |y, x| ((y * 13 + x * 5) % 17) as f64);
+    let spec = || JobSpec::new(kernels::box2d9p(), JobDomain::D2(g.clone()), 2);
+    let (old_plan, _) = svc.plan_for(&spec()).unwrap();
+
+    // the clock only advances between completed jobs, so every latency
+    // sample is exactly zero -> the telemetry is bit-reproducible
+    for _ in 0..HOT {
+        svc.submit(spec()).unwrap().wait().unwrap();
+        vclock.advance(Duration::from_millis(1));
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.plans.len(), 1, "one kernel, one traffic key");
+    let (key, telemetry) = stats.plans.iter().next().unwrap();
+    assert_eq!(telemetry.samples, HOT);
+    assert_eq!(telemetry.epoch, 0);
+    assert_eq!(
+        telemetry.p50_us, 2,
+        "zero-latency samples pin the first bucket"
+    );
+
+    let verdict = scripted_verdict(old_plan.width(), 3.0, 1.0);
+    let lane =
+        ScriptedLane::new(vec![verdict.clone()]).with_tuner(AutoTuner::with_cache_path(&cache));
+    let decider = Decider::new(
+        AdaptConfig {
+            enabled: true,
+            margin: 0.10,
+            min_samples: HOT,
+            interval: Duration::ZERO,
+            ..AdaptConfig::default()
+        },
+        svc.registry_handle(),
+        svc.stats_handle(),
+        Box::new(lane),
+    );
+    assert_eq!(decider.tick(), 1, "the scripted challenger must swap");
+    // the swap consumed the hot window: an immediate re-tick is a no-op
+    assert_eq!(decider.tick(), 0);
+
+    let new_plan = svc.registry_handle().plan_for_key(key).unwrap();
+    assert_eq!(new_plan.epoch(), 1);
+    assert_eq!(new_plan.width(), verdict.choice.width);
+    let r = svc.submit(spec()).unwrap().wait().unwrap();
+    assert_eq!(r.epoch, 1, "post-swap traffic runs the new generation");
+    let out = match r.output {
+        JobDomain::D2(out) => out,
+        _ => panic!("wrong dimensionality"),
+    };
+    let want = new_plan.run_2d(&g, 2).unwrap().to_dense();
+    assert_eq!(bits(&want), bits(&out.to_dense()));
+
+    let stats = svc.stats();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.challenges, 1);
+    assert_eq!(stats.challenges_rejected, 0);
+    assert_eq!(stats.plans[key].epoch, 1, "telemetry tracks the new epoch");
+    // the swap counters ride the JSON stats surface (what `/metrics`
+    // serves)
+    let dump = stats.to_json().pretty();
+    assert!(dump.contains("\"swaps\"") && dump.contains("\"challenges\""));
+
+    // the verdict was persisted under the unconstrained request — the
+    // exact key a fresh warm-start resolves
+    let fresh = AutoTuner::with_cache_path(&cache);
+    let p = kernels::box2d9p();
+    let entry = fresh
+        .lookup(&unconstrained_request(&p, &[64, 64], 2))
+        .expect("the winning verdict must persist to the tune cache");
+    assert_eq!(entry.method, verdict.choice.method);
+    assert_eq!(entry.width, verdict.choice.width);
+    svc.shutdown();
+    let _ = std::fs::remove_file(&cache);
 }
