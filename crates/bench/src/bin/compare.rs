@@ -133,6 +133,12 @@ fn is_rate_cell(table: &str, col: &str) -> bool {
     if t.contains("serve") {
         return c.contains("mpts") || c.contains("jobs_per_s");
     }
+    // the ooc store-stats table mixes deterministic IO volumes with
+    // timing-variable prefetch counters: only the former are regression
+    // signals, and they are byte counts, not rates — coverage-check only
+    if t.contains("ooc") && t.contains("stats") {
+        return false;
+    }
     // the fig/table dumps are GFLOP/s or speedup grids: every cell is a
     // rate
     !c.contains("latency") && !c.contains("_ms")

@@ -1,0 +1,173 @@
+//! Fig. OOC: out-of-core streaming vs the resident executor. Runs each
+//! 3D kernel on a domain several times larger than the streaming
+//! memory budget, three ways — fully resident (the reference),
+//! streaming through the file-backed slab store synchronously, and
+//! streaming with the background prefetch thread overlapping IO with
+//! compute — and asserts in-driver that both streamed results are
+//! **bit-identical** to the resident run and that the executor's
+//! accounted residency stays within the budget.
+//!
+//! A second table dumps the store's IO telemetry (bytes moved,
+//! prefetch hit/miss, stall time). The byte counters are deterministic
+//! for a given geometry; the prefetch counters are timing-dependent,
+//! so the compare gate coverage-checks but does not threshold this
+//! table.
+//!
+//! The driver doubles as the `ooc-smoke` CI lane's leak check: after
+//! the runs it asserts every plan's shared pool handle was released
+//! and that no transient `.slab` store file is left in the temp
+//! directory.
+
+use stencil_bench::{gflops, measure, workload, Args, Table};
+use stencil_core::{kernels, Method, Pattern, Plan, Solver, Tiling};
+use stencil_grid::Grid3D;
+use stencil_ooc::{run_streaming_grid, OocConfig, StreamReport};
+use stencil_runtime::PoolHandle;
+
+fn cases() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("3D-Heat", kernels::heat3d()),
+        ("3D27P", kernels::box3d27p()),
+    ]
+}
+
+fn bits(g: &Grid3D) -> Vec<u64> {
+    g.to_dense().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Count this process's transient slab-store files in the temp dir.
+fn transient_stores() -> usize {
+    let prefix = format!("stencil-ooc-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn stream_rate(
+    plan: &Plan,
+    g: &Grid3D,
+    p: &Pattern,
+    t: usize,
+    reps: usize,
+    cfg: &OocConfig,
+    want: &[u64],
+) -> (f64, StreamReport) {
+    let (out, d) = measure::best_of(reps, || run_streaming_grid(plan, g, t, cfg).unwrap());
+    let (streamed, report) = out;
+    assert_eq!(
+        want,
+        bits(&streamed),
+        "streamed run diverged from the resident reference"
+    );
+    assert!(
+        report.resident_bytes <= cfg.budget_bytes,
+        "accounted residency {} exceeds the budget {}",
+        report.resident_bytes,
+        cfg.budget_bytes
+    );
+    let rate = gflops(g.nz() * g.ny() * g.nx(), t, 2 * p.points(), d);
+    (rate, report)
+}
+
+fn main() {
+    let args = Args::parse();
+    // tall-thin domains: enough z-extent for many slab windows at a
+    // small per-plane cost, so even the smoke run streams a domain 4x
+    // its budget through dozens of windows per pass
+    let ((nz, ny, nx), t, reps, budget_div) = if args.paper {
+        ((8192, 128, 128), 16, 2, 8)
+    } else if args.quick {
+        ((2048, 32, 32), 8, 2, 4)
+    } else {
+        ((2048, 64, 64), 12, 2, 4)
+    };
+    let threads = args.threads();
+    let domain_bytes = Grid3D::zeros(1, ny, nx).stride_z() * 8 * nz;
+    let budget = domain_bytes / budget_div;
+    println!(
+        "Fig. OOC — file-backed streaming vs resident ({}, {nz}x{ny}x{nx}, t = {t}, \
+         budget = domain/{budget_div} = {:.1} MiB)",
+        stencil_simd::backend_summary(),
+        budget as f64 / (1 << 20) as f64
+    );
+
+    let mut rates = Table::new("Fig OOC (streaming vs resident)", "GFLOP/s");
+    let mut stats = Table::new("Fig OOC store stats (prefetch run)", "count");
+    let pool = PoolHandle::shared(threads);
+    let stores_before = transient_stores();
+    for (name, p) in cases() {
+        if !args.wants(name) {
+            continue;
+        }
+        let plan = Solver::new(p.clone())
+            .method(Method::Folded { m: 2 })
+            .tiling(Tiling::None)
+            .threads(threads)
+            .compile()
+            .expect("folded block-free compiles for every 3D kernel");
+        let g = workload::random_3d(nz, ny, nx, 42);
+        let (resident_out, d) = measure::best_of(reps, || plan.run_3d(&g, t).unwrap());
+        let resident = gflops(nz * ny * nx, t, 2 * p.points(), d);
+        let want = bits(&resident_out);
+        drop(resident_out);
+
+        let sync_cfg = OocConfig {
+            budget_bytes: budget,
+            prefetch: false,
+            ..OocConfig::default()
+        };
+        let (sync, _) = stream_rate(&plan, &g, &p, t, reps, &sync_cfg, &want);
+        let pf_cfg = OocConfig {
+            budget_bytes: budget,
+            prefetch: true,
+            ..OocConfig::default()
+        };
+        let (pf, report) = stream_rate(&plan, &g, &p, t, reps, &pf_cfg, &want);
+
+        rates.put(name, "Resident", Some(resident));
+        rates.put(name, "Streaming", Some(sync));
+        rates.put(name, "Streaming+prefetch", Some(pf));
+        let s = &report.stats;
+        stats.put(name, "bytes_read", Some(s.bytes_read as f64));
+        stats.put(name, "bytes_written", Some(s.bytes_written as f64));
+        stats.put(name, "prefetch_hit", Some(s.prefetch_hit as f64));
+        stats.put(name, "prefetch_miss", Some(s.prefetch_miss as f64));
+        stats.put(name, "stall_us", Some(s.stall_us as f64));
+        eprintln!(
+            "  {name}: streaming+prefetch/resident = {:.2} (sync {:.2}), \
+             {} windows/pass x {} passes, window = {} planes",
+            pf / resident,
+            sync / resident,
+            report.windows_per_pass,
+            report.passes,
+            report.window_planes
+        );
+    }
+    rates.print();
+    stats.print();
+
+    // leak checks for the CI lane: every plan dropped its shared-pool
+    // handle (ours + the registry's clone remain), and the streaming
+    // runs cleaned up their transient store files
+    assert_eq!(
+        pool.strong_count(),
+        2,
+        "plans must release their pool handles"
+    );
+    assert_eq!(
+        transient_stores(),
+        stores_before,
+        "transient slab stores leaked in {}",
+        std::env::temp_dir().display()
+    );
+    println!("clean shutdown: pool handles released, no transient stores left");
+
+    if let Some(path) = &args.json {
+        Table::dump_json(&[&rates, &stats], path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -24,6 +24,9 @@
 //!   combinations reported as typed [`PlanError`]s.
 //! * [`tune`] — tiling-parameter autotuner and the [`Method::Auto`]
 //!   resolver (the paper's declared future work).
+//! * [`slab`] — halo-correct slab geometry along the outermost axis:
+//!   the shared arithmetic behind bit-exact domain sharding
+//!   (`stencil-serve`) and out-of-core streaming (`stencil-ooc`).
 //!
 //! ```
 //! use stencil_core::{kernels, Method, Solver};
@@ -60,6 +63,7 @@ pub mod kernels;
 pub mod pattern;
 pub mod plan;
 pub mod regression;
+pub mod slab;
 pub mod tile;
 pub mod tune;
 

@@ -5,10 +5,15 @@
 //! buffer to 64 so both AVX2 and AVX-512 sets are aligned and no buffer
 //! straddles a cache line unnecessarily).
 
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::alloc::{alloc, alloc_zeroed, dealloc, handle_alloc_error, Layout};
 
 /// Cache-line alignment used for all grid storage.
 pub const ALIGN: usize = 64;
+
+/// Below this many bytes [`AlignedBuf::zeroed_parallel`] falls back to
+/// the serial [`AlignedBuf::zeroed`]: thread spawn costs more than the
+/// page touches save.
+pub const FIRST_TOUCH_MIN_BYTES: usize = 1 << 22;
 
 /// A heap-allocated, 64-byte aligned, fixed-length `f64` buffer.
 pub struct AlignedBuf {
@@ -40,6 +45,59 @@ impl AlignedBuf {
             ptr: raw.cast::<f64>(),
             len,
         }
+    }
+
+    /// Allocate a zero-initialized buffer of `len` doubles, touching
+    /// the pages from `workers` threads in disjoint cache-line-aligned
+    /// chunks.
+    ///
+    /// `alloc_zeroed` hands back untouched copy-on-write pages; the
+    /// first write faults each page in on the writing thread's NUMA
+    /// node. A single-threaded zeroing loop therefore serializes the
+    /// allocation *and* homes every page on one node — this variant
+    /// writes the zeros from the threads that will sweep the data, so
+    /// first-touch placement lands where the work is (the first piece
+    /// of the ROADMAP NUMA item). Falls back to [`Self::zeroed`] below
+    /// [`FIRST_TOUCH_MIN_BYTES`] or for a single worker. The contents
+    /// are identical to `zeroed` either way.
+    pub fn zeroed_parallel(len: usize, workers: usize) -> Self {
+        let workers = workers.max(1).min(len / (ALIGN / 8) + 1);
+        if workers == 1 || len * core::mem::size_of::<f64>() < FIRST_TOUCH_MIN_BYTES {
+            return Self::zeroed(len);
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size here (len >= minimum bytes).
+        let raw = unsafe { alloc(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        let ptr = raw.cast::<f64>();
+        // chunk starts stay 64-byte aligned so no two workers share a
+        // cache line (or a page, for page-aligned allocations)
+        let per = len.div_ceil(workers).next_multiple_of(ALIGN / 8);
+        struct SendPtr(*mut f64);
+        // SAFETY: each worker writes a disjoint chunk of the allocation.
+        unsafe impl Send for SendPtr {}
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let lo = (per * w).min(len);
+                let hi = (per * (w + 1)).min(len);
+                if lo >= hi {
+                    break;
+                }
+                // SAFETY: [lo, hi) chunks are disjoint and in-bounds.
+                let chunk = SendPtr(unsafe { ptr.add(lo) });
+                scope.spawn(move || {
+                    let chunk = chunk;
+                    // SAFETY: valid for hi - lo writes; f64 zero is the
+                    // all-zero-bytes pattern.
+                    unsafe { core::ptr::write_bytes(chunk.0, 0, hi - lo) };
+                });
+            }
+            // SAFETY: chunk 0 is this thread's own disjoint range.
+            unsafe { core::ptr::write_bytes(ptr, 0, per.min(len)) };
+        });
+        Self { ptr, len }
     }
 
     /// Allocate and initialize from a function of the index.
@@ -182,6 +240,22 @@ mod tests {
         b[3] = 7.0;
         b.fill(1.5);
         assert!(b.iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn zeroed_parallel_matches_zeroed() {
+        // above the fallback threshold: really touched in parallel
+        let len = FIRST_TOUCH_MIN_BYTES / 8 + 1;
+        for workers in [1, 2, 3, 8] {
+            let b = AlignedBuf::zeroed_parallel(len, workers);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.as_ptr() as usize % ALIGN, 0, "workers={workers}");
+            assert!(b.iter().all(|&x| x == 0.0), "workers={workers}");
+        }
+        // below it: serial fallback, same contents
+        let b = AlignedBuf::zeroed_parallel(100, 4);
+        assert!(b.iter().all(|&x| x == 0.0));
+        assert!(AlignedBuf::zeroed_parallel(0, 4).is_empty());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! # stencil-ooc
+//!
+//! Out-of-core stencil domains: grids bigger than resident memory,
+//! advanced bit-exactly at a bounded memory budget.
+//!
+//! The paper's kernels remove redundancy *inside* a sweep (folded
+//! arithmetic, one-plane-load z-ring); this crate removes it at the
+//! next tier out, between DRAM and the file system — the CPU analog of
+//! the on-chip-reuse × off-chip-streaming synergy of out-of-core GPU
+//! stencils. Two pieces:
+//!
+//! * [`SlabStore`] — a 3D grid backed by a file: a hand-rolled chunked
+//!   little-endian format whose header carries shape, radius, round
+//!   and a dirty flag (a crashed run is detected at
+//!   [`SlabStore::open`], never silently resumed), and whose payload
+//!   is a file-level pingpong of two surfaces so in-place passes can
+//!   never clobber halo data.
+//! * [`run_streaming`] — the streaming temporal-blocked executor: it
+//!   marches halo-widened z-slab windows (the serving sharder's exact
+//!   slab arithmetic, shared via [`stencil_core::slab`]) through a
+//!   bounded window pool, advancing each window several steps per IO
+//!   round trip, with an optional background prefetch thread that
+//!   loads window `k + 1` and writes back window `k - 1` while the
+//!   pool sweeps window `k`. Pass lengths align to the plan's
+//!   composition quantum, so the result is **bit-identical** to the
+//!   resident `Plan::run_3d` — verified cell for cell in the parity
+//!   suite.
+//!
+//! ```
+//! use stencil_core::{kernels, Method, Solver};
+//! use stencil_grid::Grid3D;
+//! use stencil_ooc::{run_streaming_grid, OocConfig};
+//!
+//! let plan = Solver::new(kernels::heat3d())
+//!     .method(Method::Folded { m: 2 })
+//!     .compile()
+//!     .unwrap();
+//! let g = Grid3D::from_fn(1024, 16, 16, |z, y, x| ((z + y + x) % 9) as f64);
+//! let resident = plan.run_3d(&g, 6).unwrap();
+//! // stream the same run through a file-backed store with a window
+//! // budget of a quarter of the domain
+//! let cfg = OocConfig {
+//!     budget_bytes: 256 * 16 * 16 * 8,
+//!     ..OocConfig::default()
+//! };
+//! let (streamed, report) = run_streaming_grid(&plan, &g, 6, &cfg).unwrap();
+//! assert_eq!(resident.to_dense(), streamed.to_dense()); // bit-exact
+//! assert!(report.passes >= 1 && report.resident_bytes <= cfg.budget_bytes);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod store;
+pub mod stream;
+
+pub use error::OocError;
+pub use store::{SlabStore, StoreStats, MAGIC, VERSION};
+pub use stream::{
+    run_streaming, run_streaming_grid, streamable, OocConfig, StreamReport,
+    RESIDENT_WINDOWS_PREFETCH, RESIDENT_WINDOWS_SYNC,
+};

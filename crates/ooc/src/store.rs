@@ -1,0 +1,528 @@
+//! The file-backed slab store.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A hand-rolled chunked binary layout, everything little-endian:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  "STNCLOOC"
+//!      8     4  version (u32, = 1)
+//!     12     4  dirty   (u32, 0 clean / 1 mid-pass)
+//!     16     8  nz      (u64)
+//!     24     8  ny      (u64)
+//!     32     8  nx      (u64)
+//!     40     8  radius  (u64, stencil radius of the producing plan)
+//!     48     8  round   (u64, time steps fully applied to `surface`)
+//!     56     8  surface (u64, 0 or 1: which payload copy is current)
+//!     64     —  payload: two surfaces, each nz plane chunks of
+//!               ny*nx raw f64 (unpadded, row-major within a plane)
+//! ```
+//!
+//! The payload is a file-level pingpong: a streaming pass reads slab
+//! windows from the current surface and writes advanced interiors to
+//! the other, so a window write can never clobber halo planes a later
+//! window still needs to read. [`SlabStore::commit_pass`] flips the
+//! surface and advances `round` only after the data is synced.
+//!
+//! The `dirty` flag brackets every pass: it is raised (and synced)
+//! before the first write of a pass and cleared by the commit. A
+//! process that dies mid-pass leaves it set, and [`SlabStore::open`]
+//! reports the store as [`OocError::Crashed`] with the last committed
+//! round instead of silently resuming mixed-round data. Truncation is
+//! caught by checking the file length against the header shape.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stencil_grid::Grid3D;
+
+use crate::error::OocError;
+
+/// First 8 bytes of every slab store.
+pub const MAGIC: [u8; 8] = *b"STNCLOOC";
+/// Current format version.
+pub const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 64;
+
+/// Cumulative IO counters of a [`SlabStore`], snapshotted by
+/// [`SlabStore::stats`].
+///
+/// `bytes_read` / `bytes_written` are deterministic functions of the
+/// streaming geometry (domain, budget, pass schedule); the prefetch
+/// hit/miss split and the stall time depend on IO/compute timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Payload bytes read from the file.
+    pub bytes_read: u64,
+    /// Payload bytes written to the file.
+    pub bytes_written: u64,
+    /// Window loads that were already resident when the sweep asked.
+    pub prefetch_hit: u64,
+    /// Window loads the sweep had to wait for.
+    pub prefetch_miss: u64,
+    /// Microseconds the sweep spent stalled on IO.
+    pub stall_us: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    prefetch_hit: AtomicU64,
+    prefetch_miss: AtomicU64,
+    stall_us: AtomicU64,
+}
+
+/// A 3D grid backed by a file instead of resident memory.
+///
+/// Windows move through [`read_window`](Self::read_window) /
+/// [`write_planes`](Self::write_planes), both `&self` (positioned
+/// pread/pwrite — no shared cursor), so a background IO thread and the
+/// sweep thread can use one store concurrently.
+pub struct SlabStore {
+    file: File,
+    path: PathBuf,
+    nz: usize,
+    ny: usize,
+    nx: usize,
+    radius: usize,
+    round: AtomicU64,
+    surface: AtomicU64,
+    stats: StatsCell,
+}
+
+impl SlabStore {
+    /// Create a store at `path` holding `grid` as round-0 data of
+    /// surface 0. An existing file is truncated.
+    pub fn create(path: &Path, grid: &Grid3D, radius: usize) -> Result<Self, OocError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let store = Self {
+            file,
+            path: path.to_path_buf(),
+            nz: grid.nz(),
+            ny: grid.ny(),
+            nx: grid.nx(),
+            radius,
+            round: AtomicU64::new(0),
+            surface: AtomicU64::new(0),
+            stats: StatsCell::default(),
+        };
+        store.file.set_len(HEADER_LEN + 2 * store.surface_bytes())?;
+        store.write_header(false)?;
+        let written = store.stats.bytes_written.load(Ordering::Relaxed);
+        store.write_planes(0, 0, grid, 0, grid.nz())?;
+        // seeding the store is not streaming traffic
+        store.stats.bytes_written.store(written, Ordering::Relaxed);
+        store.file.sync_data()?;
+        Ok(store)
+    }
+
+    /// Open an existing store, validating magic, version, shape-implied
+    /// length and the crash flag.
+    pub fn open(path: &Path) -> Result<Self, OocError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut head = [0u8; HEADER_LEN as usize];
+        let found = file.metadata()?.len();
+        if found < HEADER_LEN {
+            return Err(OocError::Truncated {
+                expected: HEADER_LEN,
+                found,
+            });
+        }
+        file.read_exact_at(&mut head, 0)?;
+        if head[..8] != MAGIC {
+            return Err(OocError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(head[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(head[o..o + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(OocError::BadVersion { found: version });
+        }
+        let store = Self {
+            file,
+            path: path.to_path_buf(),
+            nz: u64_at(16) as usize,
+            ny: u64_at(24) as usize,
+            nx: u64_at(32) as usize,
+            radius: u64_at(40) as usize,
+            round: AtomicU64::new(u64_at(48)),
+            surface: AtomicU64::new(u64_at(56)),
+            stats: StatsCell::default(),
+        };
+        let expected = HEADER_LEN + 2 * store.surface_bytes();
+        if found < expected {
+            return Err(OocError::Truncated { expected, found });
+        }
+        if u32_at(12) != 0 {
+            return Err(OocError::Crashed {
+                round: store.round.load(Ordering::Relaxed),
+            });
+        }
+        Ok(store)
+    }
+
+    /// Domain shape `(nz, ny, nx)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nz, self.ny, self.nx)
+    }
+
+    /// Stencil radius recorded at creation.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Time steps fully applied to the current surface.
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
+    }
+
+    /// Which payload surface (0/1) holds the current data.
+    pub fn surface(&self) -> u64 {
+        self.surface.load(Ordering::Relaxed)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Unpadded bytes of one z plane in the file.
+    pub fn plane_file_bytes(&self) -> usize {
+        self.ny * self.nx * 8
+    }
+
+    fn surface_bytes(&self) -> u64 {
+        self.nz as u64 * self.plane_file_bytes() as u64
+    }
+
+    fn offset(&self, surface: u64, z: usize) -> u64 {
+        debug_assert!(surface < 2 && z <= self.nz);
+        HEADER_LEN + surface * self.surface_bytes() + (z * self.plane_file_bytes()) as u64
+    }
+
+    fn write_header(&self, dirty: bool) -> Result<(), OocError> {
+        let mut head = [0u8; HEADER_LEN as usize];
+        head[..8].copy_from_slice(&MAGIC);
+        head[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        head[12..16].copy_from_slice(&u32::from(dirty).to_le_bytes());
+        for (o, v) in [
+            (16, self.nz as u64),
+            (24, self.ny as u64),
+            (32, self.nx as u64),
+            (40, self.radius as u64),
+            (48, self.round.load(Ordering::Relaxed)),
+            (56, self.surface.load(Ordering::Relaxed)),
+        ] {
+            head[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        self.file.write_all_at(&head, 0)?;
+        Ok(())
+    }
+
+    /// Read planes `[z0, z1)` of `surface` into `out`, which must be a
+    /// `(z1 - z0) x ny x nx` grid. `scratch` is reused across calls to
+    /// avoid re-allocating the transfer buffer.
+    pub fn read_window(
+        &self,
+        surface: u64,
+        z0: usize,
+        z1: usize,
+        out: &mut Grid3D,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), OocError> {
+        assert!(z0 <= z1 && z1 <= self.nz, "window out of range");
+        assert_eq!(
+            (out.nz(), out.ny(), out.nx()),
+            (z1 - z0, self.ny, self.nx),
+            "window grid shape mismatch"
+        );
+        let pb = self.plane_file_bytes();
+        scratch.clear();
+        scratch.resize((z1 - z0) * pb, 0);
+        self.file.read_exact_at(scratch, self.offset(surface, z0))?;
+        for z in 0..z1 - z0 {
+            for y in 0..self.ny {
+                let src = &scratch[z * pb + y * self.nx * 8..][..self.nx * 8];
+                bytes_to_f64(src, out.row_mut(z, y));
+            }
+        }
+        self.stats
+            .bytes_read
+            .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write local planes `[z_lo, z_hi)` of `grid` to `surface`,
+    /// landing at global plane `z_global + (z - z_lo)`.
+    pub fn write_planes(
+        &self,
+        surface: u64,
+        z_global: usize,
+        grid: &Grid3D,
+        z_lo: usize,
+        z_hi: usize,
+    ) -> Result<(), OocError> {
+        assert!(
+            z_lo <= z_hi && z_hi <= grid.nz(),
+            "plane range out of range"
+        );
+        assert!(z_global + (z_hi - z_lo) <= self.nz, "write past the domain");
+        assert_eq!((grid.ny(), grid.nx()), (self.ny, self.nx), "shape mismatch");
+        let pb = self.plane_file_bytes();
+        let mut buf = vec![0u8; (z_hi - z_lo) * pb];
+        for z in z_lo..z_hi {
+            for y in 0..self.ny {
+                let dst = &mut buf[(z - z_lo) * pb + y * self.nx * 8..][..self.nx * 8];
+                f64_to_bytes(grid.row(z, y), dst);
+            }
+        }
+        self.file
+            .write_all_at(&buf, self.offset(surface, z_global))?;
+        self.stats
+            .bytes_written
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Mark the store dirty ahead of a pass's first payload write. The
+    /// flag is synced so a crash at any later point is detectable.
+    pub fn begin_pass(&self) -> Result<(), OocError> {
+        self.write_header(true)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Conclude a pass that advanced the *other* surface by `steps`:
+    /// sync the payload, flip the current surface, bump the round and
+    /// clear the dirty flag. If the process dies before the final
+    /// header write lands, the old header still says dirty — the store
+    /// stays crash-detectable, never silently wrong.
+    pub fn commit_pass(&self, steps: u64) -> Result<(), OocError> {
+        self.file.sync_data()?;
+        self.surface.fetch_xor(1, Ordering::Relaxed);
+        self.round.fetch_add(steps, Ordering::Relaxed);
+        self.write_header(false)?;
+        Ok(())
+    }
+
+    /// Materialize the whole current surface as a resident grid.
+    pub fn to_grid(&self) -> Result<Grid3D, OocError> {
+        let mut g = Grid3D::zeros(self.nz, self.ny, self.nx);
+        let read = self.stats.bytes_read.load(Ordering::Relaxed);
+        let mut scratch = Vec::new();
+        self.read_window(self.surface(), 0, self.nz, &mut g, &mut scratch)?;
+        // materialization is not streaming traffic
+        self.stats.bytes_read.store(read, Ordering::Relaxed);
+        Ok(g)
+    }
+
+    /// Snapshot the cumulative IO counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+            prefetch_hit: self.stats.prefetch_hit.load(Ordering::Relaxed),
+            prefetch_miss: self.stats.prefetch_miss.load(Ordering::Relaxed),
+            stall_us: self.stats.stall_us.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_prefetch(&self, hit: bool) {
+        let c = if hit {
+            &self.stats.prefetch_hit
+        } else {
+            &self.stats.prefetch_miss
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stall(&self, us: u64) {
+        self.stats.stall_us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SlabStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SlabStore({}x{}x{} r{} round={} surface={} at {})",
+            self.nz,
+            self.ny,
+            self.nx,
+            self.radius,
+            self.round(),
+            self.surface(),
+            self.path.display()
+        )
+    }
+}
+
+fn bytes_to_f64(src: &[u8], dst: &mut [f64]) {
+    debug_assert_eq!(src.len(), dst.len() * 8);
+    #[cfg(target_endian = "little")]
+    // SAFETY: dst is valid for dst.len() * 8 bytes and f64 accepts any
+    // bit pattern; the file format is little-endian, like the host.
+    unsafe {
+        core::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr().cast::<u8>(), src.len());
+    }
+    #[cfg(target_endian = "big")]
+    for (i, v) in dst.iter_mut().enumerate() {
+        *v = f64::from_le_bytes(src[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+}
+
+fn f64_to_bytes(src: &[f64], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() * 8, dst.len());
+    #[cfg(target_endian = "little")]
+    // SAFETY: src is valid for src.len() * 8 bytes; plain byte copy.
+    unsafe {
+        core::ptr::copy_nonoverlapping(src.as_ptr().cast::<u8>(), dst.as_mut_ptr(), dst.len());
+    }
+    #[cfg(target_endian = "big")]
+    for (i, v) in src.iter().enumerate() {
+        dst[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "stencil-ooc-test-{}-{name}.slab",
+            std::process::id()
+        ));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_create_open_to_grid() {
+        let path = tmp("roundtrip");
+        let _c = Cleanup(path.clone());
+        let g = Grid3D::from_fn(7, 5, 11, |z, y, x| (z * 100 + y * 16 + x) as f64 * 0.25);
+        let store = SlabStore::create(&path, &g, 2).unwrap();
+        assert_eq!(store.shape(), (7, 5, 11));
+        assert_eq!(store.round(), 0);
+        drop(store);
+        let store = SlabStore::open(&path).unwrap();
+        assert_eq!(store.radius(), 2);
+        let back = store.to_grid().unwrap();
+        assert_eq!(g.to_dense(), back.to_dense());
+    }
+
+    #[test]
+    fn windows_scatter_and_gather_with_padding() {
+        let path = tmp("windows");
+        let _c = Cleanup(path.clone());
+        // nx = 11 forces padded rows in Grid3D but unpadded file planes
+        let g = Grid3D::from_fn(9, 4, 11, |z, y, x| (z * 67 + y * 13 + x) as f64);
+        let store = SlabStore::create(&path, &g, 1).unwrap();
+        let mut win = Grid3D::zeros(4, 4, 11);
+        let mut scratch = Vec::new();
+        store.read_window(0, 3, 7, &mut win, &mut scratch).unwrap();
+        for z in 0..4 {
+            for y in 0..4 {
+                assert_eq!(win.row(z, y), g.row(z + 3, y), "z={z} y={y}");
+            }
+        }
+        // write two interior planes of the window to the other surface
+        store.write_planes(1, 4, &win, 1, 3).unwrap();
+        let mut out = Grid3D::zeros(2, 4, 11);
+        store.read_window(1, 4, 6, &mut out, &mut scratch).unwrap();
+        for z in 0..2 {
+            for y in 0..4 {
+                assert_eq!(out.row(z, y), g.row(z + 4, y));
+            }
+        }
+        let s = store.stats();
+        assert_eq!(
+            s.bytes_read,
+            (4 + 2) as u64 * store.plane_file_bytes() as u64
+        );
+        assert_eq!(s.bytes_written, 2 * store.plane_file_bytes() as u64);
+    }
+
+    #[test]
+    fn commit_flips_surface_and_advances_round() {
+        let path = tmp("commit");
+        let _c = Cleanup(path.clone());
+        let g = Grid3D::zeros(4, 3, 3);
+        let store = SlabStore::create(&path, &g, 1).unwrap();
+        store.begin_pass().unwrap();
+        store.write_planes(1, 0, &g, 0, 4).unwrap();
+        store.commit_pass(6).unwrap();
+        assert_eq!((store.round(), store.surface()), (6, 1));
+        drop(store);
+        let store = SlabStore::open(&path).unwrap();
+        assert_eq!((store.round(), store.surface()), (6, 1));
+    }
+
+    #[test]
+    fn open_detects_bad_magic_version_truncation_and_crash() {
+        let g = Grid3D::zeros(4, 3, 3);
+
+        let path = tmp("magic");
+        let _c = Cleanup(path.clone());
+        std::fs::write(&path, b"definitely not a slab store").unwrap();
+        assert!(matches!(
+            SlabStore::open(&path),
+            Err(OocError::Truncated { .. })
+        ));
+        let mut junk = vec![0u8; 200];
+        junk[..8].copy_from_slice(b"NOTSTNCL");
+        std::fs::write(&path, &junk).unwrap();
+        assert!(matches!(SlabStore::open(&path), Err(OocError::BadMagic)));
+
+        let path = tmp("version");
+        let _c = Cleanup(path.clone());
+        SlabStore::create(&path, &g, 1).unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.write_all_at(&99u32.to_le_bytes(), 8).unwrap();
+        assert!(matches!(
+            SlabStore::open(&path),
+            Err(OocError::BadVersion { found: 99 })
+        ));
+
+        let path = tmp("trunc");
+        let _c = Cleanup(path.clone());
+        SlabStore::create(&path, &g, 1).unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(100).unwrap();
+        drop(f);
+        match SlabStore::open(&path) {
+            Err(OocError::Truncated { expected, found }) => {
+                assert_eq!(found, 100);
+                assert!(expected > 100);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+
+        let path = tmp("crash");
+        let _c = Cleanup(path.clone());
+        let store = SlabStore::create(&path, &g, 1).unwrap();
+        store.begin_pass().unwrap();
+        drop(store); // died mid-pass: commit never ran
+        assert!(matches!(
+            SlabStore::open(&path),
+            Err(OocError::Crashed { round: 0 })
+        ));
+    }
+}

@@ -93,6 +93,6 @@ pub use metrics::{LatencyHistogram, PlanTelemetry, ServeStats, StatsSnapshot, Te
 pub use net::{NetClient, NetConfig, NetError, NetServer, SubmitHeader};
 pub use registry::{PlanRegistry, WarmReport};
 pub use service::{
-    JobDomain, JobResult, JobSpec, JobTicket, ServeConfig, ServeError, StencilService,
+    JobDomain, JobResult, JobSpec, JobTicket, OocThreshold, ServeConfig, ServeError, StencilService,
 };
 pub use shard::ShardPolicy;

@@ -149,6 +149,9 @@ pub struct ServeStats {
     pub sharded_jobs: AtomicU64,
     /// Sub-domain slabs executed in total.
     pub shards_executed: AtomicU64,
+    /// Jobs routed through the out-of-core streaming executor
+    /// (oversized 3D domains above the configured threshold).
+    pub ooc_jobs: AtomicU64,
     /// End-to-end job latency (submit to completion, queue wait
     /// included).
     pub latency: LatencyHistogram,
@@ -251,6 +254,7 @@ impl ServeStats {
             max_batch: self.max_batch.load(ld),
             sharded_jobs: self.sharded_jobs.load(ld),
             shards_executed: self.shards_executed.load(ld),
+            ooc_jobs: self.ooc_jobs.load(ld),
             swaps: self.swaps.load(ld),
             challenges: self.challenges.load(ld),
             challenges_rejected: self.challenges_rejected.load(ld),
@@ -317,6 +321,8 @@ pub struct StatsSnapshot {
     pub sharded_jobs: u64,
     /// Total slabs executed.
     pub shards_executed: u64,
+    /// Jobs routed through the out-of-core streaming executor.
+    pub ooc_jobs: u64,
     /// Registry entries hot-swapped by the retuning decider.
     pub swaps: u64,
     /// Challenger sessions started.
@@ -377,6 +383,7 @@ impl StatsSnapshot {
         num("max_batch", self.max_batch as f64);
         num("sharded_jobs", self.sharded_jobs as f64);
         num("shards_executed", self.shards_executed as f64);
+        num("ooc_jobs", self.ooc_jobs as f64);
         num("swaps", self.swaps as f64);
         num("challenges", self.challenges as f64);
         num("challenges_rejected", self.challenges_rejected as f64);
@@ -444,6 +451,7 @@ impl StatsSnapshot {
             max_batch: u("max_batch")?,
             sharded_jobs: u("sharded_jobs")?,
             shards_executed: u("shards_executed")?,
+            ooc_jobs: u("ooc_jobs")?,
             swaps: u("swaps")?,
             challenges: u("challenges")?,
             challenges_rejected: u("challenges_rejected")?,

@@ -131,6 +131,9 @@ pub enum ServeError {
     /// panic) — should not happen; surfaced instead of hanging the
     /// waiter.
     WorkerLost,
+    /// An out-of-core-routed job failed in the streaming executor or
+    /// its file-backed store (IO, budget, crash detection).
+    Ooc(stencil_ooc::OocError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -143,6 +146,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "the service is shutting down"),
             ServeError::Plan(e) => write!(f, "plan error: {e}"),
             ServeError::WorkerLost => write!(f, "the executor dropped this job"),
+            ServeError::Ooc(e) => write!(f, "out-of-core execution failed: {e}"),
         }
     }
 }
@@ -152,6 +156,47 @@ impl std::error::Error for ServeError {}
 impl From<PlanError> for ServeError {
     fn from(e: PlanError) -> Self {
         ServeError::Plan(e)
+    }
+}
+
+impl From<stencil_ooc::OocError> for ServeError {
+    fn from(e: stencil_ooc::OocError) -> Self {
+        ServeError::Ooc(e)
+    }
+}
+
+/// When to route an oversized 3D job through the out-of-core streaming
+/// executor instead of the resident (possibly sharded) path.
+///
+/// Sharding splits a job *across workers* but still holds the whole
+/// domain (plus halos) in memory; the out-of-core path caps residency
+/// at [`OocThreshold::budget_bytes`] by marching file-backed z-slab
+/// windows — bit-identical to the resident run. Routing is per job:
+/// only 3D jobs above [`OocThreshold::max_resident_points`] whose plan
+/// is [`stencil_ooc::streamable`] take the streaming path; everything
+/// else falls through to the usual resident executor.
+#[derive(Debug, Clone)]
+pub struct OocThreshold {
+    /// 3D jobs above this many grid points stream through the store.
+    pub max_resident_points: usize,
+    /// Resident window budget handed to [`stencil_ooc::OocConfig`].
+    pub budget_bytes: usize,
+    /// Overlap IO with compute via the background prefetch thread.
+    pub prefetch: bool,
+    /// Steps per streaming pass (0 = deepest that fits the budget).
+    pub steps_per_pass: usize,
+}
+
+impl Default for OocThreshold {
+    fn default() -> Self {
+        let d = stencil_ooc::OocConfig::default();
+        Self {
+            // 128 Mi points = 1 GiB of f64 payload before padding
+            max_resident_points: 1 << 27,
+            budget_bytes: d.budget_bytes,
+            prefetch: d.prefetch,
+            steps_per_pass: d.steps_per_pass,
+        }
     }
 }
 
@@ -176,6 +221,9 @@ pub struct ServeConfig {
     pub clock: SharedClock,
     /// Adaptive retuning knobs (disabled by default).
     pub adapt: AdaptConfig,
+    /// Route oversized streamable 3D jobs through the out-of-core
+    /// executor (`None` = always resident).
+    pub ooc: Option<OocThreshold>,
 }
 
 impl Default for ServeConfig {
@@ -189,6 +237,7 @@ impl Default for ServeConfig {
             shard: ShardPolicy::default(),
             clock: SharedClock::wall(),
             adapt: AdaptConfig::default(),
+            ooc: None,
         }
     }
 }
@@ -675,6 +724,22 @@ fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize), ServeError> {
             }
         }
         JobDomain::D3(g) => {
+            // the out-of-core gate outranks sharding: a domain too big
+            // to hold resident is too big to hold in sharded halves too
+            if let Some(th) = &inner.cfg.ooc {
+                if g.nz() * g.ny() * g.nx() > th.max_resident_points
+                    && stencil_ooc::streamable(plan)
+                {
+                    let cfg = stencil_ooc::OocConfig {
+                        budget_bytes: th.budget_bytes,
+                        steps_per_pass: th.steps_per_pass,
+                        prefetch: th.prefetch,
+                    };
+                    let (out, _report) = stencil_ooc::run_streaming_grid(plan, g, job.steps, &cfg)?;
+                    inner.stats.ooc_jobs.fetch_add(1, Ordering::Relaxed);
+                    return Ok((JobDomain::D3(out), 1));
+                }
+            }
             if shards > 1 {
                 let lanes = inner.registry.lane_plans(&job.key, plan, shards)?;
                 let out = shard::run_sharded_3d(&lanes, g, job.steps, shards)?;
@@ -918,6 +983,45 @@ mod tests {
             Err(ServeError::WorkerLost) => {}
             other => panic!("expected WorkerLost, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_jobs_stream_out_of_core_and_match_the_resident_run() {
+        // the ooc gate outranks sharding: even with an eager shard
+        // policy, a 3D job above the threshold goes through the
+        // file-backed streaming executor — bit-exactly
+        let mut cfg = small_cfg();
+        cfg.shard = ShardPolicy {
+            min_points: 1,
+            max_shards: 2,
+            min_slab: 4,
+        };
+        cfg.ooc = Some(OocThreshold {
+            max_resident_points: 8192, // the big job is 16384 points
+            // a budget of ~32 window planes forces several windows
+            budget_bytes: 32 * Grid3D::zeros(1, 16, 16).stride_z() * 8 * 5,
+            ..OocThreshold::default()
+        });
+        let svc = StencilService::start(cfg);
+        let big = Grid3D::from_fn(64, 16, 16, |z, y, x| ((z * 5 + y * 3 + x) % 17) as f64);
+        let small = Grid3D::from_fn(8, 12, 12, |z, y, x| ((z + y + x) % 3) as f64);
+        let spec = |g: &Grid3D| JobSpec::new(kernels::heat3d(), JobDomain::D3(g.clone()), 4);
+        let t_big = svc.submit(spec(&big)).unwrap();
+        let t_small = svc.submit(spec(&small)).unwrap();
+        let r = t_big.wait().unwrap();
+        assert_eq!(r.shards, 1, "ooc-routed jobs report a single shard");
+        let served = match r.output {
+            JobDomain::D3(out) => out,
+            _ => panic!("wrong dimensionality"),
+        };
+        let (plan, _) = svc.plan_for(&spec(&big)).unwrap();
+        let want = plan.run_3d(&big, 4).unwrap();
+        assert_eq!(want.to_dense(), served.to_dense());
+        t_small.wait().unwrap();
+        let stats = svc.shutdown();
+        // only the oversized job streamed; the small one stayed resident
+        assert_eq!(stats.ooc_jobs, 1, "{stats:?}");
+        assert_eq!(stats.jobs_failed, 0);
     }
 
     #[test]

@@ -3,62 +3,26 @@
 //! parallel, and stitch the interiors back — **bit-identical** to the
 //! unsharded run.
 //!
-//! ## Why this is exact, not approximate
-//!
-//! Every executor in `stencil-core` advances a cell with fixed
-//! tap-order arithmetic, and treats grid edges as a frozen Dirichlet
-//! band whose influence travels inward at one stencil radius per time
-//! step. A slab that extends `halo = t * r` layers beyond its interior
-//! therefore reproduces the full-domain run exactly on the interior:
-//! after `s` steps only cells within `s * r` of the slab's artificial
-//! edge can differ from the full run, and the halo keeps that
-//! contamination outside the interior for all `t` steps. Folding does
-//! not change the bound — an `m`-step folded macro-step has radius
-//! `m * r` but advances `m` steps, so the budget stays `t * r` total.
-//!
-//! Slabs cut only the outermost axis (`y` in 2D, `z` in 3D): the
-//! innermost extent — which drives vector chunking, alignment and the
-//! DLT lane constraints — is untouched.
-//!
-//! Two executor families need two levels of care:
-//!
-//! * **Row-independent families** (scalar, multiple-loads,
-//!   data-reorganization): a cell's instruction stream depends only on
-//!   its x position, so any slab geometry is bit-exact — these shard
-//!   under every tiling.
-//! * **Register pipelines** (transpose-layout, folded): rows are
-//!   processed in vector-width groups counted from the sweep origin,
-//!   with a scalar remainder at the top. A slab changes the origin, so
-//!   [`slab_bounds`] aligns every slab start to [`SLAB_ALIGN`] rows and
-//!   pads interior slab tops until the processed row count keeps the
-//!   full run's group phase with no mid-grid remainder — which covers
-//!   the *block-free* sweep (whose origin is the grid edge). Under
-//!   **tessellate tiling** the tile geometry itself is the hazard:
-//!   since `DimTiling` anchors tile phase to global coordinates, a
-//!   slab executed through `Plan::run_*_at` with its global origin
-//!   reproduces every interior tile of the full run exactly. Only the
-//!   slab-edge tiles diverge (they see a frozen band where the full
-//!   run has live cells), so the halo grows by one tile width — the
-//!   divergence starts inside the edge tile and travels inward at one
-//!   effective radius per inner step, exactly like the classic bound —
-//!   and every slab must stay large enough to run the same per-round
-//!   time blocks as the full run ([`shard_geometry`]). With both in
-//!   place, register pipelines shard bit-exactly under tessellate
-//!   tiling too.
+//! The geometry arithmetic (why slab execution is exact, halo widening
+//! under tessellate tiling, slab alignment) lives in
+//! [`stencil_core::slab`] — it is shared with the out-of-core streaming
+//! executor (`stencil-ooc`), which marches the same halo-widened slabs
+//! through a file-backed window instead of across worker threads. This
+//! module keeps the serving-side concerns: the [`ShardPolicy`] that
+//! decides when sharding pays, per-slab single-thread lane plans, and
+//! the scatter/stitch executors.
 //!
 //! Each slab runs on its own single-thread [`Plan`] (same pattern,
 //! method, tiling, width and z-ring geometry as the source plan) so
 //! the slabs really execute concurrently — a shared pool would
 //! serialize them.
 
-use stencil_core::tile::DimTiling;
-use stencil_core::{Method, Plan, PlanError, Solver, Tiling};
+use stencil_core::{Plan, PlanError, Solver};
 use stencil_grid::{Grid2D, Grid3D};
 
-/// Slab starts are aligned down to this many outer-axis layers — the
-/// widest vector lane count, so every register pipeline's row grouping
-/// keeps its phase across slab boundaries.
-pub const SLAB_ALIGN: usize = 8;
+pub use stencil_core::slab::{
+    effective_shards, interior_ranges, shard_geometry, shardable, slab_bounds, SLAB_ALIGN,
+};
 
 /// When and how much to shard. The service consults this per job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,104 +64,6 @@ impl ShardPolicy {
     }
 }
 
-/// True when `plan` is eligible for bit-exact slab sharding (see the
-/// module docs): 2D/3D, natural layout (no DLT/SDSL). Register
-/// pipelines shard block-free (slab alignment preserves their
-/// origin-relative row grouping) and under tessellate tiling (global
-/// tile-phase anchoring plus the widened halo of [`shard_geometry`]).
-pub fn shardable(plan: &Plan) -> bool {
-    if plan.dims() < 2 {
-        return false;
-    }
-    match plan.method() {
-        Method::Scalar | Method::MultipleLoads | Method::DataReorg => true,
-        Method::TransposeLayout | Method::Folded { .. } => {
-            matches!(plan.tiling(), Tiling::None | Tiling::Tessellate { .. })
-        }
-        _ => false,
-    }
-}
-
-/// Halo depth and minimum slab span for running `t` steps of `plan`
-/// sharded along an outer axis of extent `outer` (inner extents in
-/// `inners`).
-///
-/// The base halo is the classic contamination bound `t * r`. For
-/// register pipelines under tessellate tiling, the slab's edge tiles
-/// diverge from the full run's (the slab edge is a frozen band), so
-/// divergence can start anywhere inside the widest tile: the halo
-/// grows by one tile width `2 * r_step * tb_round`, computed for both
-/// the folded body rounds and the `t % m` unfolded tail rounds. The
-/// returned minimum span keeps every slab able to run the same
-/// per-round time blocks as the full run — the condition under which
-/// the per-round tile geometry (and therefore every kernel call on
-/// interior tiles) is identical, making the stitch bit-exact.
-pub fn shard_geometry(plan: &Plan, t: usize, outer: usize, inners: &[usize]) -> (usize, usize) {
-    let r = plan.pattern().radius();
-    let base = t * r;
-    let Tiling::Tessellate { time_block } = plan.tiling() else {
-        return (base, 0);
-    };
-    if !matches!(
-        plan.method(),
-        Method::TransposeLayout | Method::Folded { .. }
-    ) {
-        // row-independent kernels are bit-exact under any slab geometry
-        return (base, 0);
-    }
-    let round_tb = |rad: usize, steps: usize| -> usize {
-        if steps == 0 || rad == 0 {
-            return 0;
-        }
-        let mut tb = DimTiling::max_tb(outer, rad, rad, time_block);
-        for &n in inners {
-            tb = tb.min(DimTiling::max_tb(n, rad, rad, time_block));
-        }
-        tb.min(steps)
-    };
-    let reff = plan.effective_radius();
-    let mut extra = 0usize;
-    let mut min_span = 0usize;
-    for (rad, steps) in [(reff, t / plan.m()), (r, t % plan.m())] {
-        let tb = round_tb(rad, steps);
-        if tb > 0 {
-            extra = extra.max(2 * rad * tb);
-            min_span = min_span.max(2 * rad * (tb + 1));
-        }
-    }
-    (base + extra, min_span)
-}
-
-/// The slab a shard of interior `[lo, hi)` reads: the interior plus a
-/// `halo`-deep apron, the start aligned down to [`SLAB_ALIGN`], and —
-/// for slabs that do not reach the true top edge — the top padded so
-/// the processed row count `(len - 2 * r_eff)` is a multiple of
-/// [`SLAB_ALIGN`] (no mid-grid scalar remainder) and snapped to the
-/// edge when it comes within one alignment unit of it (so the full
-/// run's own top-remainder rows land in an edge slab that reproduces
-/// them exactly).
-pub fn slab_bounds(
-    lo: usize,
-    hi: usize,
-    extent: usize,
-    halo: usize,
-    r_eff: usize,
-) -> (usize, usize) {
-    let mut slab_lo = lo.saturating_sub(halo);
-    slab_lo -= slab_lo % SLAB_ALIGN;
-    let mut slab_hi = (hi + halo).min(extent);
-    if slab_hi < extent {
-        let span = slab_hi - slab_lo;
-        let want = (2 * r_eff) % SLAB_ALIGN;
-        let pad = (want + SLAB_ALIGN - span % SLAB_ALIGN) % SLAB_ALIGN;
-        slab_hi += pad;
-        if slab_hi + SLAB_ALIGN > extent {
-            slab_hi = extent;
-        }
-    }
-    (slab_lo, slab_hi)
-}
-
 /// Compile `lanes` single-thread clones of `plan`'s configuration —
 /// one per concurrent slab, so parallel slab runs never contend for a
 /// pool. The service's registry caches the returned set per plan key.
@@ -220,22 +86,6 @@ pub fn lane_plans(plan: &Plan, lanes: usize) -> Result<Vec<Plan>, PlanError> {
         .collect()
 }
 
-/// Split `extent` into `shards` contiguous interior ranges (first
-/// ranges one longer when it does not divide evenly).
-pub fn interior_ranges(extent: usize, shards: usize) -> Vec<(usize, usize)> {
-    let shards = shards.clamp(1, extent.max(1));
-    let base = extent / shards;
-    let extra = extent % shards;
-    let mut out = Vec::with_capacity(shards);
-    let mut lo = 0;
-    for i in 0..shards {
-        let len = base + usize::from(i < extra);
-        out.push((lo, lo + len));
-        lo += len;
-    }
-    out
-}
-
 /// Per-slab outcome: the interior `[lo, hi)`, the slab origin, and the
 /// slab's advanced grid.
 type SlabResult<G> = Option<Result<(usize, usize, usize, G), PlanError>>;
@@ -245,8 +95,10 @@ type SlabResult<G> = Option<Result<(usize, usize, usize, G), PlanError>>;
 ///
 /// `lanes` supplies one single-thread plan per concurrent slab (see
 /// [`lane_plans`]); the number of slabs executed is
-/// `min(requested shards, lanes.len(), ny)`. With one slab this
-/// degenerates to a plain run on `lanes[0]`.
+/// `min(requested shards, lanes.len(), ny)`, further degraded by
+/// [`effective_shards`] when the outer axis is too short to give every
+/// worker an aligned slab of its own or the tessellate minimum span
+/// binds. With one slab this degenerates to a plain run on `lanes[0]`.
 pub fn run_sharded_2d(
     lanes: &[Plan],
     grid: &Grid2D,
@@ -255,20 +107,10 @@ pub fn run_sharded_2d(
 ) -> Result<Grid2D, PlanError> {
     assert!(!lanes.is_empty(), "need at least one lane plan");
     let ny = grid.ny();
-    let mut shards = shards.clamp(1, lanes.len()).clamp(1, ny.max(1));
+    let shards = shards.clamp(1, lanes.len());
     let (halo, min_span) = shard_geometry(&lanes[0], t, ny, &[grid.nx()]);
     let r_eff = lanes[0].effective_radius();
-    // tessellate register plans additionally need every slab wide
-    // enough to run the full run's per-round time blocks — shed shards
-    // until that holds (1 shard always does: the slab is the grid)
-    while shards > 1
-        && interior_ranges(ny, shards).iter().any(|&(lo, hi)| {
-            let (slo, shi) = slab_bounds(lo, hi, ny, halo, r_eff);
-            shi - slo < min_span
-        })
-    {
-        shards -= 1;
-    }
+    let shards = effective_shards(ny, shards, halo, r_eff, min_span);
     let ranges = interior_ranges(ny, shards);
     let mut out = Grid2D::zeros(ny, grid.nx());
     let mut slots: Vec<SlabResult<Grid2D>> = (0..ranges.len()).map(|_| None).collect();
@@ -314,18 +156,11 @@ pub fn run_sharded_3d(
 ) -> Result<Grid3D, PlanError> {
     assert!(!lanes.is_empty(), "need at least one lane plan");
     let nz = grid.nz();
-    let mut shards = shards.clamp(1, lanes.len()).clamp(1, nz.max(1));
+    let shards = shards.clamp(1, lanes.len());
     let (halo, min_span) = shard_geometry(&lanes[0], t, nz, &[grid.ny(), grid.nx()]);
     let r_eff = lanes[0].effective_radius();
-    // same slab-span guard as run_sharded_2d
-    while shards > 1
-        && interior_ranges(nz, shards).iter().any(|&(lo, hi)| {
-            let (slo, shi) = slab_bounds(lo, hi, nz, halo, r_eff);
-            shi - slo < min_span
-        })
-    {
-        shards -= 1;
-    }
+    // same degradation ladder as run_sharded_2d
+    let shards = effective_shards(nz, shards, halo, r_eff, min_span);
     let ranges = interior_ranges(nz, shards);
     let mut out = Grid3D::zeros(nz, grid.ny(), grid.nx());
     let mut slots: Vec<SlabResult<Grid3D>> = (0..ranges.len()).map(|_| None).collect();
@@ -367,7 +202,7 @@ pub fn run_sharded_3d(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_core::{kernels, Tiling};
+    use stencil_core::{kernels, Method, Tiling};
 
     fn bits2d(g: &Grid2D) -> Vec<u64> {
         g.to_dense().iter().map(|v| v.to_bits()).collect()
@@ -375,13 +210,6 @@ mod tests {
 
     fn bits3d(g: &Grid3D) -> Vec<u64> {
         g.to_dense().iter().map(|v| v.to_bits()).collect()
-    }
-
-    #[test]
-    fn interior_ranges_cover_exactly() {
-        assert_eq!(interior_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
-        assert_eq!(interior_ranges(4, 8), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
-        assert_eq!(interior_ranges(5, 1), vec![(0, 5)]);
     }
 
     #[test]
@@ -395,21 +223,6 @@ mod tests {
         assert_eq!(p.shards_for(10_000, 100, 40), 1, "halo swallows the slab");
         assert!(p.shards_for(10_000, 100, 1) > 1);
         assert!(p.shards_for(10_000, 100, 1) <= 8);
-    }
-
-    #[test]
-    fn slab_bounds_align_and_pad() {
-        // aligned start, padded top keeping (span - 2 r_eff) % 8 == 0
-        let (lo, hi) = slab_bounds(30, 60, 1000, 6, 2);
-        assert_eq!(lo % SLAB_ALIGN, 0);
-        assert!(lo <= 24 && hi >= 66);
-        assert_eq!((hi - lo - 4) % SLAB_ALIGN, 0);
-        // near the top edge: snapped to it
-        let (_, hi) = slab_bounds(900, 995, 1000, 6, 2);
-        assert_eq!(hi, 1000);
-        // huge halo clips to the whole extent
-        let (lo, hi) = slab_bounds(10, 20, 64, 1000, 1);
-        assert_eq!((lo, hi), (0, 64));
     }
 
     #[test]
@@ -555,6 +368,37 @@ mod tests {
         let lanes = lane_plans(&plan, 4).unwrap();
         let got = run_sharded_3d(&lanes, &g, 6, 4).unwrap();
         assert_eq!(bits3d(&want), bits3d(&got));
+    }
+
+    #[test]
+    fn short_outer_axis_degrades_workers_not_slab_geometry() {
+        // nz < SLAB_ALIGN * workers: the aligned slab starts of
+        // neighbouring shards collapse, so each worker would re-run
+        // (almost) the whole domain for a sliver of interior. The
+        // effective shard count must degrade to one aligned slab per
+        // worker — and the stitched result must stay bit-exact.
+        let nz = 20;
+        let workers = 4;
+        assert!(nz < SLAB_ALIGN * workers);
+        assert_eq!(effective_shards(nz, workers, 2, 1, 0), nz / SLAB_ALIGN);
+        // below a single aligned slab the job is not sharded at all
+        assert_eq!(effective_shards(6, workers, 1, 1, 0), 1);
+
+        let g = Grid3D::from_fn(nz, 18, 24, |z, y, x| ((z * 7 + y * 5 + x) % 13) as f64);
+        for (method, tiling) in [
+            (Method::Folded { m: 2 }, Tiling::None),
+            (Method::MultipleLoads, Tiling::Tessellate { time_block: 2 }),
+        ] {
+            let plan = Solver::new(kernels::heat3d())
+                .method(method)
+                .tiling(tiling)
+                .compile()
+                .unwrap();
+            let want = plan.run_3d(&g, 4).unwrap();
+            let lanes = lane_plans(&plan, workers).unwrap();
+            let got = run_sharded_3d(&lanes, &g, 4, workers).unwrap();
+            assert_eq!(bits3d(&want), bits3d(&got), "{method:?}/{tiling:?}");
+        }
     }
 
     #[test]

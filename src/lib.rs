@@ -14,6 +14,12 @@
 //! * [`tune`] — the measured autotuner behind [`Tuning::Measured`]:
 //!   cost-model-seeded probe search with a persistent per-host plan
 //!   cache (call [`install_tuner`] once per process to enable it).
+//! * [`ooc`] — out-of-core domains: a file-backed [`SlabStore`] with a
+//!   crash-detectable chunked binary format, and a streaming
+//!   temporal-blocked executor ([`ooc::run_streaming`]) that marches
+//!   halo-widened z-slab windows through a bounded buffer pool with
+//!   background prefetch — bit-identical to the resident run at a
+//!   fixed memory budget.
 //! * [`serve`] — the tuning-aware job service for long-running
 //!   deployments: a warm-loadable [`PlanRegistry`], bounded submission
 //!   queue with backpressure, same-plan batching, bit-exact domain
@@ -62,6 +68,7 @@
 
 pub use stencil_core as core;
 pub use stencil_grid as grid;
+pub use stencil_ooc as ooc;
 pub use stencil_runtime as runtime;
 pub use stencil_serve as serve;
 pub use stencil_simd as simd;
@@ -71,9 +78,10 @@ pub use stencil_core::{
     Domain, FoldPlan, Method, Pattern, Plan, PlanError, Ring3, Shape, Solver, Tiling, Tuning, Width,
 };
 pub use stencil_grid::{Grid1D, Grid2D, Grid3D, PingPong};
+pub use stencil_ooc::{OocConfig, OocError, SlabStore, StoreStats, StreamReport};
 pub use stencil_runtime::{PoolHandle, ThreadPool};
 pub use stencil_serve::{
-    JobDomain, JobSpec, Manifest, NetClient, NetConfig, NetServer, PlanRegistry, ServeConfig,
-    StencilService,
+    JobDomain, JobSpec, Manifest, NetClient, NetConfig, NetServer, OocThreshold, PlanRegistry,
+    ServeConfig, StencilService,
 };
 pub use stencil_tune::{install as install_tuner, AutoTuner};

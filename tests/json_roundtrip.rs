@@ -104,6 +104,7 @@ proptest! {
             max_batch: counters[11],
             sharded_jobs: counters[12],
             shards_executed: counters[13],
+            ooc_jobs: counters[12] ^ counters[13],
             p50_us: counters[14],
             p99_us: counters[15],
             mean_us: mean,
@@ -182,6 +183,7 @@ fn serve_stats_json_schema_is_pinned() {
             "jobs_submitted",
             "max_batch",
             "mean_us",
+            "ooc_jobs",
             "p50_us",
             "p99_us",
             "plan_hit_ratio",
