@@ -276,6 +276,7 @@ impl Solver {
     /// DLT-layout extent that is ragged or smaller than the lifted
     /// radius).
     pub fn compile(&self) -> Result<Plan, PlanError> {
+        let _span = stencil_obs::span(stencil_obs::SpanId::PlanCompile);
         Plan::compile(self)
     }
 

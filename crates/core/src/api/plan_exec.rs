@@ -748,6 +748,7 @@ impl Plan {
                     pp.into_current()
                 }
                 (Method::TransposeLayout | Method::Folded { .. }, Some(k)) => {
+                    let _span = stencil_obs::span(stencil_obs::SpanId::RingSweep);
                     folded3d::sweep_3d_ring_with::<V>(k, ring, grid, p, t)
                 }
                 (method, kernel) => {
@@ -766,6 +767,7 @@ impl Plan {
                 let pool = &self.pool;
                 match (family(self.method), &self.kernel) {
                     (Family::Register, Some(k)) => {
+                        let _span = stencil_obs::span(stencil_obs::SpanId::RingSweep);
                         let reff = k.radius();
                         tessellate::run_3d_at(
                             pool,
@@ -820,6 +822,7 @@ impl Plan {
                 let tail = t % self.m;
                 if tail > 0 {
                     if let Some(tk) = &self.tail_kernel {
+                        let _span = stencil_obs::span(stencil_obs::SpanId::RingSweep);
                         let r = tk.radius();
                         tessellate::run_3d_at(
                             pool,

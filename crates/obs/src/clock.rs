@@ -1,0 +1,131 @@
+//! The injectable monotonic time source shared by the whole workspace.
+//!
+//! Every timestamp in the observability layer — and every latency the
+//! serve executor records — flows through a [`SharedClock`]: the wall
+//! clock in production, a manually-advanced [`VirtualClock`] in tests
+//! and CI smoke scenarios, so traces and decider verdicts are exactly
+//! reproducible. These types originated in `stencil-serve`'s adapt
+//! telemetry; they live here now so the span rings (which sit below
+//! the runtime) and the service share one time domain, and serve
+//! re-exports them unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source: `now` is the duration since an arbitrary
+/// (per-clock) origin. Implementations must be cheap — the service
+/// reads the clock once per submission and once per completion, and
+/// every span open/close reads it once.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: `Instant`-based, anchored lazily at first
+/// read so a freshly-built clock starts near zero.
+#[derive(Debug, Default)]
+pub struct WallClock {
+    anchor: OnceLock<Instant>,
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.anchor.get_or_init(Instant::now).elapsed()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests: time only moves
+/// when [`VirtualClock::advance`] is called, so every latency sample,
+/// every decider window, and every span timestamp is exactly
+/// reproducible.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.us.load(Ordering::Relaxed))
+    }
+}
+
+/// A cloneable handle to a [`Clock`], embeddable in configuration
+/// structs that stay `derive(Clone)` (the Debug impl hides the trait
+/// object).
+#[derive(Clone)]
+pub struct SharedClock(Arc<dyn Clock>);
+
+impl SharedClock {
+    /// Wrap any clock implementation.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self(clock)
+    }
+
+    /// The production wall clock.
+    pub fn wall() -> Self {
+        Self(Arc::new(WallClock::default()))
+    }
+
+    /// Current time since the clock's origin.
+    pub fn now(&self) -> Duration {
+        self.0.now()
+    }
+}
+
+impl Default for SharedClock {
+    fn default() -> Self {
+        Self::wall()
+    }
+}
+
+impl std::fmt::Debug for SharedClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SharedClock").field(&self.0).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let vc = Arc::new(VirtualClock::new());
+        let clock = SharedClock::new(Arc::clone(&vc) as Arc<dyn Clock>);
+        assert_eq!(clock.now(), Duration::ZERO);
+        vc.advance(Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(250));
+        vc.advance(Duration::from_millis(3));
+        assert_eq!(clock.now(), Duration::from_micros(3250));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = SharedClock::wall();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn shared_clock_debug_and_default_are_wall() {
+        let c = SharedClock::default();
+        assert!(format!("{c:?}").contains("SharedClock"));
+        assert!(c.now() < Duration::from_secs(3600));
+    }
+}

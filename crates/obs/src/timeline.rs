@@ -1,0 +1,86 @@
+//! The per-job time breakdown.
+//!
+//! A [`Timeline`] says where one serve job's wall time went, in the
+//! paper's terms: waiting in the queue, computing (data organization +
+//! arithmetic), blocked on IO (the OOC path's synchronous loads,
+//! writebacks and prefetch stalls), and IO that ran but was *hidden*
+//! under compute by the prefetch pipeline (`overlap_us` — informational,
+//! not part of the wall-time sum). The serve executor assembles one at
+//! job completion from its clock reads and the OOC stream report, so
+//! `queue_us + compute_us + io_us` equals the job's measured latency
+//! exactly.
+
+/// Where one job's wall time went, microseconds.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Timeline {
+    /// Submission → dequeue: time spent waiting in the serve queue.
+    pub queue_us: u64,
+    /// Dequeue → completion, minus blocked IO: plan execution proper.
+    pub compute_us: u64,
+    /// Time the executor was blocked on IO (synchronous OOC window
+    /// loads/writebacks, prefetch stalls, store create/materialize).
+    pub io_us: u64,
+    /// Background IO that completed while compute ran — work the
+    /// prefetch pipeline hid. Not part of [`total_us`](Self::total_us):
+    /// it overlaps `compute_us` by construction.
+    pub overlap_us: u64,
+}
+
+impl Timeline {
+    /// The wall-time components summed: `queue + compute + io`. By
+    /// construction this equals the job's measured latency.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.compute_us + self.io_us
+    }
+
+    /// Merge another timeline in (component-wise sum) — used when
+    /// aggregating per-plan totals on the stats surface.
+    pub fn accumulate(&mut self, other: &Timeline) {
+        self.queue_us += other.queue_us;
+        self.compute_us += other.compute_us;
+        self.io_us += other.io_us;
+        self.overlap_us += other.overlap_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_excludes_overlap() {
+        let t = Timeline {
+            queue_us: 10,
+            compute_us: 500,
+            io_us: 40,
+            overlap_us: 300,
+        };
+        assert_eq!(t.total_us(), 550);
+    }
+
+    #[test]
+    fn accumulate_is_componentwise() {
+        let mut a = Timeline {
+            queue_us: 1,
+            compute_us: 2,
+            io_us: 3,
+            overlap_us: 4,
+        };
+        a.accumulate(&Timeline {
+            queue_us: 10,
+            compute_us: 20,
+            io_us: 30,
+            overlap_us: 40,
+        });
+        assert_eq!(
+            a,
+            Timeline {
+                queue_us: 11,
+                compute_us: 22,
+                io_us: 33,
+                overlap_us: 44,
+            }
+        );
+        assert_eq!(Timeline::default().total_us(), 0);
+    }
+}

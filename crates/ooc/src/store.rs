@@ -65,6 +65,11 @@ pub struct StoreStats {
     pub prefetch_miss: u64,
     /// Microseconds the sweep spent stalled on IO.
     pub stall_us: u64,
+    /// Microseconds spent inside window reads/writes (wall time of the
+    /// transfer + codec, on whichever thread issued them). Under
+    /// prefetch this exceeds `stall_us` — the difference is IO the
+    /// pipeline hid under compute.
+    pub io_us: u64,
 }
 
 #[derive(Default)]
@@ -74,6 +79,7 @@ struct StatsCell {
     prefetch_hit: AtomicU64,
     prefetch_miss: AtomicU64,
     stall_us: AtomicU64,
+    io_us: AtomicU64,
 }
 
 /// A 3D grid backed by a file instead of resident memory.
@@ -118,9 +124,11 @@ impl SlabStore {
         store.file.set_len(HEADER_LEN + 2 * store.surface_bytes())?;
         store.write_header(false)?;
         let written = store.stats.bytes_written.load(Ordering::Relaxed);
+        let io = store.stats.io_us.load(Ordering::Relaxed);
         store.write_planes(0, 0, grid, 0, grid.nz())?;
         // seeding the store is not streaming traffic
         store.stats.bytes_written.store(written, Ordering::Relaxed);
+        store.stats.io_us.store(io, Ordering::Relaxed);
         store.file.sync_data()?;
         Ok(store)
     }
@@ -245,6 +253,7 @@ impl SlabStore {
             (z1 - z0, self.ny, self.nx),
             "window grid shape mismatch"
         );
+        let t0 = std::time::Instant::now();
         let pb = self.plane_file_bytes();
         scratch.clear();
         scratch.resize((z1 - z0) * pb, 0);
@@ -258,6 +267,7 @@ impl SlabStore {
         self.stats
             .bytes_read
             .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+        self.note_io(t0.elapsed());
         Ok(())
     }
 
@@ -277,6 +287,7 @@ impl SlabStore {
         );
         assert!(z_global + (z_hi - z_lo) <= self.nz, "write past the domain");
         assert_eq!((grid.ny(), grid.nx()), (self.ny, self.nx), "shape mismatch");
+        let t0 = std::time::Instant::now();
         let pb = self.plane_file_bytes();
         let mut buf = vec![0u8; (z_hi - z_lo) * pb];
         for z in z_lo..z_hi {
@@ -290,6 +301,7 @@ impl SlabStore {
         self.stats
             .bytes_written
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.note_io(t0.elapsed());
         Ok(())
     }
 
@@ -318,10 +330,12 @@ impl SlabStore {
     pub fn to_grid(&self) -> Result<Grid3D, OocError> {
         let mut g = Grid3D::zeros(self.nz, self.ny, self.nx);
         let read = self.stats.bytes_read.load(Ordering::Relaxed);
+        let io = self.stats.io_us.load(Ordering::Relaxed);
         let mut scratch = Vec::new();
         self.read_window(self.surface(), 0, self.nz, &mut g, &mut scratch)?;
         // materialization is not streaming traffic
         self.stats.bytes_read.store(read, Ordering::Relaxed);
+        self.stats.io_us.store(io, Ordering::Relaxed);
         Ok(g)
     }
 
@@ -333,6 +347,7 @@ impl SlabStore {
             prefetch_hit: self.stats.prefetch_hit.load(Ordering::Relaxed),
             prefetch_miss: self.stats.prefetch_miss.load(Ordering::Relaxed),
             stall_us: self.stats.stall_us.load(Ordering::Relaxed),
+            io_us: self.stats.io_us.load(Ordering::Relaxed),
         }
     }
 
@@ -347,6 +362,11 @@ impl SlabStore {
 
     pub(crate) fn note_stall(&self, us: u64) {
         self.stats.stall_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn note_io(&self, d: std::time::Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.stats.io_us.fetch_add(us, Ordering::Relaxed);
     }
 }
 

@@ -92,6 +92,15 @@ pub struct StreamReport {
     /// Peak resident window bytes the executor accounted for —
     /// guaranteed `<=` the configured budget.
     pub resident_bytes: usize,
+    /// Microseconds the sweep thread was *blocked* on IO during this
+    /// run: all of it in synchronous mode, only the prefetch stalls
+    /// (plus store spill/materialize when run via
+    /// [`run_streaming_grid`]) when prefetching.
+    pub io_blocked_us: u64,
+    /// Microseconds of IO the prefetch pipeline ran in the background
+    /// while compute proceeded — data movement hidden under arithmetic.
+    /// Zero in synchronous mode.
+    pub io_overlap_us: u64,
     /// Store IO counters accumulated over the run.
     pub stats: StoreStats,
 }
@@ -315,6 +324,7 @@ pub fn run_streaming(
     debug_assert!(report.resident_bytes <= cfg.budget_bytes);
 
     let mut pool = WindowPool::new(2, plan.pool().threads());
+    let stats0 = store.stats();
     let mut remaining = t;
     while remaining > 0 {
         let s_pass = s.min(remaining);
@@ -333,6 +343,18 @@ pub fn run_streaming(
         remaining -= s_pass;
     }
     report.stats = store.stats();
+    // Split this run's IO time (stores are reusable, so deltas) into
+    // sweep-blocking vs. hidden-under-compute. Synchronously, every IO
+    // microsecond blocked the sweep; under prefetch only the stalls did,
+    // and the rest ran concurrently with compute.
+    let io_delta = report.stats.io_us.saturating_sub(stats0.io_us);
+    let stall_delta = report.stats.stall_us.saturating_sub(stats0.stall_us);
+    if cfg.prefetch {
+        report.io_blocked_us = stall_delta;
+        report.io_overlap_us = io_delta.saturating_sub(stall_delta);
+    } else {
+        report.io_blocked_us = io_delta;
+    }
     Ok(report)
 }
 
@@ -348,10 +370,19 @@ fn run_pass_sync(
     let mut scratch = Vec::new();
     for &(lo, hi, slo, shi) in &geom.windows {
         let mut win = pool.acquire(shi - slo, ny, nx);
-        store.read_window(src, slo, shi, &mut win, &mut scratch)?;
-        let out = plan.run_3d_at(&win, s, slo)?;
+        {
+            let _span = stencil_obs::span(stencil_obs::SpanId::OocLoad);
+            store.read_window(src, slo, shi, &mut win, &mut scratch)?;
+        }
+        let out = {
+            let _span = stencil_obs::span(stencil_obs::SpanId::OocCompute);
+            plan.run_3d_at(&win, s, slo)?
+        };
         pool.release(win);
-        store.write_planes(1 - src, lo, &out, lo - slo, hi - slo)?;
+        {
+            let _span = stencil_obs::span(stencil_obs::SpanId::OocWriteback);
+            store.write_planes(1 - src, lo, &out, lo - slo, hi - slo)?;
+        }
         pool.release(out);
     }
     Ok(())
@@ -373,36 +404,43 @@ fn run_pass_prefetch(
         // the IO thread borrows the store (positioned reads/writes, no
         // shared cursor) and exits when the request channel closes —
         // the scope guarantees it is joined before this function
-        // returns, so no thread or buffer can leak
+        // returns, so no thread or buffer can leak. Its spans carry the
+        // sweep thread's job tag so traces group the background IO with
+        // the job it serves.
+        let job = stencil_obs::current_job();
         scope.spawn(move || {
-            let mut scratch = Vec::new();
-            for req in req_rx {
-                let done = match req {
-                    IoReq::Load {
-                        idx,
-                        surface,
-                        z0,
-                        z1,
-                        mut buf,
-                    } => {
-                        let res = store.read_window(surface, z0, z1, &mut buf, &mut scratch);
-                        IoDone::Loaded { idx, buf, res }
+            stencil_obs::with_job(job, || {
+                let mut scratch = Vec::new();
+                for req in req_rx {
+                    let done = match req {
+                        IoReq::Load {
+                            idx,
+                            surface,
+                            z0,
+                            z1,
+                            mut buf,
+                        } => {
+                            let _span = stencil_obs::span(stencil_obs::SpanId::OocPrefetch);
+                            let res = store.read_window(surface, z0, z1, &mut buf, &mut scratch);
+                            IoDone::Loaded { idx, buf, res }
+                        }
+                        IoReq::Store {
+                            surface,
+                            z_global,
+                            grid,
+                            z_lo,
+                            z_hi,
+                        } => {
+                            let _span = stencil_obs::span(stencil_obs::SpanId::OocWriteback);
+                            let res = store.write_planes(surface, z_global, &grid, z_lo, z_hi);
+                            IoDone::Stored { buf: grid, res }
+                        }
+                    };
+                    if done_tx.send(done).is_err() {
+                        break;
                     }
-                    IoReq::Store {
-                        surface,
-                        z_global,
-                        grid,
-                        z_lo,
-                        z_hi,
-                    } => {
-                        let res = store.write_planes(surface, z_global, &grid, z_lo, z_hi);
-                        IoDone::Stored { buf: grid, res }
-                    }
-                };
-                if done_tx.send(done).is_err() {
-                    break;
                 }
-            }
+            })
         });
 
         let issue_load = |pool: &mut WindowPool, tx: &mpsc::Sender<IoReq>, idx: usize| {
@@ -426,6 +464,7 @@ fn run_pass_prefetch(
             // prefetch hit, anything else is a miss timed as a stall
             let mut win = None;
             let mut blocked = false;
+            let wait_span = stencil_obs::span(stencil_obs::SpanId::OocLoad);
             let wait_start = Instant::now();
             while win.is_none() {
                 let done = match done_rx.try_recv() {
@@ -454,12 +493,18 @@ fn run_pass_prefetch(
             store.note_prefetch(!blocked);
             if blocked {
                 store.note_stall(wait_start.elapsed().as_micros() as u64);
+                drop(wait_span); // record the stall as a load span
+            } else {
+                wait_span.cancel(); // hit: nothing blocked, no span
             }
             let win = win.expect("loaded above");
             if k + 1 < windows.len() {
                 issue_load(&mut *pool, &req_tx, k + 1);
             }
-            let out = plan.run_3d_at(&win, s, slo)?;
+            let out = {
+                let _span = stencil_obs::span(stencil_obs::SpanId::OocCompute);
+                plan.run_3d_at(&win, s, slo)?
+            };
             pool.release(win);
             req_tx
                 .send(IoReq::Store {
@@ -514,9 +559,22 @@ pub fn run_streaming_grid(
 ) -> Result<(Grid3D, StreamReport), OocError> {
     let path = temp_store_path();
     let result = (|| {
-        let store = SlabStore::create(&path, grid, plan.pattern().radius())?;
-        let report = run_streaming(plan, &store, t, cfg)?;
-        Ok((store.to_grid()?, report))
+        let spill = Instant::now();
+        let store = {
+            let _span = stencil_obs::span(stencil_obs::SpanId::OocWriteback);
+            SlabStore::create(&path, grid, plan.pattern().radius())?
+        };
+        let spill_us = spill.elapsed().as_micros() as u64;
+        let mut report = run_streaming(plan, &store, t, cfg)?;
+        let gather = Instant::now();
+        let out = {
+            let _span = stencil_obs::span(stencil_obs::SpanId::OocLoad);
+            store.to_grid()?
+        };
+        // spilling in and materializing out block the caller regardless
+        // of prefetch mode: count them as blocked IO on the report
+        report.io_blocked_us += spill_us + gather.elapsed().as_micros() as u64;
+        Ok((out, report))
     })();
     let _ = std::fs::remove_file(&path);
     result

@@ -151,6 +151,7 @@ impl ThreadPool {
                 }
             }
             let _guard = InlineGuard(&self.shared);
+            let _span = stencil_obs::span(stencil_obs::SpanId::WorkerJob);
             with_active_pool(id, || f(0));
             return;
         }
@@ -202,6 +203,7 @@ impl ThreadPool {
         }
         let _guard = JobGuard(&self.shared);
         // Participate as worker 0.
+        let _span = stencil_obs::span(stencil_obs::SpanId::WorkerJob);
         with_active_pool(id, || f(0));
     }
 }
@@ -360,6 +362,7 @@ fn worker_loop(shared: &Shared, id: usize) {
         // by its JobGuard. AssertUnwindSafe is justified because the
         // caller observes the panic before `run` returns.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = stencil_obs::span(stencil_obs::SpanId::WorkerJob);
             with_active_pool(shared as *const Shared as *const (), || job(id))
         }));
         let mut st = shared.state.lock();

@@ -201,9 +201,13 @@ mod tests {
 
     fn heat_traffic(stats: &ServeStats, key: &str, n: usize, epoch: u64) {
         for _ in 0..n {
-            stats
-                .traffic
-                .record(key, Duration::from_micros(80), epoch, || vec![48, 48]);
+            stats.traffic.record(
+                key,
+                Duration::from_micros(80),
+                epoch,
+                stencil_obs::Timeline::default(),
+                || vec![48, 48],
+            );
         }
     }
 

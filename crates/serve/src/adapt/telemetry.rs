@@ -14,92 +14,14 @@ use crate::metrics::LatencyHistogram;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 use stencil_runtime::sync::Mutex;
 
-/// A monotonic time source: `now` is the duration since an arbitrary
-/// (per-clock) origin. Implementations must be cheap — the service
-/// reads the clock once per submission and once per completion.
-pub trait Clock: Send + Sync + std::fmt::Debug {
-    /// Time elapsed since this clock's origin.
-    fn now(&self) -> Duration;
-}
-
-/// The production clock: `Instant`-based, anchored lazily at first
-/// read so a freshly-built clock starts near zero.
-#[derive(Debug, Default)]
-pub struct WallClock {
-    anchor: OnceLock<Instant>,
-}
-
-impl Clock for WallClock {
-    fn now(&self) -> Duration {
-        self.anchor.get_or_init(Instant::now).elapsed()
-    }
-}
-
-/// A manually-advanced clock for deterministic tests: time only moves
-/// when [`VirtualClock::advance`] is called, so every latency sample
-/// and every decider window is exactly reproducible.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    us: AtomicU64,
-}
-
-impl VirtualClock {
-    /// A virtual clock at time zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Move time forward by `d`.
-    pub fn advance(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.us.fetch_add(us, Ordering::Relaxed);
-    }
-}
-
-impl Clock for VirtualClock {
-    fn now(&self) -> Duration {
-        Duration::from_micros(self.us.load(Ordering::Relaxed))
-    }
-}
-
-/// A cloneable handle to a [`Clock`], embeddable in `ServeConfig`
-/// (which stays `derive(Clone)`; the Debug impl hides the trait
-/// object).
-#[derive(Clone)]
-pub struct SharedClock(Arc<dyn Clock>);
-
-impl SharedClock {
-    /// Wrap any clock implementation.
-    pub fn new(clock: Arc<dyn Clock>) -> Self {
-        Self(clock)
-    }
-
-    /// The production wall clock.
-    pub fn wall() -> Self {
-        Self(Arc::new(WallClock::default()))
-    }
-
-    /// Current time since the clock's origin.
-    pub fn now(&self) -> Duration {
-        self.0.now()
-    }
-}
-
-impl Default for SharedClock {
-    fn default() -> Self {
-        Self::wall()
-    }
-}
-
-impl std::fmt::Debug for SharedClock {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("SharedClock").field(&self.0).finish()
-    }
-}
+// The clock family moved down to `stencil-obs` so span rings and the
+// service share one time domain; re-exported here so every existing
+// `serve::adapt::telemetry::{Clock, SharedClock, ...}` path still works.
+pub use stencil_obs::{Clock, SharedClock, VirtualClock, WallClock};
 
 /// Live latency telemetry for one registry key (one plan generation at
 /// a time serves it; the epoch gauge says which).
@@ -119,6 +41,13 @@ pub struct PlanTraffic {
     /// challenger probe's domain hint (keys already bucket by shape
     /// class, so any member of the class is representative).
     hint: Vec<usize>,
+    /// Accumulated per-job timeline components (queue / compute /
+    /// blocked IO / overlapped IO), microseconds — the stats surface's
+    /// per-key time breakdown.
+    queue_us: AtomicU64,
+    compute_us: AtomicU64,
+    io_us: AtomicU64,
+    overlap_us: AtomicU64,
 }
 
 impl PlanTraffic {
@@ -128,6 +57,10 @@ impl PlanTraffic {
             window: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             hint,
+            queue_us: AtomicU64::new(0),
+            compute_us: AtomicU64::new(0),
+            io_us: AtomicU64::new(0),
+            overlap_us: AtomicU64::new(0),
         }
     }
 
@@ -151,6 +84,17 @@ impl PlanTraffic {
     pub fn hint(&self) -> &[usize] {
         &self.hint
     }
+
+    /// Accumulated timeline components of every job recorded under
+    /// this key.
+    pub fn timeline_totals(&self) -> stencil_obs::Timeline {
+        stencil_obs::Timeline {
+            queue_us: self.queue_us.load(Ordering::Relaxed),
+            compute_us: self.compute_us.load(Ordering::Relaxed),
+            io_us: self.io_us.load(Ordering::Relaxed),
+            overlap_us: self.overlap_us.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Per-registry-key traffic telemetry, shared between the executor
@@ -170,14 +114,16 @@ impl fmt::Debug for TrafficMap {
 
 impl TrafficMap {
     /// Record one completed job under `key`: bumps the key's histogram
-    /// and hot-key window, and stamps the serving plan's epoch. The
-    /// entry is created on first touch with `hint()`'s extents as the
-    /// challenger probe hint.
+    /// and hot-key window, accumulates the job's timeline breakdown,
+    /// and stamps the serving plan's epoch. The entry is created on
+    /// first touch with `hint()`'s extents as the challenger probe
+    /// hint.
     pub fn record(
         &self,
         key: &str,
         latency: Duration,
         epoch: u64,
+        timeline: stencil_obs::Timeline,
         hint: impl FnOnce() -> Vec<usize>,
     ) {
         let entry = {
@@ -194,6 +140,16 @@ impl TrafficMap {
         entry.latency.record(latency);
         entry.window.fetch_add(1, Ordering::Relaxed);
         entry.epoch.store(epoch, Ordering::Relaxed);
+        entry
+            .queue_us
+            .fetch_add(timeline.queue_us, Ordering::Relaxed);
+        entry
+            .compute_us
+            .fetch_add(timeline.compute_us, Ordering::Relaxed);
+        entry.io_us.fetch_add(timeline.io_us, Ordering::Relaxed);
+        entry
+            .overlap_us
+            .fetch_add(timeline.overlap_us, Ordering::Relaxed);
     }
 
     /// The traffic entry for `key`, if any job ever completed under it.
@@ -248,10 +204,22 @@ mod tests {
     #[test]
     fn traffic_windows_accumulate_and_reset() {
         let t = TrafficMap::default();
+        let tl = stencil_obs::Timeline {
+            queue_us: 2,
+            compute_us: 7,
+            io_us: 1,
+            overlap_us: 3,
+        };
         for i in 0..5 {
-            t.record("k", Duration::from_micros(10 + i), 0, || vec![64, 64]);
+            t.record("k", Duration::from_micros(10 + i), 0, tl, || vec![64, 64]);
         }
-        t.record("other", Duration::from_micros(9), 2, || vec![32]);
+        t.record(
+            "other",
+            Duration::from_micros(9),
+            2,
+            stencil_obs::Timeline::default(),
+            || vec![32],
+        );
         assert_eq!(t.hot(5).len(), 1);
         let (key, traffic) = &t.hot(5)[0];
         assert_eq!(key, "k");
@@ -265,5 +233,16 @@ mod tests {
         // tracks the latest sample's generation
         assert_eq!(t.get("k").unwrap().latency.count(), 5);
         assert_eq!(t.get("other").unwrap().epoch(), 2);
+        // timeline components accumulate per sample
+        let totals = t.get("k").unwrap().timeline_totals();
+        assert_eq!(
+            (
+                totals.queue_us,
+                totals.compute_us,
+                totals.io_us,
+                totals.overlap_us
+            ),
+            (10, 35, 5, 15)
+        );
     }
 }

@@ -96,3 +96,4 @@ pub use service::{
     JobDomain, JobResult, JobSpec, JobTicket, OocThreshold, ServeConfig, ServeError, StencilService,
 };
 pub use shard::ShardPolicy;
+pub use stencil_obs::Timeline;

@@ -97,6 +97,21 @@ impl LatencyHistogram {
             self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
+
+    /// Sum of all recorded samples, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the per-bucket counts (bucket `i` holds
+    /// samples with `floor(log2(us)) == i`, i.e. upper bound
+    /// `2^(i+1) - 1` µs) — the Prometheus `_bucket` series source.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 /// Per-tenant admission counters, maintained by the network front end
@@ -152,6 +167,16 @@ pub struct ServeStats {
     /// Jobs routed through the out-of-core streaming executor
     /// (oversized 3D domains above the configured threshold).
     pub ooc_jobs: AtomicU64,
+    /// Payload bytes OOC jobs read from their slab stores.
+    pub ooc_bytes_read: AtomicU64,
+    /// Payload bytes OOC jobs wrote to their slab stores.
+    pub ooc_bytes_written: AtomicU64,
+    /// OOC window loads already resident when the sweep asked.
+    pub ooc_prefetch_hits: AtomicU64,
+    /// OOC window loads the sweep had to wait for.
+    pub ooc_prefetch_misses: AtomicU64,
+    /// Microseconds OOC sweeps spent stalled on IO.
+    pub ooc_stall_us: AtomicU64,
     /// End-to-end job latency (submit to completion, queue wait
     /// included).
     pub latency: LatencyHistogram,
@@ -204,6 +229,18 @@ impl ServeStats {
         f(map.entry(tenant.to_string()).or_default());
     }
 
+    /// Fold one OOC run's store counters into the service-wide OOC IO
+    /// surface (each serve-routed OOC job streams through its own
+    /// transient store, so the per-run counters accumulate here).
+    pub fn record_ooc(&self, s: &stencil_ooc::StoreStats) {
+        let ld = Ordering::Relaxed;
+        self.ooc_bytes_read.fetch_add(s.bytes_read, ld);
+        self.ooc_bytes_written.fetch_add(s.bytes_written, ld);
+        self.ooc_prefetch_hits.fetch_add(s.prefetch_hit, ld);
+        self.ooc_prefetch_misses.fetch_add(s.prefetch_miss, ld);
+        self.ooc_stall_us.fetch_add(s.stall_us, ld);
+    }
+
     /// Record a drained batch of `n` same-plan jobs.
     pub fn record_batch(&self, n: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -226,6 +263,7 @@ impl ServeStats {
             .entries()
             .into_iter()
             .map(|(key, t)| {
+                let tl = t.timeline_totals();
                 (
                     key,
                     PlanTelemetry {
@@ -233,6 +271,10 @@ impl ServeStats {
                         p50_us: t.latency.quantile_us(0.50),
                         p99_us: t.latency.quantile_us(0.99),
                         epoch: t.epoch(),
+                        queue_us: tl.queue_us,
+                        compute_us: tl.compute_us,
+                        io_us: tl.io_us,
+                        overlap_us: tl.overlap_us,
                     },
                 )
             })
@@ -255,6 +297,11 @@ impl ServeStats {
             sharded_jobs: self.sharded_jobs.load(ld),
             shards_executed: self.shards_executed.load(ld),
             ooc_jobs: self.ooc_jobs.load(ld),
+            ooc_bytes_read: self.ooc_bytes_read.load(ld),
+            ooc_bytes_written: self.ooc_bytes_written.load(ld),
+            ooc_prefetch_hits: self.ooc_prefetch_hits.load(ld),
+            ooc_prefetch_misses: self.ooc_prefetch_misses.load(ld),
+            ooc_stall_us: self.ooc_stall_us.load(ld),
             swaps: self.swaps.load(ld),
             challenges: self.challenges.load(ld),
             challenges_rejected: self.challenges_rejected.load(ld),
@@ -268,6 +315,380 @@ impl ServeStats {
             tenants,
             plans,
         }
+    }
+
+    /// Render the full stats surface in the Prometheus text exposition
+    /// format (version 0.0.4): every counter as a `_total` series, the
+    /// gauges, the end-to-end latency histogram as native cumulative
+    /// `_bucket` series (log2 upper bounds, matching
+    /// [`LatencyHistogram`]'s buckets), per-tenant admission counters
+    /// and per-plan latency/timeline series with escaped label values.
+    /// Served by the net front end at `/metrics?format=prometheus`; the
+    /// pinned JSON document at `/metrics` is untouched.
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let ld = Ordering::Relaxed;
+        let mut out = String::with_capacity(4096);
+        let metric = |out: &mut String, name: &str, kind: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {}", fmt_num(v));
+        };
+        metric(
+            &mut out,
+            "stencil_jobs_submitted_total",
+            "counter",
+            "Jobs accepted into the queue.",
+            self.jobs_submitted.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_jobs_rejected_total",
+            "counter",
+            "Jobs refused by backpressure.",
+            self.jobs_rejected.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_jobs_completed_total",
+            "counter",
+            "Jobs completed successfully.",
+            self.jobs_completed.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_jobs_failed_total",
+            "counter",
+            "Jobs that failed at execution.",
+            self.jobs_failed.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_queue_depth",
+            "gauge",
+            "Current submission queue depth.",
+            self.queue_depth.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_plan_hits_total",
+            "counter",
+            "Registry lookups resolved by an already-compiled plan.",
+            self.plan_hits.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_plan_misses_total",
+            "counter",
+            "Registry lookups that had to compile.",
+            self.plan_misses.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_warm_loaded_total",
+            "counter",
+            "Plans compiled during manifest warm-up.",
+            self.warm_loaded.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_cold_fallbacks_total",
+            "counter",
+            "Compiles that fell back to the static cost model.",
+            self.cold_fallbacks.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_cold_recoveries_total",
+            "counter",
+            "Cold keys upgraded to their measured plan at runtime.",
+            self.cold_recoveries.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_batches_total",
+            "counter",
+            "Same-plan batches drained from the queue.",
+            self.batches.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_batched_jobs_total",
+            "counter",
+            "Jobs that rode in a batch of two or more.",
+            self.batched_jobs.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_max_batch",
+            "gauge",
+            "Largest batch drained so far.",
+            self.max_batch.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_sharded_jobs_total",
+            "counter",
+            "Jobs executed through the domain sharder.",
+            self.sharded_jobs.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_shards_executed_total",
+            "counter",
+            "Sub-domain slabs executed in total.",
+            self.shards_executed.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_jobs_total",
+            "counter",
+            "Jobs routed through the out-of-core streaming executor.",
+            self.ooc_jobs.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_bytes_read_total",
+            "counter",
+            "Payload bytes OOC jobs read from their slab stores.",
+            self.ooc_bytes_read.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_bytes_written_total",
+            "counter",
+            "Payload bytes OOC jobs wrote to their slab stores.",
+            self.ooc_bytes_written.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_prefetch_hits_total",
+            "counter",
+            "OOC window loads already resident when the sweep asked.",
+            self.ooc_prefetch_hits.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_prefetch_misses_total",
+            "counter",
+            "OOC window loads the sweep had to wait for.",
+            self.ooc_prefetch_misses.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_stall_microseconds_total",
+            "counter",
+            "Microseconds OOC sweeps spent stalled on IO.",
+            self.ooc_stall_us.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_swaps_total",
+            "counter",
+            "Registry entries hot-swapped by the retuning decider.",
+            self.swaps.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_challenges_total",
+            "counter",
+            "Challenger sessions the decider started.",
+            self.challenges.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_challenges_rejected_total",
+            "counter",
+            "Challenges that did not end in a swap.",
+            self.challenges_rejected.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_tuner_probes_total",
+            "counter",
+            "Probe sweeps the installed measured tuner has run.",
+            stencil_tune::installed_auto()
+                .map(|t| t.probe_count())
+                .unwrap_or(0) as f64,
+        );
+
+        render_histogram(
+            &mut out,
+            "stencil_job_latency_microseconds",
+            "End-to-end job latency (submit to completion).",
+            &self.latency,
+        );
+
+        let tenants = self.tenants.lock().clone();
+        for (name, kind, help, get) in [
+            (
+                "stencil_tenant_submitted_total",
+                "counter",
+                "Jobs this tenant got accepted into the queue.",
+                (|t: &TenantCounters| t.submitted) as fn(&TenantCounters) -> u64,
+            ),
+            (
+                "stencil_tenant_rejected_total",
+                "counter",
+                "Submissions refused (quota or queue backpressure).",
+                |t: &TenantCounters| t.rejected,
+            ),
+            (
+                "stencil_tenant_completed_total",
+                "counter",
+                "Jobs completed for this tenant.",
+                |t: &TenantCounters| t.completed,
+            ),
+        ] {
+            if tenants.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (tenant, row) in &tenants {
+                let _ = writeln!(
+                    out,
+                    "{name}{{tenant=\"{}\"}} {}",
+                    escape_label(tenant),
+                    get(row)
+                );
+            }
+        }
+
+        let plans = self.traffic.entries();
+        for (name, kind, help, get) in [
+            (
+                "stencil_plan_samples_total",
+                "counter",
+                "Latency samples recorded under the registry key.",
+                (|t: &PlanTelemetry| t.samples) as fn(&PlanTelemetry) -> u64,
+            ),
+            (
+                "stencil_plan_latency_p50_microseconds",
+                "gauge",
+                "Median latency under the registry key.",
+                |t: &PlanTelemetry| t.p50_us,
+            ),
+            (
+                "stencil_plan_latency_p99_microseconds",
+                "gauge",
+                "99th-percentile latency under the registry key.",
+                |t: &PlanTelemetry| t.p99_us,
+            ),
+            (
+                "stencil_plan_epoch",
+                "gauge",
+                "Plan generation serving the key (bumps on hot-swap).",
+                |t: &PlanTelemetry| t.epoch,
+            ),
+            (
+                "stencil_plan_queue_microseconds_total",
+                "counter",
+                "Total time the key's jobs waited in the queue.",
+                |t: &PlanTelemetry| t.queue_us,
+            ),
+            (
+                "stencil_plan_compute_microseconds_total",
+                "counter",
+                "Total time the key's jobs spent computing.",
+                |t: &PlanTelemetry| t.compute_us,
+            ),
+            (
+                "stencil_plan_io_microseconds_total",
+                "counter",
+                "Total time the key's jobs were blocked on IO.",
+                |t: &PlanTelemetry| t.io_us,
+            ),
+            (
+                "stencil_plan_overlap_microseconds_total",
+                "counter",
+                "Total IO hidden under the key's compute.",
+                |t: &PlanTelemetry| t.overlap_us,
+            ),
+        ] {
+            if plans.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (key, t) in &plans {
+                let tl = t.timeline_totals();
+                let row = PlanTelemetry {
+                    samples: t.latency.count(),
+                    p50_us: t.latency.quantile_us(0.50),
+                    p99_us: t.latency.quantile_us(0.99),
+                    epoch: t.epoch(),
+                    queue_us: tl.queue_us,
+                    compute_us: tl.compute_us,
+                    io_us: tl.io_us,
+                    overlap_us: tl.overlap_us,
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}{{plan=\"{}\"}} {}",
+                    escape_label(key),
+                    get(&row)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Render one [`LatencyHistogram`] as native Prometheus histogram
+/// series: cumulative `_bucket{le="..."}` rows at the log2 upper
+/// bounds, the mandatory `+Inf` bucket, `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &LatencyHistogram) {
+    use std::fmt::Write as _;
+    let counts = h.bucket_counts();
+    let total: u64 = counts.iter().sum();
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        // the final bucket's log2 upper bound exceeds u64: that is the
+        // +Inf bucket below
+        if i + 1 < BUCKETS {
+            // only emit buckets up to the last non-empty one (plus
+            // +Inf): 64 series per scrape is noise when traffic spans
+            // three decades
+            if c == 0 && cum == total {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cum}",
+                1u128 << (i + 1) as u32
+            );
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum_us());
+    let _ = writeln!(out, "{name}_count {total}");
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a metric value: integers without a fraction, else shortest
+/// float (the exposition format accepts both).
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -286,6 +707,14 @@ pub struct PlanTelemetry {
     /// Epoch of the plan generation that served the latest sample —
     /// bumps by one on every retuning hot-swap.
     pub epoch: u64,
+    /// Total microseconds this key's jobs spent waiting in the queue.
+    pub queue_us: u64,
+    /// Total microseconds this key's jobs spent computing.
+    pub compute_us: u64,
+    /// Total microseconds this key's jobs were blocked on IO.
+    pub io_us: u64,
+    /// Total microseconds of IO hidden under this key's compute.
+    pub overlap_us: u64,
 }
 
 /// Plain-data copy of [`ServeStats`] at a point in time.
@@ -323,6 +752,16 @@ pub struct StatsSnapshot {
     pub shards_executed: u64,
     /// Jobs routed through the out-of-core streaming executor.
     pub ooc_jobs: u64,
+    /// Payload bytes OOC jobs read from their slab stores.
+    pub ooc_bytes_read: u64,
+    /// Payload bytes OOC jobs wrote to their slab stores.
+    pub ooc_bytes_written: u64,
+    /// OOC window loads already resident when the sweep asked.
+    pub ooc_prefetch_hits: u64,
+    /// OOC window loads the sweep had to wait for.
+    pub ooc_prefetch_misses: u64,
+    /// Microseconds OOC sweeps spent stalled on IO.
+    pub ooc_stall_us: u64,
     /// Registry entries hot-swapped by the retuning decider.
     pub swaps: u64,
     /// Challenger sessions started.
@@ -384,6 +823,11 @@ impl StatsSnapshot {
         num("sharded_jobs", self.sharded_jobs as f64);
         num("shards_executed", self.shards_executed as f64);
         num("ooc_jobs", self.ooc_jobs as f64);
+        num("ooc_bytes_read", self.ooc_bytes_read as f64);
+        num("ooc_bytes_written", self.ooc_bytes_written as f64);
+        num("ooc_prefetch_hits", self.ooc_prefetch_hits as f64);
+        num("ooc_prefetch_misses", self.ooc_prefetch_misses as f64);
+        num("ooc_stall_us", self.ooc_stall_us as f64);
         num("swaps", self.swaps as f64);
         num("challenges", self.challenges as f64);
         num("challenges_rejected", self.challenges_rejected as f64);
@@ -416,6 +860,10 @@ impl StatsSnapshot {
                 row.insert("p50_us".to_string(), Value::Num(t.p50_us as f64));
                 row.insert("p99_us".to_string(), Value::Num(t.p99_us as f64));
                 row.insert("epoch".to_string(), Value::Num(t.epoch as f64));
+                row.insert("queue_us".to_string(), Value::Num(t.queue_us as f64));
+                row.insert("compute_us".to_string(), Value::Num(t.compute_us as f64));
+                row.insert("io_us".to_string(), Value::Num(t.io_us as f64));
+                row.insert("overlap_us".to_string(), Value::Num(t.overlap_us as f64));
                 (key.clone(), Value::Obj(row))
             })
             .collect();
@@ -452,6 +900,11 @@ impl StatsSnapshot {
             sharded_jobs: u("sharded_jobs")?,
             shards_executed: u("shards_executed")?,
             ooc_jobs: u("ooc_jobs")?,
+            ooc_bytes_read: u("ooc_bytes_read")?,
+            ooc_bytes_written: u("ooc_bytes_written")?,
+            ooc_prefetch_hits: u("ooc_prefetch_hits")?,
+            ooc_prefetch_misses: u("ooc_prefetch_misses")?,
+            ooc_stall_us: u("ooc_stall_us")?,
             swaps: u("swaps")?,
             challenges: u("challenges")?,
             challenges_rejected: u("challenges_rejected")?,
@@ -504,6 +957,10 @@ impl StatsSnapshot {
                                 p50_us: c("p50_us")?,
                                 p99_us: c("p99_us")?,
                                 epoch: c("epoch")?,
+                                queue_us: c("queue_us")?,
+                                compute_us: c("compute_us")?,
+                                io_us: c("io_us")?,
+                                overlap_us: c("overlap_us")?,
                             },
                         ))
                     })
@@ -552,10 +1009,25 @@ mod tests {
         s.swaps.store(1, Ordering::Relaxed);
         s.challenges.store(3, Ordering::Relaxed);
         s.challenges_rejected.store(2, Ordering::Relaxed);
+        s.ooc_jobs.store(1, Ordering::Relaxed);
+        s.record_ooc(&stencil_ooc::StoreStats {
+            bytes_read: 4096,
+            bytes_written: 2048,
+            prefetch_hit: 3,
+            prefetch_miss: 1,
+            stall_us: 77,
+            io_us: 130,
+        });
         s.traffic.record(
             "sig|small|static|pooled",
             Duration::from_micros(120),
             4,
+            stencil_obs::Timeline {
+                queue_us: 5,
+                compute_us: 100,
+                io_us: 15,
+                overlap_us: 8,
+            },
             || vec![64, 64],
         );
         let snap = s.snapshot();
@@ -574,6 +1046,13 @@ mod tests {
         assert_eq!(plan.samples, 1);
         assert_eq!(plan.epoch, 4);
         assert!(plan.p50_us >= 120);
+        assert_eq!((plan.queue_us, plan.compute_us), (5, 100));
+        assert_eq!((plan.io_us, plan.overlap_us), (15, 8));
+        assert_eq!(back.ooc_bytes_read, 4096);
+        assert_eq!(back.ooc_bytes_written, 2048);
+        assert_eq!(back.ooc_prefetch_hits, 3);
+        assert_eq!(back.ooc_prefetch_misses, 1);
+        assert_eq!(back.ooc_stall_us, 77);
     }
 
     #[test]
@@ -602,8 +1081,13 @@ mod tests {
             m.remove("plans");
         }
         assert!(StatsSnapshot::from_json(&no_plans).is_none());
-        s.traffic
-            .record("k", Duration::from_micros(10), 0, Vec::new);
+        s.traffic.record(
+            "k",
+            Duration::from_micros(10),
+            0,
+            stencil_obs::Timeline::default(),
+            Vec::new,
+        );
         let mut bad_plan = s.snapshot().to_json();
         if let Value::Obj(m) = &mut bad_plan {
             if let Some(Value::Obj(rows)) = m.get_mut("plans") {
@@ -631,6 +1115,96 @@ mod tests {
         assert!(corrupt("jobs_submitted", -3.0).is_none());
         assert!(corrupt("p99_us", 2.5).is_none());
         assert!(corrupt("batches", 1e300).is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_matches_golden() {
+        let s = ServeStats::new();
+        s.jobs_submitted.store(5, Ordering::Relaxed);
+        s.jobs_completed.store(4, Ordering::Relaxed);
+        s.jobs_failed.store(1, Ordering::Relaxed);
+        s.queue_depth.store(2, Ordering::Relaxed);
+        s.latency.record(Duration::from_micros(300));
+        s.latency.record(Duration::from_micros(5000));
+        s.tenant_update("ac\"me", |t| t.submitted = 3);
+        s.traffic.record(
+            "heat3d|large|static|pooled",
+            Duration::from_micros(120),
+            2,
+            stencil_obs::Timeline {
+                queue_us: 1,
+                compute_us: 2,
+                io_us: 3,
+                overlap_us: 4,
+            },
+            || vec![8, 8, 8],
+        );
+        let text = s.prometheus();
+
+        // counters and gauges render as single-value series
+        assert!(text.contains("# TYPE stencil_jobs_submitted_total counter\n"));
+        assert!(text.contains("\nstencil_jobs_submitted_total 5\n"));
+        assert!(text.contains("\nstencil_jobs_completed_total 4\n"));
+        assert!(text.contains("\nstencil_jobs_failed_total 1\n"));
+        assert!(text.contains("# TYPE stencil_queue_depth gauge\n"));
+        assert!(text.contains("\nstencil_queue_depth 2\n"));
+
+        // the latency histogram block, exactly: cumulative log2
+        // buckets, +Inf, sum, count (300us -> le=512, 5000us -> le=8192;
+        // trailing empty buckets are elided)
+        let golden = "\
+# HELP stencil_job_latency_microseconds End-to-end job latency (submit to completion).
+# TYPE stencil_job_latency_microseconds histogram
+stencil_job_latency_microseconds_bucket{le=\"2\"} 0
+stencil_job_latency_microseconds_bucket{le=\"4\"} 0
+stencil_job_latency_microseconds_bucket{le=\"8\"} 0
+stencil_job_latency_microseconds_bucket{le=\"16\"} 0
+stencil_job_latency_microseconds_bucket{le=\"32\"} 0
+stencil_job_latency_microseconds_bucket{le=\"64\"} 0
+stencil_job_latency_microseconds_bucket{le=\"128\"} 0
+stencil_job_latency_microseconds_bucket{le=\"256\"} 0
+stencil_job_latency_microseconds_bucket{le=\"512\"} 1
+stencil_job_latency_microseconds_bucket{le=\"1024\"} 1
+stencil_job_latency_microseconds_bucket{le=\"2048\"} 1
+stencil_job_latency_microseconds_bucket{le=\"4096\"} 1
+stencil_job_latency_microseconds_bucket{le=\"8192\"} 2
+stencil_job_latency_microseconds_bucket{le=\"+Inf\"} 2
+stencil_job_latency_microseconds_sum 5300
+stencil_job_latency_microseconds_count 2
+";
+        assert!(text.contains(golden), "histogram block drifted:\n{text}");
+
+        // label values are escaped; per-tenant and per-plan series
+        // carry their labels
+        assert!(text.contains("stencil_tenant_submitted_total{tenant=\"ac\\\"me\"} 3\n"));
+        assert!(
+            text.contains("stencil_plan_samples_total{plan=\"heat3d|large|static|pooled\"} 1\n")
+        );
+        assert!(text.contains("stencil_plan_epoch{plan=\"heat3d|large|static|pooled\"} 2\n"));
+        assert!(text.contains(
+            "stencil_plan_queue_microseconds_total{plan=\"heat3d|large|static|pooled\"} 1\n"
+        ));
+        assert!(text.contains(
+            "stencil_plan_io_microseconds_total{plan=\"heat3d|large|static|pooled\"} 3\n"
+        ));
+        assert!(text.contains(
+            "stencil_plan_overlap_microseconds_total{plan=\"heat3d|large|static|pooled\"} 4\n"
+        ));
+
+        // exposition hygiene: every non-comment line is `name[{labels}] value`
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if !line.starts_with('#') {
+                assert!(line.starts_with("stencil_"), "bad series line: {line}");
+                assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok());
+            }
+        }
+        // a fresh service with no tenants or plans renders no labeled
+        // series at all (and no dangling HELP/TYPE headers)
+        let empty = ServeStats::new().prometheus();
+        assert!(!empty.contains("stencil_tenant_"));
+        assert!(!empty.contains("stencil_plan_samples_total"));
+        assert!(empty.contains("stencil_job_latency_microseconds_bucket{le=\"+Inf\"} 0\n"));
     }
 
     #[test]

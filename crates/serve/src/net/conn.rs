@@ -116,8 +116,11 @@ impl Conn {
     /// Decode the next complete frame out of the read buffer.
     /// `Ok(None)` = need more bytes.
     pub fn next_frame(&mut self, max_frame: usize) -> Result<Option<Frame>, WireError> {
+        let span = stencil_obs::span(stencil_obs::SpanId::NetDecode);
         match wire::decode(&self.rbuf, max_frame)? {
             None => {
+                // no complete frame: nothing was decoded, no span
+                span.cancel();
                 if self.dead && !self.rbuf.is_empty() {
                     // stream ended mid-frame: surface it as the typed
                     // truncation error (once), then discard
@@ -152,6 +155,7 @@ impl Conn {
 
     /// Stage one frame for sending.
     pub fn send(&mut self, frame: &Frame) {
+        let _span = stencil_obs::span(stencil_obs::SpanId::NetEncode);
         wire::encode(frame, &mut self.wbuf);
     }
 

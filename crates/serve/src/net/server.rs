@@ -608,30 +608,88 @@ fn flatten(domain: &JobDomain) -> (Vec<usize>, Vec<f64>) {
     }
 }
 
-/// Answer an HTTP scrape: `/healthz` liveness, `/metrics` the full
-/// [`StatsSnapshot`] JSON. Anything else is 404.
+const JSON_CT: &str = "application/json";
+const PROM_CT: &str = "text/plain; version=0.0.4";
+
+/// Answer an HTTP scrape: `/healthz` liveness plus host identity,
+/// `/metrics` the pinned [`StatsSnapshot`](crate::StatsSnapshot) JSON
+/// (`?format=prometheus` selects the text exposition instead), and
+/// `/trace` the span rings as Chrome trace-event JSON (`?ms=N` keeps
+/// only the last `N` milliseconds). Anything else is 404.
 fn http_response_for(service: &StencilService, open_conns: u64, req: &[u8]) -> Vec<u8> {
     let line = req.split(|&b| b == b'\r').next().unwrap_or(b"");
     let mut parts = line.split(|&b| b == b' ');
     let method = parts.next().unwrap_or(b"");
-    let path = parts.next().unwrap_or(b"");
+    let target = parts.next().unwrap_or(b"");
     if method != b"GET" && method != b"HEAD" {
-        return http_response(405, "Method Not Allowed", "{\"error\": \"GET only\"}\n");
+        return http_response(
+            405,
+            "Method Not Allowed",
+            JSON_CT,
+            "{\"error\": \"GET only\"}\n",
+        );
     }
+    let mut it = target.splitn(2, |&b| b == b'?');
+    let path = it.next().unwrap_or(b"");
+    let query = it.next().unwrap_or(b"");
     match path {
-        b"/healthz" => http_response(
-            200,
-            "OK",
-            &format!("{{\"status\": \"ok\", \"conns\": {open_conns}}}\n"),
-        ),
-        b"/metrics" => http_response(200, "OK", &service.stats().to_json().pretty()),
-        _ => http_response(404, "Not Found", "{\"error\": \"not found\"}\n"),
+        b"/healthz" => {
+            let host = stencil_tune::host::HostFingerprint::detect();
+            http_response(
+                200,
+                "OK",
+                JSON_CT,
+                &format!(
+                    "{{\"status\": \"ok\", \"conns\": {open_conns}, \
+                     \"hostname\": \"{}\", \"isa\": \"{}\", \"threads\": {}, \
+                     \"started_unix\": {}}}\n",
+                    json_escape(&host.hostname),
+                    json_escape(&host.isa),
+                    host.threads,
+                    service.started_unix(),
+                ),
+            )
+        }
+        b"/metrics" if query_param(query, "format").as_deref() == Some("prometheus") => {
+            // stats() refreshes the queue-depth gauge the exposition
+            // reads; the snapshot itself is discarded
+            let _ = service.stats();
+            http_response(200, "OK", PROM_CT, &service.stats_handle().prometheus())
+        }
+        b"/metrics" => http_response(200, "OK", JSON_CT, &service.stats().to_json().pretty()),
+        b"/trace" => {
+            let window = query_param(query, "ms").and_then(|v| v.parse().ok());
+            http_response(
+                200,
+                "OK",
+                JSON_CT,
+                &stencil_obs::TraceSink::chrome_json(window),
+            )
+        }
+        _ => http_response(404, "Not Found", JSON_CT, "{\"error\": \"not found\"}\n"),
     }
 }
 
-fn http_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+/// The raw value of `name` in an `a=1&b=2` query string, if present.
+fn query_param(query: &[u8], name: &str) -> Option<String> {
+    query.split(|&b| b == b'&').find_map(|kv| {
+        let mut it = kv.splitn(2, |&b| b == b'=');
+        if it.next()? == name.as_bytes() {
+            Some(String::from_utf8_lossy(it.next().unwrap_or(b"")).into_owned())
+        } else {
+            None
+        }
+    })
+}
+
+/// Minimal JSON string escaping for host-derived values.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn http_response(status: u16, reason: &str, ctype: &str, body: &str) -> Vec<u8> {
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )

@@ -32,7 +32,7 @@ use crate::queue::{Bounded, PushError};
 use crate::registry::{PlanRegistry, PlanShape, WarmReport};
 use crate::shard::{self, ShardPolicy};
 use crate::Manifest;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use stencil_core::{Pattern, Plan, PlanError, Tuning};
@@ -112,6 +112,10 @@ pub struct JobResult {
     /// resolved before a swap finishes on (and reports) the old
     /// generation.
     pub epoch: u64,
+    /// Where the latency went: queue wait, compute, blocked IO and
+    /// (informationally) IO overlapped with compute. The first three
+    /// sum to `latency` exactly.
+    pub timeline: stencil_obs::Timeline,
 }
 
 /// Why a job was refused or failed.
@@ -351,6 +355,9 @@ impl JobTicket {
 }
 
 struct Job {
+    /// Service-unique job id — the span correlation tag all of this
+    /// job's trace events carry.
+    id: u64,
     key: String,
     plan: Arc<Plan>,
     /// Slabs this job will execute as (1 = unsharded), decided at
@@ -361,6 +368,10 @@ struct Job {
     ticket: TicketHandle,
     /// Submission time on the service clock (virtual in tests).
     submitted: Duration,
+    /// Submission time on the obs clock (0 when tracing is disabled) —
+    /// the queue-wait span's start, stamped on the submitting thread
+    /// and closed on the executing one.
+    enqueued_obs_us: u64,
 }
 
 struct Inner {
@@ -369,6 +380,10 @@ struct Inner {
     queue: Bounded<Job>,
     stats: Arc<ServeStats>,
     closing: AtomicBool,
+    next_job_id: AtomicU64,
+    /// Unix seconds when the service started (the `/healthz` uptime
+    /// anchor).
+    started_unix: u64,
 }
 
 /// The tuning-aware stencil job service (see the crate docs for the
@@ -399,6 +414,11 @@ impl StencilService {
             queue: Bounded::new(cfg.queue_capacity),
             stats,
             closing: AtomicBool::new(false),
+            next_job_id: AtomicU64::new(1),
+            started_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
             cfg,
         });
         let workers = (0..inner.cfg.workers.max(1))
@@ -505,6 +525,12 @@ impl StencilService {
         (self.inner.queue.len(), self.inner.queue.capacity())
     }
 
+    /// Unix seconds when this service started (the `/healthz` uptime
+    /// anchor).
+    pub fn started_unix(&self) -> u64 {
+        self.inner.started_unix
+    }
+
     /// Submit a job, blocking while the queue is full (closed-loop
     /// backpressure). Plan resolution happens here, so an invalid
     /// pattern/configuration fails synchronously with a typed error.
@@ -573,6 +599,7 @@ impl StencilService {
         let (key, plan, shards) = self.resolve(&spec)?;
         let ticket = TicketCell::new();
         let job = Job {
+            id: inner.next_job_id.fetch_add(1, Ordering::Relaxed),
             key,
             plan,
             shards,
@@ -580,6 +607,11 @@ impl StencilService {
             steps: spec.steps,
             ticket: TicketHandle(Arc::clone(&ticket)),
             submitted: inner.cfg.clock.now(),
+            enqueued_obs_us: if stencil_obs::enabled() {
+                stencil_obs::now_us()
+            } else {
+                0
+            },
         };
         let pushed = if block {
             inner.queue.push(job)
@@ -653,6 +685,7 @@ fn worker_loop(inner: &Inner) {
             .store(inner.queue.len() as u64, Ordering::Relaxed);
         inner.stats.record_batch(batch.len());
         let batched = batch.len() > 1;
+        let _drain = stencil_obs::span(stencil_obs::SpanId::BatchDrain);
         for job in batch {
             // a panicking job (the pool re-raises worker-job panics on
             // this thread) must not kill the executor: the unwinding
@@ -673,9 +706,38 @@ fn worker_loop(inner: &Inner) {
 }
 
 fn execute(inner: &Inner, job: Job, batched: bool) {
-    let outcome = run_job(inner, &job);
+    // queue wait ends now, at dequeue: measured on the service clock
+    // for the timeline, and recorded as a span from the obs-clock
+    // stamp the submitting thread left on the job
+    let dequeued = inner.cfg.clock.now();
+    let queue_us = dequeued.saturating_sub(job.submitted).as_micros() as u64;
+    if job.enqueued_obs_us != 0 {
+        stencil_obs::record_for_job(
+            stencil_obs::SpanId::QueueWait,
+            job.id,
+            job.enqueued_obs_us,
+            stencil_obs::now_us(),
+        );
+    }
+    let outcome = stencil_obs::with_job(job.id, || run_job(inner, &job));
     let latency = inner.cfg.clock.now().saturating_sub(job.submitted);
+    let latency_us = latency.as_micros() as u64;
     let epoch = job.plan.epoch();
+    let io = match &outcome {
+        Ok((_, _, io)) => *io,
+        Err(_) => ExecIo::default(),
+    };
+    // compute is the remainder, so queue + compute + io == latency
+    // exactly (overlap is informational and deliberately outside the
+    // sum — it is time IO ran *under* compute, not in addition to it)
+    let timeline = stencil_obs::Timeline {
+        queue_us,
+        compute_us: latency_us
+            .saturating_sub(queue_us)
+            .saturating_sub(io.blocked_us),
+        io_us: io.blocked_us,
+        overlap_us: io.overlap_us,
+    };
     inner.stats.latency.record(latency);
     // per-plan telemetry: the retuning decider's hot-key input. The
     // extents closure only runs when this key's first job creates the
@@ -683,9 +745,9 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
     inner
         .stats
         .traffic
-        .record(&job.key, latency, epoch, || job.domain.extents());
+        .record(&job.key, latency, epoch, timeline, || job.domain.extents());
     match outcome {
-        Ok((output, shards)) => {
+        Ok((output, shards, _)) => {
             inner.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
             if shards > 1 {
                 inner.stats.sharded_jobs.fetch_add(1, Ordering::Relaxed);
@@ -700,6 +762,7 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
                 batched,
                 latency,
                 epoch,
+                timeline,
             }));
         }
         Err(e) => {
@@ -709,18 +772,29 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
     }
 }
 
-fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize), ServeError> {
+/// Storage-time accounting of one executed job — zero for resident
+/// jobs, the streaming report's split for out-of-core ones.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecIo {
+    /// Microseconds the job sat blocked on storage.
+    blocked_us: u64,
+    /// Microseconds of IO hidden under compute (prefetch overlap).
+    overlap_us: u64,
+}
+
+fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize, ExecIo), ServeError> {
     let plan = &job.plan;
     let shards = job.shards;
+    let resident = ExecIo::default();
     match &job.domain {
-        JobDomain::D1(g) => Ok((JobDomain::D1(plan.run_1d(g, job.steps)?), 1)),
+        JobDomain::D1(g) => Ok((JobDomain::D1(plan.run_1d(g, job.steps)?), 1, resident)),
         JobDomain::D2(g) => {
             if shards > 1 {
                 let lanes = inner.registry.lane_plans(&job.key, plan, shards)?;
                 let out = shard::run_sharded_2d(&lanes, g, job.steps, shards)?;
-                Ok((JobDomain::D2(out), shards))
+                Ok((JobDomain::D2(out), shards, resident))
             } else {
-                Ok((JobDomain::D2(plan.run_2d(g, job.steps)?), 1))
+                Ok((JobDomain::D2(plan.run_2d(g, job.steps)?), 1, resident))
             }
         }
         JobDomain::D3(g) => {
@@ -735,17 +809,25 @@ fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize), ServeError> {
                         steps_per_pass: th.steps_per_pass,
                         prefetch: th.prefetch,
                     };
-                    let (out, _report) = stencil_ooc::run_streaming_grid(plan, g, job.steps, &cfg)?;
+                    let (out, report) = stencil_ooc::run_streaming_grid(plan, g, job.steps, &cfg)?;
                     inner.stats.ooc_jobs.fetch_add(1, Ordering::Relaxed);
-                    return Ok((JobDomain::D3(out), 1));
+                    inner.stats.record_ooc(&report.stats);
+                    return Ok((
+                        JobDomain::D3(out),
+                        1,
+                        ExecIo {
+                            blocked_us: report.io_blocked_us,
+                            overlap_us: report.io_overlap_us,
+                        },
+                    ));
                 }
             }
             if shards > 1 {
                 let lanes = inner.registry.lane_plans(&job.key, plan, shards)?;
                 let out = shard::run_sharded_3d(&lanes, g, job.steps, shards)?;
-                Ok((JobDomain::D3(out), shards))
+                Ok((JobDomain::D3(out), shards, resident))
             } else {
-                Ok((JobDomain::D3(plan.run_3d(g, job.steps)?), 1))
+                Ok((JobDomain::D3(plan.run_3d(g, job.steps)?), 1, resident))
             }
         }
     }
@@ -1022,6 +1104,55 @@ mod tests {
         // only the oversized job streamed; the small one stayed resident
         assert_eq!(stats.ooc_jobs, 1, "{stats:?}");
         assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn job_timelines_account_for_the_full_latency() {
+        // the timeline decomposition is exact by construction — queue +
+        // compute + blocked IO == end-to-end latency — and an
+        // ooc-routed job must actually populate the IO components
+        let mut cfg = small_cfg();
+        cfg.shard = ShardPolicy {
+            min_points: 1,
+            max_shards: 2,
+            min_slab: 4,
+        };
+        cfg.ooc = Some(OocThreshold {
+            max_resident_points: 8192, // the job is 16384 points
+            budget_bytes: 32 * Grid3D::zeros(1, 16, 16).stride_z() * 8 * 5,
+            ..OocThreshold::default()
+        });
+        let svc = StencilService::start(cfg);
+        let big = Grid3D::from_fn(64, 16, 16, |z, y, x| ((z * 5 + y * 3 + x) % 17) as f64);
+        let r = svc
+            .submit(JobSpec::new(kernels::heat3d(), JobDomain::D3(big), 4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let latency_us = r.latency.as_micros() as u64;
+        let total = r.timeline.total_us();
+        // ±5% (plus 1 µs of truncation headroom) — in practice exact
+        assert!(
+            total.abs_diff(latency_us) <= latency_us / 20 + 1,
+            "timeline {:?} does not account for latency {latency_us} µs",
+            r.timeline
+        );
+        // streaming through the file store always pays some blocked IO
+        // (the spill into the store and the gather back are never free)
+        assert!(r.timeline.io_us > 0, "{:?}", r.timeline);
+        let stats = svc.shutdown();
+        assert_eq!(stats.ooc_jobs, 1);
+        assert!(stats.ooc_bytes_read > 0 && stats.ooc_bytes_written > 0);
+        // the per-plan aggregate carries the same breakdown
+        let (_, row) = stats
+            .plans
+            .iter()
+            .find(|(_, t)| t.samples == 1)
+            .expect("the job's plan key has traffic");
+        assert_eq!(row.queue_us, r.timeline.queue_us);
+        assert_eq!(row.compute_us, r.timeline.compute_us);
+        assert_eq!(row.io_us, r.timeline.io_us);
+        assert_eq!(row.overlap_us, r.timeline.overlap_us);
     }
 
     #[test]

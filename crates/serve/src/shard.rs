@@ -124,19 +124,23 @@ pub fn run_sharded_2d(
         lane.run_2d_at(&slab, t, slab_lo)
             .map(|done| (lo, hi, slab_lo, done))
     };
-    std::thread::scope(|scope| {
-        let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
-        // the coordinator runs the last slab itself instead of idling
-        // at the scope barrier: one fewer spawn, no oversubscription
-        let inline = work.next_back();
-        for ((slot, &(lo, hi)), lane) in work {
-            let run_slab = &run_slab;
-            scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
-        }
-        if let Some(((slot, &(lo, hi)), lane)) = inline {
-            *slot = Some(run_slab(lo, hi, lane));
-        }
-    });
+    {
+        let _fanout = stencil_obs::span(stencil_obs::SpanId::ShardFanout);
+        std::thread::scope(|scope| {
+            let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
+            // the coordinator runs the last slab itself instead of idling
+            // at the scope barrier: one fewer spawn, no oversubscription
+            let inline = work.next_back();
+            for ((slot, &(lo, hi)), lane) in work {
+                let run_slab = &run_slab;
+                scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
+            }
+            if let Some(((slot, &(lo, hi)), lane)) = inline {
+                *slot = Some(run_slab(lo, hi, lane));
+            }
+        });
+    }
+    let _join = stencil_obs::span(stencil_obs::SpanId::ShardJoin);
     for slot in slots {
         let (lo, hi, slab_lo, done) = slot.expect("every slab thread writes its slot")?;
         for y in lo..hi {
@@ -176,18 +180,22 @@ pub fn run_sharded_3d(
         lane.run_3d_at(&slab, t, slab_lo)
             .map(|done| (lo, hi, slab_lo, done))
     };
-    std::thread::scope(|scope| {
-        let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
-        // coordinator runs the last slab inline (see run_sharded_2d)
-        let inline = work.next_back();
-        for ((slot, &(lo, hi)), lane) in work {
-            let run_slab = &run_slab;
-            scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
-        }
-        if let Some(((slot, &(lo, hi)), lane)) = inline {
-            *slot = Some(run_slab(lo, hi, lane));
-        }
-    });
+    {
+        let _fanout = stencil_obs::span(stencil_obs::SpanId::ShardFanout);
+        std::thread::scope(|scope| {
+            let mut work = slots.iter_mut().zip(&ranges).zip(lanes);
+            // coordinator runs the last slab inline (see run_sharded_2d)
+            let inline = work.next_back();
+            for ((slot, &(lo, hi)), lane) in work {
+                let run_slab = &run_slab;
+                scope.spawn(move || *slot = Some(run_slab(lo, hi, lane)));
+            }
+            if let Some(((slot, &(lo, hi)), lane)) = inline {
+                *slot = Some(run_slab(lo, hi, lane));
+            }
+        });
+    }
+    let _join = stencil_obs::span(stencil_obs::SpanId::ShardJoin);
     for slot in slots {
         let (lo, hi, slab_lo, done) = slot.expect("every slab thread writes its slot")?;
         for z in lo..hi {

@@ -100,6 +100,24 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
 /// Fixed-length array strategies (`prop::array::uniform4` & co).
 pub mod array {
     use super::{Strategy, TestRng};

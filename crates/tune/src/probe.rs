@@ -173,6 +173,7 @@ pub fn run(
 
     let sweep = |plan: &Plan, steps: usize| -> Option<f64> {
         probe_counter.fetch_add(1, Ordering::Relaxed);
+        let _span = stencil_obs::span(stencil_obs::SpanId::TuneProbe);
         let t = Instant::now();
         domain.run(plan, steps).ok()?;
         Some(points * steps as f64 / t.elapsed().as_secs_f64().max(1e-9))

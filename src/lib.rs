@@ -8,7 +8,7 @@
 //!
 //! * [`simd`] — vector backends, in-register transpose, assembled vectors.
 //! * [`grid`] — aligned grids, ping-pong pairs, layout transforms.
-//! * [`runtime`] — thread pool and parallel-for (no external deps).
+//! * [`runtime`] — thread pool and parallel-for.
 //! * [`core`] — patterns, folding matrices, counterpart planning,
 //!   executors, tiling, and the high-level [`Solver`]/[`Plan`] facade.
 //! * [`tune`] — the measured autotuner behind [`Tuning::Measured`]:
@@ -20,6 +20,11 @@
 //!   halo-widened z-slab windows through a bounded buffer pool with
 //!   background prefetch — bit-identical to the resident run at a
 //!   fixed memory budget.
+//! * [`obs`] — the tracing and measurement substrate: lock-free
+//!   per-worker span rings with a static stage vocabulary, per-job
+//!   [`Timeline`](obs::Timeline) breakdowns, Chrome trace-event export
+//!   ([`obs::TraceSink`], Perfetto-loadable), and the injectable
+//!   monotonic clock every subsystem timestamps against.
 //! * [`serve`] — the tuning-aware job service for long-running
 //!   deployments: a warm-loadable [`PlanRegistry`], bounded submission
 //!   queue with backpressure, same-plan batching, bit-exact domain
@@ -68,6 +73,7 @@
 
 pub use stencil_core as core;
 pub use stencil_grid as grid;
+pub use stencil_obs as obs;
 pub use stencil_ooc as ooc;
 pub use stencil_runtime as runtime;
 pub use stencil_serve as serve;

@@ -105,6 +105,11 @@ proptest! {
             sharded_jobs: counters[12],
             shards_executed: counters[13],
             ooc_jobs: counters[12] ^ counters[13],
+            ooc_bytes_read: counters[14] ^ counters[0],
+            ooc_bytes_written: counters[15] ^ counters[1],
+            ooc_prefetch_hits: counters[16] ^ counters[2],
+            ooc_prefetch_misses: counters[17] ^ counters[3],
+            ooc_stall_us: counters[18] ^ counters[4],
             p50_us: counters[14],
             p99_us: counters[15],
             mean_us: mean,
@@ -132,6 +137,10 @@ proptest! {
                     p50_us: plan_counters[1],
                     p99_us: plan_counters[2],
                     epoch: plan_counters[3],
+                    queue_us: plan_counters[0] ^ plan_counters[1],
+                    compute_us: plan_counters[1] ^ plan_counters[2],
+                    io_us: plan_counters[2] ^ plan_counters[3],
+                    overlap_us: plan_counters[3] ^ plan_counters[0],
                 },
             )]),
         };
@@ -183,7 +192,12 @@ fn serve_stats_json_schema_is_pinned() {
             "jobs_submitted",
             "max_batch",
             "mean_us",
+            "ooc_bytes_read",
+            "ooc_bytes_written",
             "ooc_jobs",
+            "ooc_prefetch_hits",
+            "ooc_prefetch_misses",
+            "ooc_stall_us",
             "p50_us",
             "p99_us",
             "plan_hit_ratio",
@@ -215,5 +229,17 @@ fn serve_stats_json_schema_is_pinned() {
         panic!("plan telemetry rows must be objects")
     };
     let row_keys: Vec<&str> = row.keys().map(String::as_str).collect();
-    assert_eq!(row_keys, ["epoch", "p50_us", "p99_us", "samples"]);
+    assert_eq!(
+        row_keys,
+        [
+            "compute_us",
+            "epoch",
+            "io_us",
+            "overlap_us",
+            "p50_us",
+            "p99_us",
+            "queue_us",
+            "samples",
+        ]
+    );
 }

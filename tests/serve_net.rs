@@ -601,6 +601,22 @@ fn http_scrape_surface_serves_healthz_and_metrics() {
     assert_eq!(code, 200);
     let doc = json::parse(&body).unwrap();
     assert_eq!(doc.get("status").and_then(json::Value::as_str), Some("ok"));
+    // host identity and uptime anchor ride the liveness document
+    assert!(doc
+        .get("hostname")
+        .and_then(json::Value::as_str)
+        .is_some_and(|h| !h.is_empty()));
+    assert!(doc
+        .get("isa")
+        .and_then(json::Value::as_str)
+        .is_some_and(|i| i.contains("-w")));
+    assert!(doc.get("threads").and_then(json::Value::as_num).unwrap() >= 1.0);
+    assert!(
+        doc.get("started_unix")
+            .and_then(json::Value::as_num)
+            .unwrap()
+            > 0.0
+    );
 
     // /metrics is the full stats document, parseable by the pinned
     // schema, with the tenant counters inside
@@ -610,6 +626,21 @@ fn http_scrape_surface_serves_healthz_and_metrics() {
         .expect("metrics document matches the StatsSnapshot schema");
     assert!(snap.jobs_completed >= 1);
     assert_eq!(snap.tenants["scrape"].completed, 1);
+
+    // ?format=prometheus switches the same endpoint to the text
+    // exposition, without disturbing the pinned JSON above
+    let (code, text) = http_get(server.addr(), "/metrics?format=prometheus").unwrap();
+    assert_eq!(code, 200);
+    assert!(text.contains("# TYPE stencil_jobs_completed_total counter"));
+    assert!(text.contains("stencil_job_latency_microseconds_bucket"));
+    assert!(text.contains("tenant=\"scrape\""));
+
+    // /trace serves a Chrome trace-event document (empty but
+    // well-formed while tracing is disabled)
+    let (code, trace) = http_get(server.addr(), "/trace?ms=60000").unwrap();
+    assert_eq!(code, 200);
+    let doc = json::parse(&trace).unwrap();
+    assert!(doc.get("traceEvents").is_some());
 
     let (code, _) = http_get(server.addr(), "/nope").unwrap();
     assert_eq!(code, 404);
