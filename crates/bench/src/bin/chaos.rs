@@ -1,0 +1,257 @@
+//! `stencil-bench chaos`: seeded fault-injection smoke for the
+//! fault-tolerance layer, plus the production-cost guard.
+//!
+//! Three phases, all with **fixed seeds** so a CI failure replays
+//! exactly:
+//!
+//! 1. **Storage chaos** — an out-of-core streaming job runs with every
+//!    store failpoint (`ooc_read`, `ooc_write`, `ooc_fsync`,
+//!    `ooc_prefetch`) armed at seeded probabilities; the result must be
+//!    bit-identical to the resident run and every injected fault must
+//!    cross the retry (or sync-fallback) path.
+//! 2. **Wire chaos** — a live `NetServer` serves jobs while the server
+//!    reads one byte per syscall (`net_short_read`) and dequeues stall
+//!    (`queue_stall`); results stay bit-exact, and a deadline-carrying
+//!    job is shed with the typed frame instead of hanging its client.
+//! 3. **Overhead guard** — with every failpoint disarmed, the recovery
+//!    machinery (failpoint checks, retry wrappers, deadline checks)
+//!    must cost **< 5%** wall-clock against a build-identical run with
+//!    the fault gate closed, measured as best-of floors.
+//!
+//! `--smoke` shrinks sizes for CI; `--json` dumps the measured floors.
+
+use std::time::Duration;
+
+use stencil_bench::measure::best_of;
+use stencil_bench::{Args, Table};
+use stencil_core::{kernels, Method, Solver};
+use stencil_faults::{self as faults, Failpoint};
+use stencil_grid::{Grid2D, Grid3D};
+use stencil_ooc::{run_streaming_grid, OocConfig};
+use stencil_serve::net::{NetClient, NetConfig, NetError, NetServer, SubmitHeader};
+use stencil_serve::{ServeConfig, StencilService};
+
+fn bits3(g: &Grid3D) -> Vec<u64> {
+    g.to_dense().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let (nz, steps, wire_jobs, reps) = if args.quick {
+        (48, 4, 3, 5)
+    } else {
+        (96, 8, 6, 9)
+    };
+
+    println!(
+        "stencil-bench chaos — seeded failpoints against storage + wire ({})",
+        stencil_simd::backend_summary()
+    );
+    faults::disarm_all();
+    faults::set_enabled(false);
+
+    // ---- phase 1: storage chaos, bit-exact under injected faults ----
+    let plan = Solver::new(kernels::heat3d())
+        .method(Method::Folded { m: 2 })
+        .compile()
+        .expect("streamable plan");
+    let grid = Grid3D::from_fn(nz, 16, 16, |z, y, x| {
+        ((z * 37 + y * 11 + x * 5) % 23) as f64 * 0.25 - 2.0
+    });
+    let plane = Grid3D::zeros(1, 16, 16).stride_z() * 8;
+    let want = bits3(&plan.run_3d(&grid, steps).expect("resident reference"));
+    for (fp, p, seed, prefetch) in [
+        (Failpoint::OocRead, 0.2, 0xBEEF_0001_u64, false),
+        (Failpoint::OocWrite, 0.2, 0xBEEF_0002, false),
+        // sync points are rare (a few per pass), so the fsync site
+        // needs a higher probability to fire in the smoke sizes —
+        // still far below the 4-retry budget's failure threshold
+        (Failpoint::OocFsync, 0.45, 0xBEEF_0003, false),
+        (Failpoint::OocPrefetch, 1.0, 0xBEEF_0004, true),
+    ] {
+        let residency = if prefetch {
+            stencil_ooc::RESIDENT_WINDOWS_PREFETCH
+        } else {
+            stencil_ooc::RESIDENT_WINDOWS_SYNC
+        };
+        let cfg = OocConfig {
+            budget_bytes: 28 * plane * residency,
+            steps_per_pass: 0,
+            prefetch,
+        };
+        faults::disarm_all();
+        faults::arm_probability(fp, p, seed);
+        faults::set_enabled(true);
+        let (got, report) = run_streaming_grid(&plan, &grid, steps, &cfg)
+            .unwrap_or_else(|e| panic!("{}: chaos run must be absorbed: {e}", fp.name()));
+        assert_eq!(want, bits3(&got), "{}: bits diverged", fp.name());
+        let fired = faults::fired(fp);
+        assert!(fired > 0, "{}: failpoint never fired", fp.name());
+        println!(
+            "  {:<13} p={p:<4} seed={seed:#x}: {} faults absorbed, {} retries, bits exact",
+            fp.name(),
+            fired,
+            report.stats.io_retries
+        );
+        faults::disarm_all();
+        faults::set_enabled(false);
+    }
+
+    // ---- phase 2: wire chaos — fragmentation, stalls, deadlines ----
+    faults::arm_probability(Failpoint::NetShortRead, 1.0, 0xBEEF_0005);
+    faults::arm_probability(Failpoint::QueueStall, 0.5, 0xBEEF_0006);
+    faults::set_enabled(true);
+    // one worker, so the deadline phase below can queue a doomed job
+    // behind a long blocker deterministically
+    let service = StencilService::start(ServeConfig {
+        threads: 2,
+        workers: 1,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    });
+    let server = NetServer::start(service, NetConfig::default()).expect("bind ephemeral port");
+    let g2 = Grid2D::from_fn(48, 48, |y, x| ((y * 13 + x * 7) % 29) as f64);
+    let spec2 = stencil_serve::JobSpec::new(
+        kernels::heat2d(),
+        stencil_serve::JobDomain::D2(g2.clone()),
+        6,
+    );
+    let (ref_plan, _) = server.service().plan_for(&spec2).expect("reference plan");
+    let want2: Vec<u64> = ref_plan
+        .run_2d(&g2, 6)
+        .expect("reference run")
+        .to_dense()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let mut client = NetClient::connect(server.addr(), "chaos").expect("connect");
+    for i in 0..wire_jobs {
+        let out = client
+            .run(
+                SubmitHeader {
+                    id: 0,
+                    name: format!("job{i}"),
+                    pattern: kernels::heat2d(),
+                    extents: vec![48, 48],
+                    steps: 6,
+                    rounds: 1,
+                    tuning: None,
+                    deadline_ms: None,
+                },
+                &g2.to_dense(),
+            )
+            .expect("fragmented job serves");
+        let got: Vec<u64> = out.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want2, got, "job {i}: bits diverged over a fragmented wire");
+    }
+    assert!(faults::fired(Failpoint::NetShortRead) > 0);
+    println!(
+        "  net_short_read/queue_stall: {wire_jobs} jobs bit-exact over 1-byte reads ({} stalls)",
+        faults::fired(Failpoint::QueueStall)
+    );
+    // a doomed job behind a blocker: the shed must arrive as the typed
+    // deadline frame, never a hang (a different size class, so the two
+    // jobs resolve to different keys and cannot batch together).
+    // Stall every dequeue so the doomed job's queue wait provably
+    // exceeds its 1 ms deadline; drop the short reads so the payloads
+    // upload at full speed and the ordering stays deterministic.
+    faults::disarm_all();
+    faults::arm_probability(Failpoint::QueueStall, 1.0, 0xBEEF_0007);
+    let blocker = Grid2D::from_fn(96, 96, |y, x| ((y ^ x) % 7) as f64);
+    let doomed = Grid2D::from_fn(160, 160, |y, x| ((y + x) % 3) as f64);
+    let blocker_id = client
+        .submit(
+            SubmitHeader {
+                id: 0,
+                name: "blocker".into(),
+                pattern: kernels::heat2d(),
+                extents: vec![96, 96],
+                steps: 400,
+                rounds: 1,
+                tuning: None,
+                deadline_ms: None,
+            },
+            &blocker.to_dense(),
+        )
+        .expect("blocker accepted");
+    let doomed_id = client
+        .submit(
+            SubmitHeader {
+                id: 0,
+                name: "doomed".into(),
+                pattern: kernels::heat2d(),
+                extents: vec![160, 160],
+                steps: 2,
+                rounds: 1,
+                tuning: None,
+                deadline_ms: Some(1),
+            },
+            &doomed.to_dense(),
+        )
+        .expect("doomed accepted");
+    loop {
+        match client.next_event(doomed_id) {
+            Ok(stencil_serve::net::JobEvent::Progress { .. }) => {}
+            Ok(stencil_serve::net::JobEvent::Done(_)) => panic!("doomed job must be shed"),
+            Err(NetError::Deadline {
+                deadline_ms,
+                waited_ms,
+            }) => {
+                assert_eq!(deadline_ms, 1);
+                println!("  deadline shed: typed frame after {waited_ms} ms in queue");
+                break;
+            }
+            Err(other) => panic!("expected the typed deadline frame, got {other:?}"),
+        }
+    }
+    loop {
+        if let stencil_serve::net::JobEvent::Done(_) =
+            client.next_event(blocker_id).expect("blocker completes")
+        {
+            break;
+        }
+    }
+    client.bye().expect("goodbye");
+    faults::disarm_all();
+    faults::set_enabled(false);
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_shed, 1, "exactly the doomed job was shed");
+    assert_eq!(stats.jobs_failed, 0, "chaos must not fail a job");
+
+    // ---- phase 3: overhead guard — recovery machinery when no faults
+    // fire. The streaming run crosses every store failpoint site plus
+    // the retry wrappers, so it is the densest real workload for the
+    // check. Best-of floors, ratio < 5% (plus a 2 ms absolute epsilon
+    // for timer noise on very fast smoke sizes).
+    let cfg = OocConfig {
+        budget_bytes: 28 * plane * stencil_ooc::RESIDENT_WINDOWS_SYNC,
+        steps_per_pass: 0,
+        prefetch: false,
+    };
+    faults::set_enabled(false);
+    let (_, closed) = best_of(reps, || {
+        run_streaming_grid(&plan, &grid, steps, &cfg).expect("baseline run")
+    });
+    // gate open, nothing armed: every site pays its full idle cost
+    faults::set_enabled(true);
+    let (_, open) = best_of(reps, || {
+        run_streaming_grid(&plan, &grid, steps, &cfg).expect("gated run")
+    });
+    faults::set_enabled(false);
+    let bound = closed.mul_f64(1.05) + Duration::from_millis(2);
+    println!("  overhead: gate closed {closed:?}, open-but-idle {open:?} (bound {bound:?})");
+    assert!(
+        open <= bound,
+        "idle failpoints cost more than 5%: closed {closed:?}, open {open:?}"
+    );
+
+    let mut table = Table::new("chaos overhead floors", "us");
+    table.put("gate_closed", "us", Some(closed.as_micros() as f64));
+    table.put("gate_open_idle", "us", Some(open.as_micros() as f64));
+    table.print();
+    if let Some(path) = &args.json {
+        Table::dump_json(&[&table], path).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    println!("chaos surface OK");
+}

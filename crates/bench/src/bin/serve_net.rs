@@ -150,6 +150,7 @@ fn main() {
                         steps: m.steps,
                         rounds: m.rounds,
                         tuning: None,
+                        deadline_ms: None,
                     };
                     // closed loop with honored backoff hints
                     let outcome = loop {

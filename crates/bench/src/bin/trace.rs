@@ -73,6 +73,7 @@ fn main() {
                     steps,
                     rounds: 1,
                     tuning: None,
+                    deadline_ms: None,
                 },
                 &grid2d.to_dense(),
             )

@@ -96,13 +96,20 @@ fn clock_cell() -> &'static RwLock<SharedClock> {
 /// Tests install a [`VirtualClock`] here so trace timestamps are
 /// exactly reproducible.
 pub fn install_clock(clock: SharedClock) {
-    *clock_cell().write().expect("obs clock lock poisoned") = clock;
+    // a panic elsewhere while holding this lock must not cascade into
+    // every later span timestamp — the clock value itself is always
+    // whole (replaced atomically under the lock), so recover it
+    *clock_cell()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = clock;
 }
 
 /// Current time on the installed span clock, in microseconds since the
 /// clock's origin. Only read while tracing is enabled.
 pub fn now_us() -> u64 {
-    let c = clock_cell().read().expect("obs clock lock poisoned");
+    let c = clock_cell()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     c.now().as_micros().min(u128::from(u64::MAX)) as u64
 }
 

@@ -48,6 +48,24 @@ pub enum OocError {
     Plan(PlanError),
 }
 
+impl OocError {
+    /// True for failures worth retrying at a higher level: the
+    /// OS-level "try again" IO family (including injected failpoint
+    /// errors, which are classified the same way). Structural errors —
+    /// bad magic, truncation, unsupported plans — are never transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
 impl std::fmt::Display for OocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -56,8 +56,8 @@ pub mod store;
 pub mod stream;
 
 pub use error::OocError;
-pub use store::{SlabStore, StoreStats, MAGIC, VERSION};
+pub use store::{SlabStore, StoreStats, IO_RETRY_BASE_US, IO_RETRY_MAX, MAGIC, VERSION};
 pub use stream::{
-    run_streaming, run_streaming_grid, streamable, OocConfig, StreamReport,
-    RESIDENT_WINDOWS_PREFETCH, RESIDENT_WINDOWS_SYNC,
+    resume_streaming, run_streaming, run_streaming_grid, run_streaming_grid_resumable, streamable,
+    OocConfig, StreamReport, RESIDENT_WINDOWS_PREFETCH, RESIDENT_WINDOWS_SYNC,
 };

@@ -29,14 +29,25 @@
 //! before the first write of a pass and cleared by the commit. A
 //! process that dies mid-pass leaves it set, and [`SlabStore::open`]
 //! reports the store as [`OocError::Crashed`] with the last committed
-//! round instead of silently resuming mixed-round data. Truncation is
+//! round instead of silently resuming mixed-round data —
+//! [`SlabStore::recover`] rolls such a store back to that committed
+//! round (the interrupted pass only ever wrote the other surface, so
+//! the rollback is metadata-only) and the job can resume. Truncation is
 //! caught by checking the file length against the header shape.
+//!
+//! Every read, write and fsync runs behind a bounded retry loop with
+//! exponential backoff ([`IO_RETRY_MAX`], [`IO_RETRY_BASE_US`]):
+//! transient-classified `io::ErrorKind`s are absorbed (counted in
+//! [`StoreStats::io_retries`]) instead of aborting a multi-minute
+//! streamed job, and the `ooc_read` / `ooc_write` / `ooc_fsync`
+//! failpoints (`stencil-faults`) inject into exactly that path.
 
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use stencil_faults::Failpoint;
 use stencil_grid::Grid3D;
 
 use crate::error::OocError;
@@ -46,6 +57,24 @@ pub const MAGIC: [u8; 8] = *b"STNCLOOC";
 /// Current format version.
 pub const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 64;
+
+/// Most transient-failure retries per IO operation before the error is
+/// surfaced to the caller.
+pub const IO_RETRY_MAX: u32 = 4;
+/// First backoff sleep; doubles on every further retry of the same
+/// operation (50, 100, 200, 400 us).
+pub const IO_RETRY_BASE_US: u64 = 50;
+
+/// IO error kinds worth retrying: the OS-level "try again" family. Real
+/// data errors (truncation, permission, corruption) surface immediately.
+fn transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// Cumulative IO counters of a [`SlabStore`], snapshotted by
 /// [`SlabStore::stats`].
@@ -70,6 +99,9 @@ pub struct StoreStats {
     /// prefetch this exceeds `stall_us` — the difference is IO the
     /// pipeline hid under compute.
     pub io_us: u64,
+    /// Transient IO failures absorbed by the bounded retry/backoff
+    /// loop (each count is one re-attempt of a read, write or fsync).
+    pub io_retries: u64,
 }
 
 #[derive(Default)]
@@ -80,6 +112,7 @@ struct StatsCell {
     prefetch_miss: AtomicU64,
     stall_us: AtomicU64,
     io_us: AtomicU64,
+    io_retries: AtomicU64,
 }
 
 /// A 3D grid backed by a file instead of resident memory.
@@ -129,13 +162,32 @@ impl SlabStore {
         // seeding the store is not streaming traffic
         store.stats.bytes_written.store(written, Ordering::Relaxed);
         store.stats.io_us.store(io, Ordering::Relaxed);
-        store.file.sync_data()?;
+        store.sync_payload()?;
         Ok(store)
     }
 
     /// Open an existing store, validating magic, version, shape-implied
     /// length and the crash flag.
     pub fn open(path: &Path) -> Result<Self, OocError> {
+        Self::open_impl(path, false)
+    }
+
+    /// Open a store, rolling it back to its last committed surface and
+    /// round if a crash left it dirty mid-pass.
+    ///
+    /// Recovery is metadata-only: the file-level ping-pong guarantees an
+    /// interrupted pass only ever wrote to the *non-committed* surface,
+    /// so the committed payload is intact and clearing the dirty flag
+    /// (synced) is sufficient. A clean store opens unchanged, so this
+    /// is safe to use as the default open for resumable jobs.
+    pub fn recover(path: &Path) -> Result<Self, OocError> {
+        let store = Self::open_impl(path, true)?;
+        store.write_header(false)?;
+        store.sync_payload()?;
+        Ok(store)
+    }
+
+    fn open_impl(path: &Path, allow_dirty: bool) -> Result<Self, OocError> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut head = [0u8; HEADER_LEN as usize];
         let found = file.metadata()?.len();
@@ -170,12 +222,49 @@ impl SlabStore {
         if found < expected {
             return Err(OocError::Truncated { expected, found });
         }
-        if u32_at(12) != 0 {
+        if u32_at(12) != 0 && !allow_dirty {
             return Err(OocError::Crashed {
                 round: store.round.load(Ordering::Relaxed),
             });
         }
         Ok(store)
+    }
+
+    /// Run `op` with bounded retry and exponential backoff on
+    /// transient-classified errors; failpoint `fp` is consulted before
+    /// every attempt, so injected faults exercise the identical retry
+    /// path a real transient fault would.
+    fn retry_io(
+        &self,
+        fp: Failpoint,
+        mut op: impl FnMut() -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let mut delay_us = IO_RETRY_BASE_US;
+        let mut attempts = 0u32;
+        loop {
+            let r = if stencil_faults::should_fire(fp) {
+                Err(stencil_faults::injected_io_error(fp))
+            } else {
+                op()
+            };
+            match r {
+                Ok(()) => return Ok(()),
+                Err(e) if transient(e.kind()) && attempts < IO_RETRY_MAX => {
+                    attempts += 1;
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    delay_us = delay_us.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `sync_data` behind the retry/backoff loop and the `ooc_fsync`
+    /// failpoint.
+    fn sync_payload(&self) -> Result<(), OocError> {
+        self.retry_io(Failpoint::OocFsync, || self.file.sync_data())?;
+        Ok(())
     }
 
     /// Domain shape `(nz, ny, nx)`.
@@ -232,7 +321,7 @@ impl SlabStore {
         ] {
             head[o..o + 8].copy_from_slice(&v.to_le_bytes());
         }
-        self.file.write_all_at(&head, 0)?;
+        self.retry_io(Failpoint::OocWrite, || self.file.write_all_at(&head, 0))?;
         Ok(())
     }
 
@@ -257,7 +346,10 @@ impl SlabStore {
         let pb = self.plane_file_bytes();
         scratch.clear();
         scratch.resize((z1 - z0) * pb, 0);
-        self.file.read_exact_at(scratch, self.offset(surface, z0))?;
+        let offset = self.offset(surface, z0);
+        self.retry_io(Failpoint::OocRead, || {
+            self.file.read_exact_at(scratch, offset)
+        })?;
         for z in 0..z1 - z0 {
             for y in 0..self.ny {
                 let src = &scratch[z * pb + y * self.nx * 8..][..self.nx * 8];
@@ -296,8 +388,8 @@ impl SlabStore {
                 f64_to_bytes(grid.row(z, y), dst);
             }
         }
-        self.file
-            .write_all_at(&buf, self.offset(surface, z_global))?;
+        let offset = self.offset(surface, z_global);
+        self.retry_io(Failpoint::OocWrite, || self.file.write_all_at(&buf, offset))?;
         self.stats
             .bytes_written
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
@@ -309,8 +401,7 @@ impl SlabStore {
     /// flag is synced so a crash at any later point is detectable.
     pub fn begin_pass(&self) -> Result<(), OocError> {
         self.write_header(true)?;
-        self.file.sync_data()?;
-        Ok(())
+        self.sync_payload()
     }
 
     /// Conclude a pass that advanced the *other* surface by `steps`:
@@ -319,7 +410,7 @@ impl SlabStore {
     /// header write lands, the old header still says dirty — the store
     /// stays crash-detectable, never silently wrong.
     pub fn commit_pass(&self, steps: u64) -> Result<(), OocError> {
-        self.file.sync_data()?;
+        self.sync_payload()?;
         self.surface.fetch_xor(1, Ordering::Relaxed);
         self.round.fetch_add(steps, Ordering::Relaxed);
         self.write_header(false)?;
@@ -348,6 +439,7 @@ impl SlabStore {
             prefetch_miss: self.stats.prefetch_miss.load(Ordering::Relaxed),
             stall_us: self.stats.stall_us.load(Ordering::Relaxed),
             io_us: self.stats.io_us.load(Ordering::Relaxed),
+            io_retries: self.stats.io_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -544,5 +636,37 @@ mod tests {
             SlabStore::open(&path),
             Err(OocError::Crashed { round: 0 })
         ));
+    }
+
+    #[test]
+    fn recover_rolls_a_dirty_store_back_to_the_committed_round() {
+        let path = tmp("recover");
+        let _c = Cleanup(path.clone());
+        let g = Grid3D::from_fn(5, 4, 6, |z, y, x| (z * 31 + y * 7 + x) as f64);
+        let store = SlabStore::create(&path, &g, 1).unwrap();
+        // one committed pass so the recovery target is non-trivial
+        store.begin_pass().unwrap();
+        store.write_planes(1, 0, &g, 0, 5).unwrap();
+        store.commit_pass(3).unwrap();
+        // a second pass dies after scribbling on the non-committed surface
+        store.begin_pass().unwrap();
+        let junk = Grid3D::from_fn(5, 4, 6, |_, _, _| -1.0);
+        store.write_planes(0, 0, &junk, 0, 5).unwrap();
+        drop(store);
+        assert!(matches!(
+            SlabStore::open(&path),
+            Err(OocError::Crashed { round: 3 })
+        ));
+        let store = SlabStore::recover(&path).unwrap();
+        assert_eq!((store.round(), store.surface()), (3, 1));
+        assert_eq!(store.to_grid().unwrap().to_dense(), g.to_dense());
+        drop(store);
+        // recovery persisted: a plain open succeeds and agrees
+        let store = SlabStore::open(&path).unwrap();
+        assert_eq!((store.round(), store.surface()), (3, 1));
+        // recover on a clean store is an identity open
+        drop(store);
+        let store = SlabStore::recover(&path).unwrap();
+        assert_eq!(store.to_grid().unwrap().to_dense(), g.to_dense());
     }
 }

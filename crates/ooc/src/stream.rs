@@ -39,6 +39,7 @@ use stencil_core::slab::{
     interior_ranges, pass_quantum, shard_geometry, shardable, slab_bounds, SLAB_ALIGN,
 };
 use stencil_core::Plan;
+use stencil_faults::Failpoint;
 use stencil_grid::Grid3D;
 
 use crate::error::OocError;
@@ -421,7 +422,17 @@ fn run_pass_prefetch(
                             mut buf,
                         } => {
                             let _span = stencil_obs::span(stencil_obs::SpanId::OocPrefetch);
-                            let res = store.read_window(surface, z0, z1, &mut buf, &mut scratch);
+                            // the prefetch failpoint fails the whole
+                            // background load; the sweep thread degrades
+                            // to a synchronous re-read instead of
+                            // failing the pass
+                            let res = if stencil_faults::should_fire(Failpoint::OocPrefetch) {
+                                Err(OocError::Io(stencil_faults::injected_io_error(
+                                    Failpoint::OocPrefetch,
+                                )))
+                            } else {
+                                store.read_window(surface, z0, z1, &mut buf, &mut scratch)
+                            };
                             IoDone::Loaded { idx, buf, res }
                         }
                         IoReq::Store {
@@ -457,6 +468,7 @@ fn run_pass_prefetch(
         };
 
         let mut stores_outstanding = 0usize;
+        let mut sync_scratch = Vec::new();
         issue_load(&mut *pool, &req_tx, 0);
         for (k, &(lo, hi, slo, _shi)) in windows.iter().enumerate() {
             // wait for this window's load, recycling store acks that
@@ -478,9 +490,19 @@ fn run_pass_prefetch(
                     }
                 };
                 match done {
-                    IoDone::Loaded { idx, buf, res } => {
-                        res?;
+                    IoDone::Loaded { idx, mut buf, res } => {
                         debug_assert_eq!(idx, k);
+                        if let Err(e) = res {
+                            // a transiently failed prefetch degrades to
+                            // a synchronous re-read (itself behind the
+                            // store's retry loop); anything else is a
+                            // hard error
+                            if !e.is_transient() {
+                                return Err(e);
+                            }
+                            let (_, _, fslo, fshi) = windows[idx];
+                            store.read_window(src, fslo, fshi, &mut buf, &mut sync_scratch)?;
+                        }
                         win = Some(buf);
                     }
                     IoDone::Stored { buf, res } => {
@@ -558,24 +580,99 @@ pub fn run_streaming_grid(
     cfg: &OocConfig,
 ) -> Result<(Grid3D, StreamReport), OocError> {
     let path = temp_store_path();
-    let result = (|| {
-        let spill = Instant::now();
-        let store = {
+    let result = run_streaming_grid_at(plan, grid, t, cfg, &path);
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+/// Resume an interrupted streamed job at `path`: recover the store
+/// (rolling a mid-pass crash back to its last committed round — see
+/// [`SlabStore::recover`]) and stream however many of `total_steps` the
+/// committed round has not yet applied. Because a resumed schedule
+/// re-derives exactly the remaining passes of the original schedule,
+/// the final surface is bit-identical to an uninterrupted run of
+/// `total_steps`. Returns the recovered store (its surface holds the
+/// finished domain) and the report of the resumed portion.
+pub fn resume_streaming(
+    plan: &Plan,
+    path: &std::path::Path,
+    total_steps: usize,
+    cfg: &OocConfig,
+) -> Result<(SlabStore, StreamReport), OocError> {
+    let store = SlabStore::recover(path)?;
+    let done = (store.round().min(total_steps as u64)) as usize;
+    let report = run_streaming(plan, &store, total_steps - done, cfg)?;
+    Ok((store, report))
+}
+
+/// [`run_streaming_grid`] against a caller-chosen store path with
+/// resume-on-resubmission semantics: if `path` already holds a store of
+/// the same shape and radius — left behind by an earlier attempt that
+/// died or errored mid-job — it is recovered and the job resumes from
+/// its committed round instead of starting over. On success the file is
+/// removed; on error it is **left in place** so a resubmission of the
+/// same job can pick up where this attempt stopped. This is the serve
+/// layer's crash-recovery route for out-of-core jobs.
+pub fn run_streaming_grid_resumable(
+    plan: &Plan,
+    grid: &Grid3D,
+    total_steps: usize,
+    cfg: &OocConfig,
+    path: &std::path::Path,
+) -> Result<(Grid3D, StreamReport), OocError> {
+    let radius = plan.pattern().radius();
+    let shape = (grid.nz(), grid.ny(), grid.nx());
+    let spill = Instant::now();
+    let store = match SlabStore::recover(path) {
+        Ok(s) if s.shape() == shape && s.radius() == radius && s.round() <= total_steps as u64 => s,
+        // no usable leftover (missing, mismatched, or already past the
+        // requested round): start fresh
+        _ => {
             let _span = stencil_obs::span(stencil_obs::SpanId::OocWriteback);
-            SlabStore::create(&path, grid, plan.pattern().radius())?
-        };
-        let spill_us = spill.elapsed().as_micros() as u64;
-        let mut report = run_streaming(plan, &store, t, cfg)?;
+            SlabStore::create(path, grid, radius)?
+        }
+    };
+    let spill_us = spill.elapsed().as_micros() as u64;
+    let done = store.round() as usize;
+    let result = (|| {
+        let mut report = run_streaming(plan, &store, total_steps - done, cfg)?;
         let gather = Instant::now();
         let out = {
             let _span = stencil_obs::span(stencil_obs::SpanId::OocLoad);
             store.to_grid()?
         };
-        // spilling in and materializing out block the caller regardless
-        // of prefetch mode: count them as blocked IO on the report
         report.io_blocked_us += spill_us + gather.elapsed().as_micros() as u64;
         Ok((out, report))
     })();
-    let _ = std::fs::remove_file(&path);
+    if result.is_ok() {
+        let _ = std::fs::remove_file(path);
+    }
     result
+}
+
+/// The internals of [`run_streaming_grid`] against an explicit path:
+/// spill, stream, materialize. The caller owns the file's lifetime.
+fn run_streaming_grid_at(
+    plan: &Plan,
+    grid: &Grid3D,
+    t: usize,
+    cfg: &OocConfig,
+    path: &std::path::Path,
+) -> Result<(Grid3D, StreamReport), OocError> {
+    let spill = Instant::now();
+    let store = {
+        let _span = stencil_obs::span(stencil_obs::SpanId::OocWriteback);
+        SlabStore::create(path, grid, plan.pattern().radius())?
+    };
+    let spill_us = spill.elapsed().as_micros() as u64;
+    let mut report = run_streaming(plan, &store, t, cfg)?;
+    let gather = Instant::now();
+    let out = {
+        let _span = stencil_obs::span(stencil_obs::SpanId::OocLoad);
+        store.to_grid()?
+    };
+    // spilling in and materializing out block the caller regardless
+    // of prefetch mode: count them as blocked IO on the report
+    report.io_blocked_us += spill_us + gather.elapsed().as_micros() as u64;
+    Ok((out, report))
 }

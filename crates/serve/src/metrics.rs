@@ -138,6 +138,13 @@ pub struct ServeStats {
     pub jobs_completed: AtomicU64,
     /// Jobs that failed at execution.
     pub jobs_failed: AtomicU64,
+    /// Jobs shed at dequeue because their queue-wait deadline had
+    /// already passed (counted separately from `jobs_failed`: the job
+    /// never ran).
+    pub jobs_shed: AtomicU64,
+    /// Submissions rejected because their registry key is quarantined
+    /// after repeated worker panics.
+    pub jobs_quarantined: AtomicU64,
     /// Current queue depth gauge.
     pub queue_depth: AtomicU64,
     /// Registry lookups resolved by an already-compiled plan.
@@ -177,6 +184,10 @@ pub struct ServeStats {
     pub ooc_prefetch_misses: AtomicU64,
     /// Microseconds OOC sweeps spent stalled on IO.
     pub ooc_stall_us: AtomicU64,
+    /// Transient IO faults OOC slab stores absorbed by retrying with
+    /// backoff (each increment is one re-attempt that succeeded or fed
+    /// the next backoff step).
+    pub ooc_io_retries: AtomicU64,
     /// End-to-end job latency (submit to completion, queue wait
     /// included).
     pub latency: LatencyHistogram,
@@ -239,6 +250,7 @@ impl ServeStats {
         self.ooc_prefetch_hits.fetch_add(s.prefetch_hit, ld);
         self.ooc_prefetch_misses.fetch_add(s.prefetch_miss, ld);
         self.ooc_stall_us.fetch_add(s.stall_us, ld);
+        self.ooc_io_retries.fetch_add(s.io_retries, ld);
     }
 
     /// Record a drained batch of `n` same-plan jobs.
@@ -285,6 +297,8 @@ impl ServeStats {
             jobs_rejected: self.jobs_rejected.load(ld),
             jobs_completed: self.jobs_completed.load(ld),
             jobs_failed: self.jobs_failed.load(ld),
+            jobs_shed: self.jobs_shed.load(ld),
+            jobs_quarantined: self.jobs_quarantined.load(ld),
             queue_depth: self.queue_depth.load(ld),
             plan_hits: self.plan_hits.load(ld),
             plan_misses: self.plan_misses.load(ld),
@@ -302,6 +316,7 @@ impl ServeStats {
             ooc_prefetch_hits: self.ooc_prefetch_hits.load(ld),
             ooc_prefetch_misses: self.ooc_prefetch_misses.load(ld),
             ooc_stall_us: self.ooc_stall_us.load(ld),
+            ooc_io_retries: self.ooc_io_retries.load(ld),
             swaps: self.swaps.load(ld),
             challenges: self.challenges.load(ld),
             challenges_rejected: self.challenges_rejected.load(ld),
@@ -361,6 +376,20 @@ impl ServeStats {
             "counter",
             "Jobs that failed at execution.",
             self.jobs_failed.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_jobs_shed_total",
+            "counter",
+            "Jobs shed at dequeue because their deadline had passed.",
+            self.jobs_shed.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_jobs_quarantined_total",
+            "counter",
+            "Submissions rejected on a panic-quarantined plan key.",
+            self.jobs_quarantined.load(ld) as f64,
         );
         metric(
             &mut out,
@@ -480,6 +509,13 @@ impl ServeStats {
             "counter",
             "Microseconds OOC sweeps spent stalled on IO.",
             self.ooc_stall_us.load(ld) as f64,
+        );
+        metric(
+            &mut out,
+            "stencil_ooc_io_retries_total",
+            "counter",
+            "Transient IO faults OOC slab stores absorbed by retrying.",
+            self.ooc_io_retries.load(ld) as f64,
         );
         metric(
             &mut out,
@@ -728,6 +764,10 @@ pub struct StatsSnapshot {
     pub jobs_completed: u64,
     /// Jobs that failed at execution.
     pub jobs_failed: u64,
+    /// Jobs shed at dequeue because their deadline had passed.
+    pub jobs_shed: u64,
+    /// Submissions rejected on a panic-quarantined plan key.
+    pub jobs_quarantined: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: u64,
     /// Registry hits.
@@ -762,6 +802,8 @@ pub struct StatsSnapshot {
     pub ooc_prefetch_misses: u64,
     /// Microseconds OOC sweeps spent stalled on IO.
     pub ooc_stall_us: u64,
+    /// Transient IO faults OOC slab stores absorbed by retrying.
+    pub ooc_io_retries: u64,
     /// Registry entries hot-swapped by the retuning decider.
     pub swaps: u64,
     /// Challenger sessions started.
@@ -810,6 +852,8 @@ impl StatsSnapshot {
         num("jobs_rejected", self.jobs_rejected as f64);
         num("jobs_completed", self.jobs_completed as f64);
         num("jobs_failed", self.jobs_failed as f64);
+        num("jobs_shed", self.jobs_shed as f64);
+        num("jobs_quarantined", self.jobs_quarantined as f64);
         num("queue_depth", self.queue_depth as f64);
         num("plan_hits", self.plan_hits as f64);
         num("plan_misses", self.plan_misses as f64);
@@ -828,6 +872,7 @@ impl StatsSnapshot {
         num("ooc_prefetch_hits", self.ooc_prefetch_hits as f64);
         num("ooc_prefetch_misses", self.ooc_prefetch_misses as f64);
         num("ooc_stall_us", self.ooc_stall_us as f64);
+        num("ooc_io_retries", self.ooc_io_retries as f64);
         num("swaps", self.swaps as f64);
         num("challenges", self.challenges as f64);
         num("challenges_rejected", self.challenges_rejected as f64);
@@ -888,6 +933,8 @@ impl StatsSnapshot {
             jobs_rejected: u("jobs_rejected")?,
             jobs_completed: u("jobs_completed")?,
             jobs_failed: u("jobs_failed")?,
+            jobs_shed: u("jobs_shed")?,
+            jobs_quarantined: u("jobs_quarantined")?,
             queue_depth: u("queue_depth")?,
             plan_hits: u("plan_hits")?,
             plan_misses: u("plan_misses")?,
@@ -905,6 +952,7 @@ impl StatsSnapshot {
             ooc_prefetch_hits: u("ooc_prefetch_hits")?,
             ooc_prefetch_misses: u("ooc_prefetch_misses")?,
             ooc_stall_us: u("ooc_stall_us")?,
+            ooc_io_retries: u("ooc_io_retries")?,
             swaps: u("swaps")?,
             challenges: u("challenges")?,
             challenges_rejected: u("challenges_rejected")?,
@@ -1017,7 +1065,10 @@ mod tests {
             prefetch_miss: 1,
             stall_us: 77,
             io_us: 130,
+            io_retries: 2,
         });
+        s.jobs_shed.store(2, Ordering::Relaxed);
+        s.jobs_quarantined.store(1, Ordering::Relaxed);
         s.traffic.record(
             "sig|small|static|pooled",
             Duration::from_micros(120),
@@ -1053,6 +1104,9 @@ mod tests {
         assert_eq!(back.ooc_prefetch_hits, 3);
         assert_eq!(back.ooc_prefetch_misses, 1);
         assert_eq!(back.ooc_stall_us, 77);
+        assert_eq!(back.ooc_io_retries, 2);
+        assert_eq!(back.jobs_shed, 2);
+        assert_eq!(back.jobs_quarantined, 1);
     }
 
     #[test]

@@ -32,10 +32,27 @@ pub enum NetError {
     Remote(String),
     /// The submission was refused by admission control.
     Rejected {
-        /// Why: queue-full, quota-exceeded, or shutting-down.
+        /// Why: queue-full, quota-exceeded, shutting-down, or
+        /// quarantined.
         reason: RejectReason,
         /// The server's suggested backoff.
         retry_after: Duration,
+    },
+    /// The job was shed server-side: its queue-wait deadline passed
+    /// before a worker dequeued it.
+    Deadline {
+        /// The deadline the submission carried, milliseconds.
+        deadline_ms: u64,
+        /// How long the round actually waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// A receive exceeded the read timeout: the server accepted the
+    /// connection but stalled without answering — typed, so callers
+    /// back off instead of blocking forever on a wedged peer.
+    Timeout {
+        /// The configured receive bound (`None` would block forever,
+        /// so this is always `Some` when the variant is produced).
+        limit: Option<Duration>,
     },
 }
 
@@ -54,6 +71,16 @@ impl std::fmt::Display for NetError {
                 "submission rejected ({}), retry after {retry_after:?}",
                 reason.as_str()
             ),
+            NetError::Deadline {
+                deadline_ms,
+                waited_ms,
+            } => write!(
+                f,
+                "job shed: waited {waited_ms} ms past a {deadline_ms} ms deadline"
+            ),
+            NetError::Timeout { limit } => {
+                write!(f, "receive timed out (limit {limit:?}): server stalled")
+            }
         }
     }
 }
@@ -114,23 +141,67 @@ pub struct NetClient {
     max_frame: usize,
     next_id: u64,
     tenant: String,
-    /// Buffered stream events per job id (`Err` = a `job-error`).
-    events: HashMap<u64, VecDeque<Result<JobEvent, String>>>,
+    read_timeout: Option<Duration>,
+    /// Buffered stream events per job id (`Err` = a terminal
+    /// `job-error` or `deadline`).
+    events: HashMap<u64, VecDeque<Result<JobEvent, JobFailure>>>,
 }
+
+/// A buffered terminal failure for one job, kept typed until the
+/// caller's `next_event` turns it into the matching [`NetError`].
+#[derive(Debug)]
+enum JobFailure {
+    Error(String),
+    Deadline { deadline_ms: u64, waited_ms: u64 },
+}
+
+impl JobFailure {
+    fn into_error(self) -> NetError {
+        match self {
+            JobFailure::Error(m) => NetError::Remote(m),
+            JobFailure::Deadline {
+                deadline_ms,
+                waited_ms,
+            } => NetError::Deadline {
+                deadline_ms,
+                waited_ms,
+            },
+        }
+    }
+}
+
+/// Default receive timeout applied at [`NetClient::connect`]: a server
+/// that accepts the connection and then never answers surfaces as a
+/// typed [`NetError::Timeout`] instead of a forever-blocked client.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl NetClient {
     /// Connect and run the `hello` handshake for `tenant`. Returns the
     /// connected client; the server's per-tenant quota is available via
-    /// the handshake but not retained.
+    /// the handshake but not retained. Receives are bounded by
+    /// [`DEFAULT_READ_TIMEOUT`] (adjust with
+    /// [`NetClient::set_read_timeout`]).
     pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Self, NetError> {
+        Self::connect_with_timeout(addr, tenant, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// [`NetClient::connect`] with an explicit receive timeout
+    /// (`None` = block forever, the pre-timeout behavior).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeout)?;
         let mut c = Self {
             stream,
             rbuf: Vec::new(),
             max_frame: DEFAULT_MAX_FRAME,
             next_id: 1,
             tenant: tenant.to_string(),
+            read_timeout: timeout,
             events: HashMap::new(),
         };
         c.send_msg(&ClientMsg::Hello {
@@ -157,6 +228,7 @@ impl NetClient {
     /// Bound how long a single receive may block (`None` = forever).
     pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), NetError> {
         self.stream.set_read_timeout(t)?;
+        self.read_timeout = t;
         Ok(())
     }
 
@@ -174,7 +246,7 @@ impl NetClient {
             // a failed submission answers job-error instead of accepted
             if let Some(ev) = self.take_event(id) {
                 return match ev {
-                    Err(m) => Err(NetError::Remote(m)),
+                    Err(fail) => Err(fail.into_error()),
                     Ok(ev) => Err(NetError::Protocol(format!(
                         "job {id} streamed {ev:?} before being accepted"
                     ))),
@@ -210,7 +282,7 @@ impl NetClient {
     pub fn next_event(&mut self, id: u64) -> Result<JobEvent, NetError> {
         loop {
             if let Some(ev) = self.take_event(id) {
-                return ev.map_err(NetError::Remote);
+                return ev.map_err(JobFailure::into_error);
             }
             match self.recv_control()? {
                 None => continue,
@@ -245,7 +317,7 @@ impl NetClient {
             // job's stream buffer
             if let Some(ev) = self.take_event(id) {
                 return match ev {
-                    Err(m) => Err(NetError::Remote(m)),
+                    Err(fail) => Err(fail.into_error()),
                     Ok(ev) => Err(NetError::Protocol(format!(
                         "job {id} streamed {ev:?} while cancelling"
                     ))),
@@ -311,7 +383,7 @@ impl NetClient {
     }
 
     /// Pop a buffered stream event for job `id`.
-    fn take_event(&mut self, id: u64) -> Option<Result<JobEvent, String>> {
+    fn take_event(&mut self, id: u64) -> Option<Result<JobEvent, JobFailure>> {
         let q = self.events.get_mut(&id)?;
         let ev = q.pop_front();
         if q.is_empty() {
@@ -360,7 +432,24 @@ impl NetClient {
                 Ok(None)
             }
             ServerMsg::JobError { id, message } => {
-                self.events.entry(id).or_default().push_back(Err(message));
+                self.events
+                    .entry(id)
+                    .or_default()
+                    .push_back(Err(JobFailure::Error(message)));
+                Ok(None)
+            }
+            ServerMsg::Deadline {
+                id,
+                deadline_ms,
+                waited_ms,
+            } => {
+                self.events
+                    .entry(id)
+                    .or_default()
+                    .push_back(Err(JobFailure::Deadline {
+                        deadline_ms,
+                        waited_ms,
+                    }));
                 Ok(None)
             }
             other => Ok(Some(other)),
@@ -396,7 +485,24 @@ impl NetClient {
                 return Ok(frame);
             }
             let mut chunk = [0u8; 64 * 1024];
-            let n = self.stream.read(&mut chunk)?;
+            let n = match self.stream.read(&mut chunk) {
+                Ok(n) => n,
+                // the OS reports a read timeout as WouldBlock (unix)
+                // or TimedOut (windows); both mean "the server went
+                // quiet past the bound", which deserves its own type
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(NetError::Timeout {
+                        limit: self.read_timeout,
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
             if n == 0 {
                 // orderly remote close mid-read: surface the typed
                 // truncation if a partial frame is stranded
@@ -426,4 +532,38 @@ pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), N
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| NetError::Protocol(format!("malformed http response: {head:?}")))?;
     Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn a_server_that_accepts_but_never_replies_times_out_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // the "server" accepts and then goes silent, holding the socket
+        // open so the client blocks in the hello handshake's receive —
+        // the exact stall the default read timeout exists to bound
+        let hold = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(800));
+            drop(sock);
+        });
+        let limit = Duration::from_millis(150);
+        let start = std::time::Instant::now();
+        let err = NetClient::connect_with_timeout(addr, "tenant", Some(limit))
+            .err()
+            .expect("handshake against a mute server must fail");
+        assert!(
+            matches!(err, NetError::Timeout { limit: Some(l) } if l == limit),
+            "expected a typed timeout carrying the limit, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(700),
+            "timeout must fire near the configured bound, not at socket death"
+        );
+        hold.join().unwrap();
+    }
 }

@@ -80,7 +80,16 @@ impl Conn {
         let mut total = 0;
         let mut chunk = [0u8; READ_CHUNK];
         loop {
-            match self.stream.read(&mut chunk) {
+            // chaos: deliver one byte instead of a full chunk — frames
+            // arrive maximally fragmented and the reassembly path (the
+            // `Ok(None)`/partial-prefix handling in `next_frame`) is
+            // exercised on every boundary; data is never corrupted
+            let window = if stencil_faults::should_fire(stencil_faults::Failpoint::NetShortRead) {
+                &mut chunk[..1]
+            } else {
+                &mut chunk[..]
+            };
+            match self.stream.read(window) {
                 Ok(0) => {
                     self.dead = true;
                     break;

@@ -209,6 +209,13 @@ fn serve_loop(
         let now = Instant::now();
         let open = sessions.len() as u64;
         for sess in &mut sessions {
+            // chaos: sever the connection as an unplugged cable would —
+            // the peer sees EOF and must surface a typed error, and the
+            // reap below releases the session's quota slots
+            if stencil_faults::should_fire(stencil_faults::Failpoint::NetDrop) {
+                sess.conn.dead = true;
+                continue;
+            }
             busy |= sess.conn.fill_read(now) > 0;
             match sess.conn.mode {
                 ConnMode::Sniffing => {}
@@ -413,6 +420,7 @@ fn handle_submission(
         domain,
         steps: chunks[0],
         tuning: h.tuning,
+        deadline: h.deadline_ms.map(Duration::from_millis),
     };
     match service.try_submit(spec) {
         Ok(ticket) => {
@@ -447,6 +455,17 @@ fn handle_submission(
                         id,
                         reason: RejectReason::ShuttingDown,
                         retry_after_ms: retry_after_ms(service),
+                    }));
+                }
+                ServeError::Quarantined { .. } => {
+                    // typed and non-transient: retrying the same job
+                    // keeps failing until the key is retuned, so the
+                    // backoff hint is long
+                    stats.tenant_update(&tenant, |t| t.rejected += 1);
+                    sess.conn.send(&header(ServerMsg::Rejected {
+                        id,
+                        reason: RejectReason::Quarantined,
+                        retry_after_ms: 5_000,
                     }));
                 }
                 other => {
@@ -505,10 +524,23 @@ fn poll_jobs(service: &Arc<StencilService>, gate: &mut TenantGate, sess: &mut Se
                 }
                 Some(Err(e)) => {
                     busy = true;
-                    sess.conn.send(&header(ServerMsg::JobError {
-                        id: job.id,
-                        message: e.to_string(),
-                    }));
+                    // shedding is terminal like an execution error, but
+                    // typed: clients distinguish "too late" from "broke"
+                    let msg = match e {
+                        ServeError::DeadlineExceeded {
+                            deadline_ms,
+                            waited_ms,
+                        } => ServerMsg::Deadline {
+                            id: job.id,
+                            deadline_ms,
+                            waited_ms,
+                        },
+                        other => ServerMsg::JobError {
+                            id: job.id,
+                            message: other.to_string(),
+                        },
+                    };
+                    sess.conn.send(&header(msg));
                     gate.release(&job.tenant);
                     sess.jobs.swap_remove(i);
                     continue;
@@ -535,6 +567,7 @@ fn poll_jobs(service: &Arc<StencilService>, gate: &mut TenantGate, sess: &mut Se
                 domain: domain.clone(),
                 steps: job.chunks[job.round],
                 tuning: job.header.tuning,
+                deadline: job.header.deadline_ms.map(Duration::from_millis),
             };
             match service.try_submit(spec) {
                 Ok(ticket) => {
@@ -568,11 +601,26 @@ fn header(msg: ServerMsg) -> Frame {
 }
 
 /// Backoff hint for a rejected submission: scale the median job
-/// latency by the queue backlog, clamped to `[1ms, 5s]`.
+/// latency by the queue backlog, clamped to `[1ms, 5s]`. Deadline
+/// shedding shrinks the effective backlog — shed jobs leave the queue
+/// without running — so the hint is scaled by the fraction of dequeues
+/// that actually execute.
 fn retry_after_ms(service: &StencilService) -> u64 {
+    use std::sync::atomic::Ordering::Relaxed;
     let (depth, _cap) = service.queue_backlog();
-    let p50_ms = service.stats_handle().latency.quantile_us(0.5) / 1000;
-    ((depth as u64 + 1) * p50_ms.max(1)).clamp(1, 5_000)
+    let stats = service.stats_handle();
+    let p50_ms = stats.latency.quantile_us(0.5) / 1000;
+    let raw = (depth as u64 + 1) * p50_ms.max(1);
+    let done = stats.jobs_completed.load(Relaxed);
+    let shed = stats.jobs_shed.load(Relaxed);
+    let scaled = if shed > 0 {
+        // done/(done+shed) of dequeued jobs cost a full execution; the
+        // rest drain instantly
+        (raw * done.max(1)) / (done + shed).max(1)
+    } else {
+        raw
+    };
+    scaled.clamp(1, 5_000)
 }
 
 /// Build the job domain from a submit's extents and payload.

@@ -241,6 +241,11 @@ pub struct SubmitHeader {
     pub rounds: usize,
     /// Per-job tuning override (`None` = the service default).
     pub tuning: Option<Tuning>,
+    /// Optional queue-wait deadline in milliseconds: a round that has
+    /// waited longer than this when a worker dequeues it is shed with
+    /// a typed [`ServerMsg::Deadline`] instead of running late
+    /// (`None` = never shed).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a submission was refused at admission.
@@ -252,6 +257,10 @@ pub enum RejectReason {
     QuotaExceeded,
     /// The service is shutting down.
     ShuttingDown,
+    /// The job's plan key is quarantined after repeated worker panics;
+    /// resubmitting the same job will keep failing until the key is
+    /// retuned/hot-swapped.
+    Quarantined,
 }
 
 impl RejectReason {
@@ -261,6 +270,7 @@ impl RejectReason {
             RejectReason::QueueFull => "queue-full",
             RejectReason::QuotaExceeded => "quota-exceeded",
             RejectReason::ShuttingDown => "shutting-down",
+            RejectReason::Quarantined => "quarantined",
         }
     }
 
@@ -270,6 +280,7 @@ impl RejectReason {
             "queue-full" => RejectReason::QueueFull,
             "quota-exceeded" => RejectReason::QuotaExceeded,
             "shutting-down" => RejectReason::ShuttingDown,
+            "quarantined" => RejectReason::Quarantined,
             _ => return None,
         })
     }
@@ -352,6 +363,18 @@ pub enum ServerMsg {
         /// Human-readable cause.
         message: String,
     },
+    /// The job was shed: its queue-wait deadline had already passed
+    /// when a worker dequeued it. Terminal like [`ServerMsg::JobError`],
+    /// but typed — a deadline-aware client resubmits with fresh
+    /// headroom instead of parsing an error string.
+    Deadline {
+        /// Echoed job id.
+        id: u64,
+        /// The deadline the submission carried, milliseconds.
+        deadline_ms: u64,
+        /// How long the round actually waited, milliseconds.
+        waited_ms: u64,
+    },
     /// Acknowledge a cancel.
     Cancelled {
         /// Echoed job id.
@@ -422,6 +445,9 @@ impl ClientMsg {
                 }
                 if let Some(t) = h.tuning {
                     fields.push(("tuning", Value::Str(tuning_to_str(t).into())));
+                }
+                if let Some(d) = h.deadline_ms {
+                    fields.push(("deadline_ms", num(d)));
                 }
                 obj(fields)
             }
@@ -514,6 +540,16 @@ impl ServerMsg {
                 ("id", num(*id)),
                 ("message", Value::Str(message.clone())),
             ]),
+            ServerMsg::Deadline {
+                id,
+                deadline_ms,
+                waited_ms,
+            } => obj(vec![
+                ("type", Value::Str("deadline".into())),
+                ("id", num(*id)),
+                ("deadline_ms", num(*deadline_ms)),
+                ("waited_ms", num(*waited_ms)),
+            ]),
             ServerMsg::Cancelled { id } => obj(vec![
                 ("type", Value::Str("cancelled".into())),
                 ("id", num(*id)),
@@ -574,6 +610,11 @@ impl ServerMsg {
             "job-error" => Ok(ServerMsg::JobError {
                 id: get_u64(doc, "id")?,
                 message: get_str(doc, "message")?,
+            }),
+            "deadline" => Ok(ServerMsg::Deadline {
+                id: get_u64(doc, "id")?,
+                deadline_ms: get_u64(doc, "deadline_ms")?,
+                waited_ms: get_u64(doc, "waited_ms")?,
             }),
             "cancelled" => Ok(ServerMsg::Cancelled {
                 id: get_u64(doc, "id")?,
@@ -640,6 +681,10 @@ fn parse_submit(doc: &Value) -> Result<SubmitHeader, WireError> {
                 .and_then(|s| tuning_from_str(s).map_err(bad))?,
         ),
     };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(_) => Some(get_u64(doc, "deadline_ms")?),
+    };
     let (name, pattern) = if let Some(k) = doc.get("kernel") {
         let k = k
             .as_str()
@@ -691,6 +736,7 @@ fn parse_submit(doc: &Value) -> Result<SubmitHeader, WireError> {
         steps,
         rounds,
         tuning,
+        deadline_ms,
     })
 }
 
@@ -789,6 +835,7 @@ mod tests {
                 steps: 12,
                 rounds: 3,
                 tuning: Some(Tuning::Static),
+                deadline_ms: Some(250),
             }),
             ClientMsg::Submit(SubmitHeader {
                 id: 8,
@@ -798,6 +845,7 @@ mod tests {
                 steps: 5,
                 rounds: 1,
                 tuning: None,
+                deadline_ms: None,
             }),
             ClientMsg::Cancel { id: 9 },
             ClientMsg::Stats,
@@ -838,6 +886,16 @@ mod tests {
             ServerMsg::JobError {
                 id: 5,
                 message: "plan error: …".into(),
+            },
+            ServerMsg::Deadline {
+                id: 11,
+                deadline_ms: 100,
+                waited_ms: 140,
+            },
+            ServerMsg::Rejected {
+                id: 12,
+                reason: RejectReason::Quarantined,
+                retry_after_ms: 1000,
             },
             ServerMsg::Cancelled { id: 6 },
             ServerMsg::Stats(crate::ServeStats::new().snapshot().to_json()),

@@ -124,6 +124,12 @@ impl<T> Bounded<T> {
     /// closed and drained.
     pub fn pop_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
         let max = max.max(1);
+        // chaos: the consumer gets descheduled for a bounded moment
+        // before it takes the lock — queued jobs age, which is exactly
+        // what deadline shedding must absorb (never an unbounded hang)
+        if stencil_faults::should_fire(stencil_faults::Failpoint::QueueStall) {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
         let mut st = self.state.lock();
         loop {
             if let Some(head) = st.items.pop_front() {

@@ -83,13 +83,25 @@ pub struct PlanRegistry {
     /// the real resolution, so re-warming the tune cache takes effect
     /// in a running service instead of requiring a restart.
     cold: Mutex<HashMap<String, u64>>,
+    /// Consecutive worker-panic counts per key; a key at or past
+    /// [`QUARANTINE_PANICS`] is quarantined (see
+    /// [`PlanRegistry::quarantined`]).
+    panics: Mutex<HashMap<String, u32>>,
     stats: Arc<ServeStats>,
 }
 
 /// A cold key retries its real resolution on the first hit and then
 /// every this-many hits — recovery stays prompt without putting a
 /// tuner consult on every request of a permanently cold deployment.
-const COLD_RETRY_PERIOD: u64 = 16;
+pub const COLD_RETRY_PERIOD: u64 = 16;
+
+/// Consecutive worker panics on one registry key before the key is
+/// quarantined: further submissions are rejected with
+/// [`crate::ServeError::Quarantined`] instead of burning a worker (and
+/// a caller timeout) per crash. Any panic-free execution on the key
+/// resets the count; [`PlanRegistry::swap_plan`] lifts an active
+/// quarantine, so a retune/hot-swap is the recovery path.
+pub const QUARANTINE_PANICS: u32 = 3;
 
 /// Cached slab lanes plus the source plan they were cloned from. The
 /// strong `Arc` is the identity tag: holding it pins the allocation,
@@ -107,6 +119,7 @@ impl PlanRegistry {
             plans: Mutex::new(HashMap::new()),
             lanes: Mutex::new(HashMap::new()),
             cold: Mutex::new(HashMap::new()),
+            panics: Mutex::new(HashMap::new()),
             stats,
         }
     }
@@ -270,6 +283,35 @@ impl PlanRegistry {
         Ok((key, plan))
     }
 
+    /// The consecutive-panic count for `key` when it has reached the
+    /// [`QUARANTINE_PANICS`] threshold — `None` while the key is still
+    /// servable. The submission path consults this *after* resolving
+    /// the registry key and rejects quarantined jobs before they reach
+    /// the queue.
+    pub fn quarantined(&self, key: &str) -> Option<u32> {
+        self.panics
+            .lock()
+            .get(key)
+            .copied()
+            .filter(|&n| n >= QUARANTINE_PANICS)
+    }
+
+    /// Record a worker panic while executing a job resolved to `key`;
+    /// returns the new consecutive count (the caller warns when it
+    /// crosses [`QUARANTINE_PANICS`]).
+    pub fn note_panic(&self, key: &str) -> u32 {
+        let mut map = self.panics.lock();
+        let n = map.entry(key.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Record a panic-free execution on `key`: the consecutive-panic
+    /// count resets, so only an unbroken run of panics quarantines.
+    pub fn note_panic_free(&self, key: &str) {
+        self.panics.lock().remove(key);
+    }
+
     /// The plan currently registered under a raw key, if any — no
     /// hit/miss accounting (this is the retuning decider's
     /// introspection path, not the serving path).
@@ -280,8 +322,9 @@ impl PlanRegistry {
     /// Atomically replace the plan registered under `key` — the
     /// retuning hot-swap. Same invalidation discipline as a cold-key
     /// recovery: the stale shard lanes are dropped (the `Arc::ptr_eq`
-    /// tag in [`PlanRegistry::lane_plans`] would refuse them anyway)
-    /// and any cold marker is cleared. Jobs already resolved keep
+    /// tag in [`PlanRegistry::lane_plans`] would refuse them anyway),
+    /// any cold marker is cleared, and an active panic quarantine is
+    /// lifted. Jobs already resolved keep
     /// their `Arc<Plan>` and finish on the old generation bit-exactly;
     /// only jobs resolved after this call see the new plan.
     pub fn swap_plan(&self, key: &str, plan: Arc<Plan>) {
@@ -290,6 +333,9 @@ impl PlanRegistry {
         self.plans.lock().insert(key.to_string(), plan);
         self.lanes.lock().remove(key);
         self.cold.lock().remove(key);
+        // a hot-swap is the recovery path out of a panic quarantine:
+        // the new generation starts with a clean consecutive count
+        self.panics.lock().remove(key);
         self.stats.swaps.fetch_add(1, Relaxed);
         self.stats.warn(format!(
             "retune: hot-swapped the plan for {key:?} (now epoch {epoch}); in-flight \
@@ -572,6 +618,120 @@ mod tests {
         // the old Arc is untouched — an in-flight job holding it
         // finishes on its own generation
         assert_eq!(plan.epoch(), 0);
+    }
+
+    #[test]
+    fn cold_retry_is_throttled_while_the_cache_stays_cold() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (reg, stats) = registry();
+        let p = kernels::heat1d();
+        // no tuner is installed in this binary: the CacheOnly resolve
+        // falls back to the static model and marks the key cold
+        let (key, first) = reg
+            .entry_for(&p, None, Tuning::CacheOnly, PlanShape::Pooled)
+            .unwrap();
+        assert_eq!(stats.cold_fallbacks.load(Relaxed), 1);
+        assert_eq!(reg.cold.lock().get(&key).copied(), Some(0));
+        // hammer the cold key for several retry periods; every retry
+        // fails (still no tuner), so the key must stay cold, keep
+        // serving the same fallback plan, and never warn again — the
+        // throttle is what keeps a permanently cold deployment quiet
+        let hits = 2 * COLD_RETRY_PERIOD + 3;
+        for _ in 0..hits {
+            let (_, plan) = reg
+                .entry_for(&p, None, Tuning::CacheOnly, PlanShape::Pooled)
+                .unwrap();
+            assert!(Arc::ptr_eq(&plan, &first));
+        }
+        assert_eq!(
+            reg.cold.lock().get(&key).copied(),
+            Some(hits),
+            "every hit on a cold key advances its throttle counter"
+        );
+        assert_eq!(stats.cold_recoveries.load(Relaxed), 0);
+        assert_eq!(stats.cold_fallbacks.load(Relaxed), 1);
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.warnings
+                .iter()
+                .filter(|w| w.contains("cold start"))
+                .count(),
+            1,
+            "failed retries must not spam warnings: {:?}",
+            snap.warnings
+        );
+        assert_eq!(snap.tuner_probes, 0, "retries never probe");
+    }
+
+    #[test]
+    fn measured_cold_keys_throttle_the_same_and_never_probe() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (reg, stats) = registry();
+        let p = kernels::heat1d();
+        // Measured with no tuner installed degrades to the static
+        // model too (TunerUnavailable), and the key goes cold under
+        // its own mode token
+        let (key, _) = reg
+            .entry_for(&p, None, Tuning::Measured, PlanShape::Pooled)
+            .unwrap();
+        assert_eq!(stats.cold_fallbacks.load(Relaxed), 1);
+        assert!(reg.cold.lock().contains_key(&key));
+        for _ in 0..COLD_RETRY_PERIOD + 1 {
+            reg.entry_for(&p, None, Tuning::Measured, PlanShape::Pooled)
+                .unwrap();
+        }
+        // the periodic retry resolves under CacheOnly regardless of
+        // the mode that went cold — a probing Measured resolve must
+        // never run on the serving path
+        assert_eq!(stats.snapshot().tuner_probes, 0);
+        assert_eq!(stats.cold_recoveries.load(Relaxed), 0);
+        assert!(reg.cold.lock().contains_key(&key), "key stays cold");
+    }
+
+    #[test]
+    fn quarantine_needs_consecutive_panics_and_success_resets() {
+        let (reg, _) = registry();
+        let key = "sig|class|static|pooled";
+        assert_eq!(reg.quarantined(key), None);
+        for n in 1..QUARANTINE_PANICS {
+            assert_eq!(reg.note_panic(key), n);
+            assert_eq!(
+                reg.quarantined(key),
+                None,
+                "below the threshold the key still serves"
+            );
+        }
+        // a clean execution in between resets the streak
+        reg.note_panic_free(key);
+        assert_eq!(reg.note_panic(key), 1);
+        reg.note_panic_free(key);
+        // an unbroken streak quarantines at exactly the threshold
+        for _ in 0..QUARANTINE_PANICS {
+            reg.note_panic(key);
+        }
+        assert_eq!(reg.quarantined(key), Some(QUARANTINE_PANICS));
+        // other keys are unaffected
+        assert_eq!(reg.quarantined("other|key"), None);
+    }
+
+    #[test]
+    fn swap_plan_lifts_an_active_quarantine() {
+        let (reg, _) = registry();
+        let p = kernels::heat2d();
+        let plan = reg
+            .get_or_compile(&p, None, Tuning::Static, PlanShape::Pooled)
+            .unwrap();
+        let key = PlanRegistry::key(&p, None, Tuning::Static, PlanShape::Pooled);
+        for _ in 0..QUARANTINE_PANICS + 2 {
+            reg.note_panic(&key);
+        }
+        assert!(reg.quarantined(&key).is_some());
+        reg.swap_plan(&key, plan);
+        assert_eq!(
+            reg.quarantined(&key),
+            None,
+            "a hot-swapped generation starts with a clean record"
+        );
     }
 
     #[test]

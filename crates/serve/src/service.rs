@@ -82,6 +82,11 @@ pub struct JobSpec {
     pub steps: usize,
     /// Per-job tuning override (`None` = the service default).
     pub tuning: Option<Tuning>,
+    /// Queue-wait deadline: a job still queued this long after
+    /// submission is shed at dequeue with
+    /// [`ServeError::DeadlineExceeded`] instead of burning pool time on
+    /// an answer nobody is waiting for (`None` = no deadline).
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -92,7 +97,14 @@ impl JobSpec {
             domain,
             steps,
             tuning: None,
+            deadline: None,
         }
+    }
+
+    /// Set a queue-wait deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
     }
 }
 
@@ -138,6 +150,23 @@ pub enum ServeError {
     /// An out-of-core-routed job failed in the streaming executor or
     /// its file-backed store (IO, budget, crash detection).
     Ooc(stencil_ooc::OocError),
+    /// The job's queue-wait deadline expired before a worker dequeued
+    /// it; the executor shed it without running.
+    DeadlineExceeded {
+        /// The deadline the job carried, in milliseconds.
+        deadline_ms: u64,
+        /// How long the job had actually waited when it was shed.
+        waited_ms: u64,
+    },
+    /// The job's registry key is quarantined: previous jobs on this
+    /// key panicked repeatedly, so further submissions are refused with
+    /// a typed error instead of killing every batch that touches it.
+    Quarantined {
+        /// The quarantined registry key.
+        key: String,
+        /// Consecutive panics observed on the key.
+        panics: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -151,6 +180,18 @@ impl std::fmt::Display for ServeError {
             ServeError::Plan(e) => write!(f, "plan error: {e}"),
             ServeError::WorkerLost => write!(f, "the executor dropped this job"),
             ServeError::Ooc(e) => write!(f, "out-of-core execution failed: {e}"),
+            ServeError::DeadlineExceeded {
+                deadline_ms,
+                waited_ms,
+            } => write!(
+                f,
+                "deadline exceeded: job shed after waiting {waited_ms} ms \
+                 (deadline {deadline_ms} ms)"
+            ),
+            ServeError::Quarantined { key, panics } => write!(
+                f,
+                "plan key {key:?} is quarantined after {panics} consecutive panics"
+            ),
         }
     }
 }
@@ -366,6 +407,8 @@ struct Job {
     domain: JobDomain,
     steps: usize,
     ticket: TicketHandle,
+    /// Queue-wait deadline carried from the spec.
+    deadline: Option<Duration>,
     /// Submission time on the service clock (virtual in tests).
     submitted: Duration,
     /// Submission time on the obs clock (0 when tracing is disabled) —
@@ -597,6 +640,11 @@ impl StencilService {
             return Err(ServeError::ShuttingDown);
         }
         let (key, plan, shards) = self.resolve(&spec)?;
+        if let Some(panics) = inner.registry.quarantined(&key) {
+            inner.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            inner.stats.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Quarantined { key, panics });
+        }
         let ticket = TicketCell::new();
         let job = Job {
             id: inner.next_job_id.fetch_add(1, Ordering::Relaxed),
@@ -606,6 +654,7 @@ impl StencilService {
             domain: spec.domain,
             steps: spec.steps,
             ticket: TicketHandle(Arc::clone(&ticket)),
+            deadline: spec.deadline,
             submitted: inner.cfg.clock.now(),
             enqueued_obs_us: if stencil_obs::enabled() {
                 stencil_obs::now_us()
@@ -692,14 +741,23 @@ fn worker_loop(inner: &Inner) {
             // drop of the job's TicketHandle resolves its waiter with
             // WorkerLost, and this worker lives on to serve the rest
             // of the queue
+            let key = job.key.clone();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 execute(inner, job, batched);
             }));
             if outcome.is_err() {
                 inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                let panics = inner.registry.note_panic(&key);
                 inner
                     .stats
                     .warn("a job panicked in the executor; its waiter received WorkerLost");
+                if panics == crate::registry::QUARANTINE_PANICS {
+                    inner.stats.warn(format!(
+                        "plan key {key:?} quarantined after {panics} consecutive panics"
+                    ));
+                }
+            } else {
+                inner.registry.note_panic_free(&key);
             }
         }
     }
@@ -710,7 +768,8 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
     // for the timeline, and recorded as a span from the obs-clock
     // stamp the submitting thread left on the job
     let dequeued = inner.cfg.clock.now();
-    let queue_us = dequeued.saturating_sub(job.submitted).as_micros() as u64;
+    let waited = dequeued.saturating_sub(job.submitted);
+    let queue_us = waited.as_micros() as u64;
     if job.enqueued_obs_us != 0 {
         stencil_obs::record_for_job(
             stencil_obs::SpanId::QueueWait,
@@ -718,6 +777,19 @@ fn execute(inner: &Inner, job: Job, batched: bool) {
             job.enqueued_obs_us,
             stencil_obs::now_us(),
         );
+    }
+    // deadline shedding happens here, at dequeue: a job whose queue
+    // wait already blew its deadline is completed with a typed error
+    // without spending a single pool cycle on it
+    if let Some(deadline) = job.deadline {
+        if waited > deadline {
+            inner.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            job.ticket.complete(Err(ServeError::DeadlineExceeded {
+                deadline_ms: deadline.as_millis() as u64,
+                waited_ms: waited.as_millis() as u64,
+            }));
+            return;
+        }
     }
     let outcome = stencil_obs::with_job(job.id, || run_job(inner, &job));
     let latency = inner.cfg.clock.now().saturating_sub(job.submitted);
@@ -782,10 +854,43 @@ struct ExecIo {
     overlap_us: u64,
 }
 
+/// A collision-resistant stable path for an out-of-core job's backing
+/// store, derived from the registry key, shape, step count and the
+/// domain contents (FNV-1a over the raw bits). A resubmission of the
+/// same job lands on the same path, which is what lets the streaming
+/// executor recover and resume an earlier interrupted attempt.
+fn ooc_store_path(key: &str, g: &Grid3D, steps: usize) -> std::path::PathBuf {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(key.as_bytes());
+    for v in [g.nz(), g.ny(), g.nx(), steps] {
+        eat(&(v as u64).to_le_bytes());
+    }
+    for z in 0..g.nz() {
+        for y in 0..g.ny() {
+            for v in g.row(z, y) {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    let mut p = std::env::temp_dir();
+    p.push(format!("stencil-serve-ooc-{h:016x}.slab"));
+    p
+}
+
 fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize, ExecIo), ServeError> {
     let plan = &job.plan;
     let shards = job.shards;
     let resident = ExecIo::default();
+    if stencil_faults::should_fire(stencil_faults::Failpoint::WorkerPanic) {
+        panic!("injected failpoint: worker_panic");
+    }
     match &job.domain {
         JobDomain::D1(g) => Ok((JobDomain::D1(plan.run_1d(g, job.steps)?), 1, resident)),
         JobDomain::D2(g) => {
@@ -809,7 +914,13 @@ fn run_job(inner: &Inner, job: &Job) -> Result<(JobDomain, usize, ExecIo), Serve
                         steps_per_pass: th.steps_per_pass,
                         prefetch: th.prefetch,
                     };
-                    let (out, report) = stencil_ooc::run_streaming_grid(plan, g, job.steps, &cfg)?;
+                    // content-keyed store path: a failed attempt leaves
+                    // its store behind, and a resubmission of the same
+                    // job recovers it and resumes from the committed
+                    // round instead of starting over
+                    let path = ooc_store_path(&job.key, g, job.steps);
+                    let (out, report) =
+                        stencil_ooc::run_streaming_grid_resumable(plan, g, job.steps, &cfg, &path)?;
                     inner.stats.ooc_jobs.fetch_add(1, Ordering::Relaxed);
                     inner.stats.record_ooc(&report.stats);
                     return Ok((

@@ -50,6 +50,7 @@ fn main() {
         steps,
         rounds,
         tuning: None,
+        deadline_ms: None,
     };
     let out = client.run(header(10, 1), &grid.to_dense()).expect("job");
     println!(

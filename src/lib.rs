@@ -25,6 +25,11 @@
 //!   [`Timeline`](obs::Timeline) breakdowns, Chrome trace-event export
 //!   ([`obs::TraceSink`], Perfetto-loadable), and the injectable
 //!   monotonic clock every subsystem timestamps against.
+//! * [`faults`] — deterministic failpoint injection for chaos testing:
+//!   a fixed vocabulary of named sites across the IO, queue, worker
+//!   and network layers, armed with seeded-probability or nth-hit
+//!   triggers (env: `STENCIL_FAULTS`), compiled to a single relaxed
+//!   load when disarmed.
 //! * [`serve`] — the tuning-aware job service for long-running
 //!   deployments: a warm-loadable [`PlanRegistry`], bounded submission
 //!   queue with backpressure, same-plan batching, bit-exact domain
@@ -72,6 +77,7 @@
 //! ```
 
 pub use stencil_core as core;
+pub use stencil_faults as faults;
 pub use stencil_grid as grid;
 pub use stencil_obs as obs;
 pub use stencil_ooc as ooc;

@@ -93,6 +93,8 @@ proptest! {
             jobs_rejected: counters[1],
             jobs_completed: counters[2],
             jobs_failed: counters[3],
+            jobs_shed: counters[5] ^ counters[6],
+            jobs_quarantined: counters[7] ^ counters[8],
             queue_depth: counters[4],
             plan_hits: counters[5],
             plan_misses: counters[6],
@@ -110,6 +112,7 @@ proptest! {
             ooc_prefetch_hits: counters[16] ^ counters[2],
             ooc_prefetch_misses: counters[17] ^ counters[3],
             ooc_stall_us: counters[18] ^ counters[4],
+            ooc_io_retries: counters[19] ^ counters[5],
             p50_us: counters[14],
             p99_us: counters[15],
             mean_us: mean,
@@ -188,12 +191,15 @@ fn serve_stats_json_schema_is_pinned() {
             "cold_recoveries",
             "jobs_completed",
             "jobs_failed",
+            "jobs_quarantined",
             "jobs_rejected",
+            "jobs_shed",
             "jobs_submitted",
             "max_batch",
             "mean_us",
             "ooc_bytes_read",
             "ooc_bytes_written",
+            "ooc_io_retries",
             "ooc_jobs",
             "ooc_prefetch_hits",
             "ooc_prefetch_misses",

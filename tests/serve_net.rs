@@ -49,6 +49,7 @@ fn submit_header(name: &str, pattern: Pattern, extents: &[usize], steps: usize) 
         steps,
         rounds: 1,
         tuning: None,
+        deadline_ms: None,
     }
 }
 
